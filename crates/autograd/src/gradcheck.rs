@@ -1,0 +1,250 @@
+//! Finite-difference gradient verification.
+//!
+//! Used by this crate's tests and by `rapid-nn` to prove every layer's
+//! analytic gradients against central differences. Verification runs in
+//! `f32`, so tolerances are necessarily loose (~1e-2 relative); the check
+//! nevertheless catches every sign/transpose/shape mistake in practice.
+
+use crate::{ParamStore, Tape, Var};
+
+/// Result of a gradient check: the largest absolute and relative errors
+/// observed over all checked parameter entries.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Largest `|analytic − numeric|`.
+    pub max_abs_err: f32,
+    /// Largest `|analytic − numeric| / max(1, |analytic|, |numeric|)`.
+    pub max_rel_err: f32,
+    /// Number of scalar entries compared.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// `true` when the relative error is below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_err <= tol
+    }
+}
+
+/// Compares analytic gradients of `f` (a scalar-valued forward pass over
+/// `store`) against central finite differences.
+///
+/// `f` must be deterministic: it is invoked `2 * num_weights + 1` times.
+/// For models with stochastic pieces (dropout, reparameterized noise),
+/// fix the noise outside the closure.
+///
+/// `eps` around `1e-2` works well in `f32` for the smooth ops used here.
+pub fn check_gradients(
+    store: &mut ParamStore,
+    mut f: impl FnMut(&mut Tape, &ParamStore) -> Var,
+    eps: f32,
+) -> GradCheckReport {
+    // Analytic pass.
+    store.zero_grads();
+    let mut tape = Tape::new();
+    let root = f(&mut tape, store);
+    tape.backward(root, store);
+    let analytic: Vec<Vec<f32>> = store
+        .ids()
+        .map(|id| store.grad(id).as_slice().to_vec())
+        .collect();
+
+    let mut report = GradCheckReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+        checked: 0,
+    };
+
+    let ids: Vec<_> = store.ids().collect();
+    for (pi, id) in ids.iter().enumerate() {
+        let n = store.value(*id).len();
+        for k in 0..n {
+            let orig = store.value(*id).as_slice()[k];
+
+            store.value_mut(*id).as_mut_slice()[k] = orig + eps;
+            let mut t_plus = Tape::new();
+            let r_plus = f(&mut t_plus, store);
+            let f_plus = t_plus.value(r_plus).get(0, 0);
+
+            store.value_mut(*id).as_mut_slice()[k] = orig - eps;
+            let mut t_minus = Tape::new();
+            let r_minus = f(&mut t_minus, store);
+            let f_minus = t_minus.value(r_minus).get(0, 0);
+
+            store.value_mut(*id).as_mut_slice()[k] = orig;
+
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let exact = analytic[pi][k];
+            let abs = (exact - numeric).abs();
+            let rel = abs / exact.abs().max(numeric.abs()).max(1.0);
+            report.max_abs_err = report.max_abs_err.max(abs);
+            report.max_rel_err = report.max_rel_err.max(rel);
+            report.checked += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rapid_tensor::Matrix;
+
+    #[test]
+    fn composite_network_passes_gradcheck() {
+        // Two-layer net with every major op: matmul, bias, tanh, sigmoid,
+        // softmax, concat, slice, broadcast-mul, softplus, mean.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", Matrix::xavier_uniform(4, 6, &mut rng));
+        let b1 = store.add("b1", Matrix::zeros(1, 6));
+        let w2 = store.add("w2", Matrix::xavier_uniform(6, 3, &mut rng));
+        let gate = store.add("gate", Matrix::rand_uniform(1, 3, 0.5, 1.5, &mut rng));
+        let x = Matrix::rand_uniform(5, 4, -1.0, 1.0, &mut rng);
+        let y = Matrix::rand_uniform(5, 3, 0.0, 1.0, &mut rng);
+
+        let report = check_gradients(
+            &mut store,
+            |tape, store| {
+                let xv = tape.constant(x.clone());
+                let w1v = tape.param(store, w1);
+                let b1v = tape.param(store, b1);
+                let w2v = tape.param(store, w2);
+                let gv = tape.param(store, gate);
+                let h = tape.matmul(xv, w1v);
+                let h = tape.add_row_broadcast(h, b1v);
+                let left = tape.slice_cols(h, 0, 3);
+                let right = tape.slice_cols(h, 3, 6);
+                let lt = tape.tanh(left);
+                let rs = tape.softplus(right);
+                let h = tape.concat_cols(&[lt, rs]);
+                let o = tape.matmul(h, w2v);
+                let o = tape.mul_row_broadcast(o, gv);
+                let sm = tape.softmax_rows(o);
+                let sg = tape.sigmoid(o);
+                let mix = tape.mul(sm, sg);
+                tape.mse(mix, &y)
+            },
+            5e-3,
+        );
+        assert!(
+            report.passes(2e-2),
+            "gradcheck failed: {report:?}"
+        );
+        assert!(report.checked > 0);
+    }
+
+    #[test]
+    fn attention_style_graph_passes_gradcheck() {
+        // A = softmax(V Vᵀ / sqrt(d)) V — the paper's Eq. (2).
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let v = store.add("v", Matrix::rand_uniform(4, 5, -0.5, 0.5, &mut rng));
+
+        let report = check_gradients(
+            &mut store,
+            |tape, store| {
+                let vv = tape.param(store, v);
+                let vt = tape.transpose(vv);
+                let scores = tape.matmul(vv, vt);
+                let scaled = tape.scale(scores, 1.0 / (5.0f32).sqrt());
+                let attn = tape.softmax_rows(scaled);
+                let out = tape.matmul(attn, vv);
+                let sq = tape.mul(out, out);
+                tape.mean_all(sq)
+            },
+            5e-3,
+        );
+        assert!(report.passes(2e-2), "gradcheck failed: {report:?}");
+    }
+
+    #[test]
+    fn loss_ops_pass_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut store = ParamStore::new();
+        let z = store.add("z", Matrix::rand_uniform(1, 6, -2.0, 2.0, &mut rng));
+        let targets = Matrix::row_vector(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+
+        let r1 = check_gradients(
+            &mut store,
+            |tape, store| {
+                let zv = tape.param(store, z);
+                tape.bce_with_logits(zv, &targets)
+            },
+            5e-3,
+        );
+        assert!(r1.passes(2e-2), "bce gradcheck failed: {r1:?}");
+
+        let labels = [1.0f32, 0.0, 1.0, 0.0, 0.0, 0.0];
+        let r2 = check_gradients(
+            &mut store,
+            |tape, store| {
+                let zv = tape.param(store, z);
+                tape.pairwise_logistic(zv, &labels)
+            },
+            5e-3,
+        );
+        assert!(r2.passes(2e-2), "pairwise gradcheck failed: {r2:?}");
+    }
+
+    #[test]
+    fn col_broadcast_passes_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut rng));
+        let w = store.add("w", Matrix::rand_uniform(4, 1, -1.0, 1.0, &mut rng));
+        let t = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
+        let report = check_gradients(
+            &mut store,
+            |tape, store| {
+                let av = tape.param(store, a);
+                let wv = tape.param(store, w);
+                let m = tape.mul_col_broadcast(av, wv);
+                tape.mse(m, &t)
+            },
+            5e-3,
+        );
+        assert!(report.passes(2e-2), "gradcheck failed: {report:?}");
+    }
+
+    #[test]
+    fn normalize_rows_passes_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut store = ParamStore::new();
+        let x = store.add("x", Matrix::rand_uniform(3, 6, -1.0, 1.0, &mut rng));
+        let report = check_gradients(
+            &mut store,
+            |tape, store| {
+                let xv = tape.param(store, x);
+                let n = tape.normalize_rows(xv, 1e-5);
+                let sq = tape.mul(n, n);
+                let w = tape.constant(Matrix::rand_uniform(3, 6, 0.1, 1.0, &mut StdRng::seed_from_u64(5)));
+                let m = tape.mul(sq, w);
+                tape.mean_all(m)
+            },
+            5e-3,
+        );
+        assert!(report.passes(2e-2), "gradcheck failed: {report:?}");
+    }
+
+    #[test]
+    fn relu_and_reductions_pass_gradcheck_away_from_kinks() {
+        let mut store = ParamStore::new();
+        // Values far from 0 so the ReLU kink doesn't break the FD check.
+        let w = store.add("w", Matrix::row_vector(&[1.0, -1.0, 2.0, -2.0]));
+        let report = check_gradients(
+            &mut store,
+            |tape, store| {
+                let wv = tape.param(store, w);
+                let r = tape.relu(wv);
+                let s = tape.scale(r, 3.0);
+                let s = tape.add_scalar(s, 1.0);
+                tape.sum_all(s)
+            },
+            1e-3,
+        );
+        assert!(report.passes(1e-2), "gradcheck failed: {report:?}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Tape-based reverse-mode automatic differentiation for the RAPID
+//! reproduction.
+//!
+//! The paper trains several small neural re-rankers (Bi-LSTM, GRU,
+//! transformer encoders, per-topic LSTMs with self-attention) end-to-end
+//! with a cross-entropy loss. Mature GPU frameworks are not available in
+//! this environment (the calibration hint is "candle/tch immature for full
+//! training pipeline"), so this crate implements exact-gradient training
+//! from scratch:
+//!
+//! * [`Tape`] — a flat arena of graph nodes recorded during the forward
+//!   pass; [`Var`] is an index into it. Each node stores its value, an op
+//!   tag ([`op::Op`]) naming how it was computed, and its parents.
+//! * [`ParamStore`] — named trainable parameters living *outside* the
+//!   tape. A fresh tape is built per training step; parameter leaves are
+//!   bound by id and gradients are accumulated back into the store.
+//! * [`optim`] — SGD and Adam.
+//! * [`loss`] — numerically stable binary cross-entropy with logits,
+//!   MSE, and the pairwise logistic loss used by DESA.
+//! * [`gradcheck`] — central-difference verification used by the tests
+//!   of this crate and of `rapid-nn`.
+//!
+//! # Example
+//!
+//! ```
+//! use rapid_autograd::{ParamStore, Tape};
+//! use rapid_tensor::Matrix;
+//!
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", Matrix::from_rows(&[&[2.0], &[1.0]]));
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.constant(Matrix::row_vector(&[3.0, 4.0]));
+//! let wv = tape.param(&store, w);
+//! let y = tape.matmul(x, wv); // 1x1: 2*3 + 1*4 = 10
+//! let loss = tape.sum_all(y);
+//! tape.backward(loss, &mut store);
+//!
+//! assert_eq!(tape.value(y).get(0, 0), 10.0);
+//! assert_eq!(store.grad(w).as_slice(), &[3.0, 4.0]);
+//! ```
+
+pub mod gradcheck;
+pub mod loss;
+pub mod op;
+pub mod optim;
+mod params;
+mod serialize;
+mod tape;
+
+pub use params::{ParamId, ParamStore};
+pub use tape::{Tape, Var};

@@ -1,0 +1,195 @@
+//! Loss functions recorded as single graph nodes with hand-derived
+//! gradients.
+//!
+//! Implementing each loss as one node (rather than composing it from
+//! elementary ops) keeps the numerics stable: BCE is evaluated in the
+//! logits form that never exponentiates a large positive number, matching
+//! what every production framework does.
+
+use crate::op::Op;
+use crate::{Tape, Var};
+use rapid_tensor::Matrix;
+
+impl Tape {
+    /// Mean binary cross-entropy between `sigmoid(logits)` and `targets`
+    /// (which must contain values in `[0, 1]`), computed stably from the
+    /// logits:
+    ///
+    /// `mean( max(z,0) − z·y + ln(1 + e^{−|z|}) )`
+    ///
+    /// This is Eq. (11) of the paper, applied to the re-ranking scores of
+    /// one list (or a whole batch of lists flattened together).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &Matrix) -> Var {
+        let z = self.value(logits);
+        z.assert_same_shape(targets, "bce_with_logits");
+        let n = z.len().max(1) as f32;
+        let total: f32 = z
+            .as_slice()
+            .iter()
+            .zip(targets.as_slice())
+            .map(|(&zi, &yi)| zi.max(0.0) - zi * yi + (-zi.abs()).exp().ln_1p())
+            .sum();
+        self.push_loss(
+            Matrix::full(1, 1, total / n),
+            Op::BceWithLogits {
+                logits,
+                targets: targets.clone(),
+            },
+        )
+    }
+
+    /// Mean squared error against constant `targets`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn mse(&mut self, pred: Var, targets: &Matrix) -> Var {
+        let p = self.value(pred);
+        p.assert_same_shape(targets, "mse");
+        let n = p.len().max(1) as f32;
+        let total: f32 = p
+            .as_slice()
+            .iter()
+            .zip(targets.as_slice())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
+        self.push_loss(
+            Matrix::full(1, 1, total / n),
+            Op::Mse {
+                pred,
+                targets: targets.clone(),
+            },
+        )
+    }
+
+    /// Mean pairwise logistic (RankNet-style) loss over all ordered label
+    /// pairs `(i, j)` with `labels[i] > labels[j]`:
+    ///
+    /// `mean over pairs of ln(1 + e^{−(s_i − s_j)})`
+    ///
+    /// Used by the DESA baseline, which trains with a pairwise loss.
+    /// Returns a zero-valued node when there are no discordant label
+    /// pairs (e.g. an all-zero click list), so batches never NaN out.
+    ///
+    /// # Panics
+    /// Panics if `labels.len()` does not match the score element count.
+    pub fn pairwise_logistic(&mut self, scores: Var, labels: &[f32]) -> Var {
+        let s = self.value(scores);
+        assert_eq!(
+            s.len(),
+            labels.len(),
+            "pairwise_logistic: {} scores vs {} labels",
+            s.len(),
+            labels.len()
+        );
+        let flat = s.as_slice();
+        let mut total = 0.0f64;
+        let mut pairs = 0usize;
+        for (i, &yi) in labels.iter().enumerate() {
+            for (j, &yj) in labels.iter().enumerate() {
+                if yi > yj {
+                    let d = f64::from(flat[i] - flat[j]);
+                    // ln(1+e^{-d}) = max(-d,0) + ln(1+e^{-|d|}), stable both ways.
+                    total += (-d).max(0.0) + (-d.abs()).exp().ln_1p();
+                    pairs += 1;
+                }
+            }
+        }
+        let mean = if pairs > 0 {
+            (total / pairs as f64) as f32
+        } else {
+            0.0
+        };
+        self.push_loss(
+            Matrix::full(1, 1, mean),
+            Op::PairwiseLogistic {
+                scores,
+                labels: labels.to_vec(),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParamStore;
+
+    #[test]
+    fn bce_matches_naive_formula_for_moderate_logits() {
+        let mut store = ParamStore::new();
+        let w = store.add("z", Matrix::row_vector(&[0.3, -1.2, 2.0]));
+        let y = Matrix::row_vector(&[1.0, 0.0, 1.0]);
+        let mut tape = Tape::new();
+        let z = tape.param(&store, w);
+        let loss = tape.bce_with_logits(z, &y);
+
+        let naive: f32 = [0.3f32, -1.2, 2.0]
+            .iter()
+            .zip([1.0f32, 0.0, 1.0])
+            .map(|(&zi, yi)| {
+                let p = 1.0 / (1.0 + (-zi).exp());
+                -(yi * p.ln() + (1.0 - yi) * (1.0 - p).ln())
+            })
+            .sum::<f32>()
+            / 3.0;
+        assert!((tape.value(loss).get(0, 0) - naive).abs() < 1e-5);
+
+        tape.backward(loss, &mut store);
+        // dz = (σ(z) - y)/3
+        let g = store.grad(w);
+        let sig = |x: f32| 1.0 / (1.0 + (-x).exp());
+        assert!((g.get(0, 0) - (sig(0.3) - 1.0) / 3.0).abs() < 1e-6);
+        assert!((g.get(0, 1) - (sig(-1.2) - 0.0) / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let mut tape = Tape::new();
+        let z = tape.constant(Matrix::row_vector(&[500.0, -500.0]));
+        let y = Matrix::row_vector(&[1.0, 0.0]);
+        let loss = tape.bce_with_logits(z, &y);
+        let v = tape.value(loss).get(0, 0);
+        assert!(v.is_finite());
+        assert!(v < 1e-6, "correct predictions should have ~zero loss, got {v}");
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let mut store = ParamStore::new();
+        let p = store.add("p", Matrix::row_vector(&[1.0, 2.0]));
+        let t = Matrix::row_vector(&[0.0, 0.0]);
+        let mut tape = Tape::new();
+        let pv = tape.param(&store, p);
+        let loss = tape.mse(pv, &t);
+        assert!((tape.value(loss).get(0, 0) - 2.5).abs() < 1e-6);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(p).as_slice(), &[1.0, 2.0]); // 2(p-t)/2
+    }
+
+    #[test]
+    fn pairwise_logistic_prefers_correct_ordering() {
+        let labels = [1.0f32, 0.0];
+        let mut tape = Tape::new();
+        let good = tape.constant(Matrix::row_vector(&[3.0, -3.0]));
+        let bad = tape.constant(Matrix::row_vector(&[-3.0, 3.0]));
+        let lg = tape.pairwise_logistic(good, &labels);
+        let lb = tape.pairwise_logistic(bad, &labels);
+        assert!(tape.value(lg).get(0, 0) < tape.value(lb).get(0, 0));
+    }
+
+    #[test]
+    fn pairwise_logistic_with_no_pairs_is_zero_and_grad_free() {
+        let mut store = ParamStore::new();
+        let s = store.add("s", Matrix::row_vector(&[1.0, 2.0]));
+        let labels = [0.0f32, 0.0];
+        let mut tape = Tape::new();
+        let sv = tape.param(&store, s);
+        let loss = tape.pairwise_logistic(sv, &labels);
+        assert_eq!(tape.value(loss).get(0, 0), 0.0);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(s).as_slice(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! First-order optimizers operating on a [`ParamStore`].
+//!
+//! The paper trains with Adam (§IV-C); SGD is provided for tests and for
+//! the simpler linear baselines.
+
+use crate::params::ParamStore;
+use rapid_tensor::Matrix;
+
+/// A parameter-update rule. `step` consumes the gradients currently
+/// accumulated in the store and applies one update; callers are expected
+/// to `zero_grads()` afterwards (or use [`Optimizer::step_and_zero`]).
+pub trait Optimizer {
+    /// Applies one update using the store's accumulated gradients.
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// Convenience: `step` followed by `zero_grads`.
+    fn step_and_zero(&mut self, store: &mut ParamStore) {
+        self.step(store);
+        store.zero_grads();
+    }
+}
+
+/// Plain stochastic gradient descent with optional weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight-decay coefficient (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        for id in store.ids().collect::<Vec<_>>() {
+            let mut g = store.grad(id).clone();
+            if self.weight_decay > 0.0 {
+                g.add_scaled_assign(store.value(id), self.weight_decay);
+            }
+            store.value_mut(id).add_scaled_assign(&g, -self.lr);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2014) with bias correction, as used by the paper.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper grid-searches {1e-5, 1e-4, 1e-3, 1e-2}).
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical stabiliser.
+    pub eps: f32,
+    /// L2 weight-decay coefficient (0 disables).
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999) and the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        if self.m.len() != store.len() {
+            assert!(
+                self.m.is_empty(),
+                "Adam: parameter count changed after first step ({} -> {})",
+                self.m.len(),
+                store.len()
+            );
+            for id in store.ids() {
+                let (r, c) = store.value(id).shape();
+                self.m.push(Matrix::zeros(r, c));
+                self.v.push(Matrix::zeros(r, c));
+            }
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.ensure_state(store);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (idx, id) in store.ids().collect::<Vec<_>>().into_iter().enumerate() {
+            let mut g = store.grad(id).clone();
+            if self.weight_decay > 0.0 {
+                g.add_scaled_assign(store.value(id), self.weight_decay);
+            }
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            // m = β1 m + (1-β1) g ; v = β2 v + (1-β2) g²
+            *m = m.scale(self.beta1);
+            m.add_scaled_assign(&g, 1.0 - self.beta1);
+            *v = v.scale(self.beta2);
+            let g2 = g.mul(&g);
+            v.add_scaled_assign(&g2, 1.0 - self.beta2);
+
+            let update = m
+                .scale(1.0 / bc1)
+                .zip_map(&v.scale(1.0 / bc2), |mh, vh| mh / (vh.sqrt() + self.eps));
+            store.value_mut(id).add_scaled_assign(&update, -self.lr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    /// Minimise f(w) = mean((w - 3)²) and check both optimizers converge.
+    fn run(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::row_vector(&[0.0, 10.0]));
+        let target = Matrix::row_vector(&[3.0, 3.0]);
+        for _ in 0..steps {
+            let mut tape = Tape::new();
+            let wv = tape.param(&store, w);
+            let loss = tape.mse(wv, &target);
+            tape.backward(loss, &mut store);
+            opt.step_and_zero(&mut store);
+        }
+        store
+            .value(w)
+            .as_slice()
+            .iter()
+            .map(|v| (v - 3.0).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let err = run(&mut Sgd::new(0.1), 200);
+        assert!(err < 1e-3, "max err {err}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let err = run(&mut Adam::new(0.1), 500);
+        assert!(err < 1e-2, "max err {err}");
+    }
+
+    #[test]
+    fn weight_decay_pulls_weights_toward_zero() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::row_vector(&[1.0]));
+        let mut opt = Sgd::new(0.1);
+        opt.weight_decay = 1.0;
+        // No loss gradient at all: only decay acts.
+        opt.step_and_zero(&mut store);
+        assert!((store.value(w).get(0, 0) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_state_tracks_parameter_count() {
+        let mut store = ParamStore::new();
+        store.add("a", Matrix::ones(1, 1));
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut store);
+        assert_eq!(opt.m.len(), 1);
+    }
+}

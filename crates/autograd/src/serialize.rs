@@ -1,0 +1,213 @@
+//! Parameter checkpointing: save/load a [`ParamStore`] to a compact,
+//! versioned binary format.
+//!
+//! The format is deliberately simple and dependency-free (no serde in
+//! the hot path): a magic header, a version byte, then for each
+//! parameter its name, shape, and little-endian `f32` payload.
+//! Gradients are not persisted — a loaded store starts with zero
+//! gradients, ready for fine-tuning or inference.
+
+use std::io::{self, Read, Write};
+
+use rapid_tensor::Matrix;
+
+use crate::params::ParamStore;
+
+const MAGIC: &[u8; 8] = b"RAPIDPS\0";
+const VERSION: u8 = 1;
+
+impl ParamStore {
+    /// Serialises every parameter (names, shapes, values) to `w`.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&[VERSION])?;
+        w.write_all(&(self.len() as u64).to_le_bytes())?;
+        for id in self.ids() {
+            let name = self.name(id).as_bytes();
+            w.write_all(&(name.len() as u32).to_le_bytes())?;
+            w.write_all(name)?;
+            let value = self.value(id);
+            w.write_all(&(value.rows() as u32).to_le_bytes())?;
+            w.write_all(&(value.cols() as u32).to_le_bytes())?;
+            for &x in value.as_slice() {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a store written by [`ParamStore::save`].
+    ///
+    /// # Errors
+    /// Returns `InvalidData` on a bad magic/version or truncated
+    /// payload.
+    pub fn load(r: &mut impl Read) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "ParamStore::load: bad magic header",
+            ));
+        }
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version)?;
+        if version[0] != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("ParamStore::load: unsupported version {}", version[0]),
+            ));
+        }
+        let count = read_u64(r)? as usize;
+        let mut store = ParamStore::new();
+        for _ in 0..count {
+            let name_len = read_u32(r)? as usize;
+            if name_len > 4096 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "ParamStore::load: implausible name length",
+                ));
+            }
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad name: {e}"))
+            })?;
+            let rows = read_u32(r)? as usize;
+            let cols = read_u32(r)? as usize;
+            let n = rows
+                .checked_mul(cols)
+                .filter(|&n| n <= 1 << 28)
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "implausible tensor size")
+                })?;
+            let mut data = Vec::with_capacity(n);
+            let mut buf = [0u8; 4];
+            for _ in 0..n {
+                r.read_exact(&mut buf)?;
+                data.push(f32::from_le_bytes(buf));
+            }
+            store.add(name, Matrix::from_vec(rows, cols, data));
+        }
+        Ok(store)
+    }
+
+    /// Copies all values from `other` into `self` by matching parameter
+    /// names. Every parameter of `self` must be present in `other` with
+    /// the same shape.
+    ///
+    /// This is how a trained checkpoint is restored into a freshly
+    /// constructed model (whose layers re-registered the same names).
+    ///
+    /// # Errors
+    /// Returns `InvalidData` when a name is missing or a shape differs.
+    pub fn restore_from(&mut self, other: &ParamStore) -> io::Result<()> {
+        // Index `other` by name.
+        let mut by_name = std::collections::HashMap::new();
+        for id in other.ids() {
+            by_name.insert(other.name(id).to_string(), id);
+        }
+        for id in self.ids().collect::<Vec<_>>() {
+            let name = self.name(id).to_string();
+            let src = by_name.get(&name).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("restore_from: missing parameter {name}"),
+                )
+            })?;
+            let value = other.value(*src);
+            if value.shape() != self.value(id).shape() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "restore_from: shape mismatch for {name}: {:?} vs {:?}",
+                        value.shape(),
+                        self.value(id).shape()
+                    ),
+                ));
+            }
+            *self.value_mut(id) = value.clone();
+        }
+        Ok(())
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add("layer.w", Matrix::from_rows(&[&[1.5, -2.0], &[0.0, 3.25]]));
+        s.add("layer.b", Matrix::row_vector(&[0.5, -0.5]));
+        s
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        store.save(&mut buf).unwrap();
+        let loaded = ParamStore::load(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        for (a, b) in store.ids().zip(loaded.ids()) {
+            assert_eq!(store.name(a), loaded.name(b));
+            assert_eq!(store.value(a), loaded.value(b));
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let err = ParamStore::load(&mut &b"not a checkpoint"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn load_rejects_truncation() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        store.save(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(ParamStore::load(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn restore_matches_by_name() {
+        let trained = sample_store();
+        let mut fresh = ParamStore::new();
+        // Different registration order; same names/shapes.
+        fresh.add("layer.b", Matrix::zeros(1, 2));
+        fresh.add("layer.w", Matrix::zeros(2, 2));
+        fresh.restore_from(&trained).unwrap();
+        let w = fresh.ids().nth(1).unwrap();
+        assert_eq!(fresh.value(w), trained.value(trained.ids().next().unwrap()));
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let trained = sample_store();
+        let mut fresh = ParamStore::new();
+        fresh.add("layer.w", Matrix::zeros(3, 3));
+        assert!(fresh.restore_from(&trained).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_missing_names() {
+        let trained = sample_store();
+        let mut fresh = ParamStore::new();
+        fresh.add("other.w", Matrix::zeros(2, 2));
+        assert!(fresh.restore_from(&trained).is_err());
+    }
+}

@@ -1,0 +1,611 @@
+//! The recording tape: forward-pass graph construction and the reverse
+//! sweep.
+
+use crate::op::Op;
+use crate::params::{ParamId, ParamStore};
+use rapid_tensor::Matrix;
+
+/// Index of a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+    /// `Some` when this leaf is bound to a trainable parameter.
+    param: Option<ParamId>,
+}
+
+/// A single forward pass recorded as a flat arena of nodes.
+///
+/// Nodes are appended in topological order by construction (an op can only
+/// reference already-created [`Var`]s), so the backward pass is a simple
+/// reverse iteration — no sorting needed.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Creates a tape with room for `cap` nodes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, param: Option<ParamId>) -> Var {
+        debug_assert!(value.is_finite(), "tape node {:?} produced non-finite values", op);
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            param,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node after [`Tape::backward`]; zero matrix if the
+    /// node did not participate in the loss.
+    pub fn grad(&self, v: Var) -> Matrix {
+        let n = &self.nodes[v.0];
+        n.grad
+            .clone()
+            .unwrap_or_else(|| Matrix::zeros(n.value.rows(), n.value.cols()))
+    }
+
+    // -----------------------------------------------------------------
+    // Leaves
+    // -----------------------------------------------------------------
+
+    /// Records a constant (input) leaf. No gradient flows out of it.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, None)
+    }
+
+    /// Binds a parameter from `store` as a leaf; its gradient is
+    /// accumulated back into the store by [`Tape::backward`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Leaf, Some(id))
+    }
+
+    // -----------------------------------------------------------------
+    // Ops (forward)
+    // -----------------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b), None)
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a), None)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b), None)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b), None)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push(v, Op::Mul(a, b), None)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s), None)
+    }
+
+    /// Scalar offset.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).add_scalar(s);
+        self.push(v, Op::AddScalar(a, s), None)
+    }
+
+    /// Bias add: `(n,m) + (1,m)`.
+    pub fn add_row_broadcast(&mut self, a: Var, bias: Var) -> Var {
+        let v = self.value(a).add_row_broadcast(self.value(bias));
+        self.push(v, Op::AddRowBroadcast(a, bias), None)
+    }
+
+    /// Row-wise scaling: `(n,m) ⊙ (1,m)`.
+    pub fn mul_row_broadcast(&mut self, a: Var, w: Var) -> Var {
+        let v = self.value(a).mul_row_broadcast(self.value(w));
+        self.push(v, Op::MulRowBroadcast(a, w), None)
+    }
+
+    /// Per-row scaling: `(n,m) ⊙ (n,1)`.
+    pub fn mul_col_broadcast(&mut self, a: Var, w: Var) -> Var {
+        let x = self.value(a);
+        let col = self.value(w);
+        assert_eq!(
+            (x.rows(), 1),
+            col.shape(),
+            "mul_col_broadcast: expected {}x1 scaler, got {}x{}",
+            x.rows(),
+            col.rows(),
+            col.cols()
+        );
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let s = col.get(r, 0);
+            for v in out.row_mut(r) {
+                *v *= s;
+            }
+        }
+        self.push(out, Op::MulColBroadcast(a, w), None)
+    }
+
+    /// Elementwise sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).sigmoid();
+        self.push(v, Op::Sigmoid(a), None)
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).tanh();
+        self.push(v, Op::Tanh(a), None)
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).relu();
+        self.push(v, Op::Relu(a), None)
+    }
+
+    /// Elementwise softplus `ln(1 + eˣ)` in stable form.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0) + (-x.abs()).exp().ln_1p());
+        self.push(v, Op::Softplus(a), None)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).softmax_rows();
+        self.push(v, Op::SoftmaxRows(a), None)
+    }
+
+    /// Row-wise standardisation `(x − μ) / sqrt(σ² + eps)` — the
+    /// normalisation core of layer norm (scale/shift are applied by the
+    /// caller with broadcast ops so they remain ordinary parameters).
+    pub fn normalize_rows(&mut self, a: Var, eps: f32) -> Var {
+        let x = self.value(a);
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let n = row.len() as f32;
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let inv = 1.0 / (var + eps).sqrt();
+            for v in row.iter_mut() {
+                *v = (*v - mean) * inv;
+            }
+        }
+        self.push(out, Op::NormalizeRows(a, eps), None)
+    }
+
+    /// Horizontal concatenation of two or more vars.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols: no parts");
+        let mats: Vec<&Matrix> = parts.iter().map(|p| self.value(*p)).collect();
+        let v = Matrix::concat_cols_all(&mats);
+        self.push(v, Op::ConcatCols(parts.to_vec()), None)
+    }
+
+    /// Vertical concatenation of two or more vars.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows: no parts");
+        let mats: Vec<&Matrix> = parts.iter().map(|p| self.value(*p)).collect();
+        let v = Matrix::concat_rows_all(&mats);
+        self.push(v, Op::ConcatRows(parts.to_vec()), None)
+    }
+
+    /// Copy of columns `start..end`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let v = self.value(a).slice_cols(start, end);
+        self.push(v, Op::SliceCols(a, start, end), None)
+    }
+
+    /// Copy of rows `start..end`.
+    pub fn slice_rows(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let v = self.value(a).slice_rows(start, end);
+        self.push(v, Op::SliceRows(a, start, end), None)
+    }
+
+    /// `1x1` sum of all elements.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Matrix::full(1, 1, self.value(a).sum());
+        self.push(v, Op::SumAll(a), None)
+    }
+
+    /// `1x1` mean of all elements.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Matrix::full(1, 1, self.value(a).mean());
+        self.push(v, Op::MeanAll(a), None)
+    }
+
+    /// Records a loss node; see [`crate::loss`] for the public helpers.
+    pub(crate) fn push_loss(&mut self, value: Matrix, op: Op) -> Var {
+        self.push(value, op, None)
+    }
+
+    // -----------------------------------------------------------------
+    // Backward
+    // -----------------------------------------------------------------
+
+    /// Runs the reverse sweep from `root` (which must be `1x1`) and
+    /// accumulates parameter gradients into `store`.
+    ///
+    /// Gradients on the tape are also retained, so `tape.grad(v)` works
+    /// for inspection after this call.
+    ///
+    /// # Panics
+    /// Panics if `root` is not a `1x1` scalar node.
+    pub fn backward(&mut self, root: Var, store: &mut ParamStore) {
+        assert_eq!(
+            self.nodes[root.0].value.shape(),
+            (1, 1),
+            "backward: root must be a scalar (1x1) node"
+        );
+        self.nodes[root.0].grad = Some(Matrix::ones(1, 1));
+
+        for i in (0..=root.0).rev() {
+            let Some(up) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            // Split borrow: clone the op tag (cheap, small) to walk parents.
+            let op = self.nodes[i].op.clone();
+            self.propagate(i, &op, &up);
+        }
+
+        // Accumulate leaf gradients into the parameter store.
+        for node in &self.nodes {
+            if let (Some(id), Some(g)) = (node.param, &node.grad) {
+                store.grad_mut(id).add_assign(g);
+            }
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, g: Matrix) {
+        let node = &mut self.nodes[v.0];
+        debug_assert_eq!(
+            node.value.shape(),
+            g.shape(),
+            "gradient shape mismatch for {:?}",
+            node.op
+        );
+        match &mut node.grad {
+            Some(acc) => acc.add_assign(&g),
+            None => node.grad = Some(g),
+        }
+    }
+
+    /// Applies the backward rule of node `i` (with op `op` and upstream
+    /// gradient `up`), accumulating into its parents.
+    fn propagate(&mut self, i: usize, op: &Op, up: &Matrix) {
+        match op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let ga = up.matmul_bt(&self.nodes[b.0].value);
+                let gb = self.nodes[a.0].value.matmul_at(up);
+                self.accumulate(*a, ga);
+                self.accumulate(*b, gb);
+            }
+            Op::Transpose(a) => {
+                self.accumulate(*a, up.transpose());
+            }
+            Op::Add(a, b) => {
+                self.accumulate(*a, up.clone());
+                self.accumulate(*b, up.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(*a, up.clone());
+                self.accumulate(*b, up.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let ga = up.mul(&self.nodes[b.0].value);
+                let gb = up.mul(&self.nodes[a.0].value);
+                self.accumulate(*a, ga);
+                self.accumulate(*b, gb);
+            }
+            Op::Scale(a, s) => {
+                self.accumulate(*a, up.scale(*s));
+            }
+            Op::AddScalar(a, _) => {
+                self.accumulate(*a, up.clone());
+            }
+            Op::AddRowBroadcast(a, bias) => {
+                self.accumulate(*a, up.clone());
+                self.accumulate(*bias, up.sum_cols());
+            }
+            Op::MulRowBroadcast(a, w) => {
+                let ga = up.mul_row_broadcast(&self.nodes[w.0].value);
+                let gw = up.mul(&self.nodes[a.0].value).sum_cols();
+                self.accumulate(*a, ga);
+                self.accumulate(*w, gw);
+            }
+            Op::MulColBroadcast(a, w) => {
+                let x = &self.nodes[a.0].value;
+                let col = &self.nodes[w.0].value;
+                let mut ga = up.clone();
+                for r in 0..ga.rows() {
+                    let s = col.get(r, 0);
+                    for v in ga.row_mut(r) {
+                        *v *= s;
+                    }
+                }
+                let gw = up.mul(x).sum_rows();
+                self.accumulate(*a, ga);
+                self.accumulate(*w, gw);
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[i].value;
+                let g = up.mul(&y.zip_map(y, |yi, _| yi * (1.0 - yi)));
+                self.accumulate(*a, g);
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[i].value;
+                let g = up.mul(&y.map(|yi| 1.0 - yi * yi));
+                self.accumulate(*a, g);
+            }
+            Op::Relu(a) => {
+                let x = &self.nodes[a.0].value;
+                let g = up.zip_map(x, |u, xi| if xi > 0.0 { u } else { 0.0 });
+                self.accumulate(*a, g);
+            }
+            Op::Softplus(a) => {
+                let x = &self.nodes[a.0].value;
+                let g = up.mul(&x.sigmoid());
+                self.accumulate(*a, g);
+            }
+            Op::SoftmaxRows(a) => {
+                // Per row: dx = y ⊙ (du − ⟨du, y⟩)
+                let y = self.nodes[i].value.clone();
+                let mut g = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let yr = y.row(r);
+                    let ur = up.row(r);
+                    let dot: f32 = yr.iter().zip(ur).map(|(a, b)| a * b).sum();
+                    for c in 0..y.cols() {
+                        g.set(r, c, yr[c] * (ur[c] - dot));
+                    }
+                }
+                self.accumulate(*a, g);
+            }
+            Op::NormalizeRows(a, eps) => {
+                // With y = (x − μ)σ⁻¹:  dx = σ⁻¹ (dy − mean(dy) − y ⊙ mean(dy ⊙ y))
+                let x = &self.nodes[a.0].value;
+                let y = &self.nodes[i].value;
+                let mut g = Matrix::zeros(x.rows(), x.cols());
+                for r in 0..x.rows() {
+                    let xr = x.row(r);
+                    let yr = y.row(r);
+                    let ur = up.row(r);
+                    let n = xr.len() as f32;
+                    let mean = xr.iter().sum::<f32>() / n;
+                    let var = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    let mean_dy = ur.iter().sum::<f32>() / n;
+                    let mean_dy_y: f32 = ur.iter().zip(yr).map(|(u, yv)| u * yv).sum::<f32>() / n;
+                    for c in 0..xr.len() {
+                        g.set(r, c, inv * (ur[c] - mean_dy - yr[c] * mean_dy_y));
+                    }
+                }
+                self.accumulate(*a, g);
+            }
+            Op::ConcatCols(parts) => {
+                let mut start = 0;
+                for p in parts {
+                    let w = self.nodes[p.0].value.cols();
+                    let g = up.slice_cols(start, start + w);
+                    self.accumulate(*p, g);
+                    start += w;
+                }
+            }
+            Op::ConcatRows(parts) => {
+                let mut start = 0;
+                for p in parts {
+                    let h = self.nodes[p.0].value.rows();
+                    let g = up.slice_rows(start, start + h);
+                    self.accumulate(*p, g);
+                    start += h;
+                }
+            }
+            Op::SliceCols(a, start, end) => {
+                let src = &self.nodes[a.0].value;
+                let mut g = Matrix::zeros(src.rows(), src.cols());
+                for r in 0..up.rows() {
+                    for (c, v) in up.row(r).iter().enumerate() {
+                        g.set(r, start + c, *v);
+                    }
+                }
+                let _ = end;
+                self.accumulate(*a, g);
+            }
+            Op::SliceRows(a, start, _end) => {
+                let src = &self.nodes[a.0].value;
+                let mut g = Matrix::zeros(src.rows(), src.cols());
+                for r in 0..up.rows() {
+                    for (c, v) in up.row(r).iter().enumerate() {
+                        g.set(start + r, c, *v);
+                    }
+                }
+                self.accumulate(*a, g);
+            }
+            Op::SumAll(a) => {
+                let s = up.get(0, 0);
+                let src = &self.nodes[a.0].value;
+                self.accumulate(*a, Matrix::full(src.rows(), src.cols(), s));
+            }
+            Op::MeanAll(a) => {
+                let src = &self.nodes[a.0].value;
+                let s = up.get(0, 0) / src.len().max(1) as f32;
+                self.accumulate(*a, Matrix::full(src.rows(), src.cols(), s));
+            }
+            Op::BceWithLogits { logits, targets } => {
+                // d/dz mean BCE = (σ(z) − y) / N
+                let z = &self.nodes[logits.0].value;
+                let n = z.len().max(1) as f32;
+                let s = up.get(0, 0) / n;
+                let g = z.sigmoid().sub(targets).scale(s);
+                self.accumulate(*logits, g);
+            }
+            Op::Mse { pred, targets } => {
+                let p = &self.nodes[pred.0].value;
+                let n = p.len().max(1) as f32;
+                let s = 2.0 * up.get(0, 0) / n;
+                let g = p.sub(targets).scale(s);
+                self.accumulate(*pred, g);
+            }
+            Op::PairwiseLogistic { scores, labels } => {
+                let s = &self.nodes[scores.0].value;
+                let flat = s.as_slice();
+                let mut g = vec![0.0f32; flat.len()];
+                let mut pairs = 0usize;
+                for &yi in labels {
+                    for &yj in labels {
+                        if yi > yj {
+                            pairs += 1;
+                        }
+                    }
+                }
+                if pairs > 0 {
+                    let scale = up.get(0, 0) / pairs as f32;
+                    for (i_pos, &yi) in labels.iter().enumerate() {
+                        for (j_neg, &yj) in labels.iter().enumerate() {
+                            if yi > yj {
+                                // d/ds_i ln(1+e^{-(s_i-s_j)}) = -σ(-(s_i-s_j))
+                                let diff = flat[i_pos] - flat[j_neg];
+                                let sig = neg_sigmoid(diff);
+                                g[i_pos] -= sig * scale;
+                                g[j_neg] += sig * scale;
+                            }
+                        }
+                    }
+                }
+                let gm = Matrix::from_vec(s.rows(), s.cols(), g);
+                self.accumulate(*scores, gm);
+            }
+        }
+    }
+}
+
+/// `σ(−x)` computed stably.
+fn neg_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        e / (1.0 + e)
+    } else {
+        1.0 / (1.0 + x.exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_chain_gradients() {
+        // f(w) = sum(sigmoid(x·w)) for fixed x
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_rows(&[&[0.5], &[-0.5]]));
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::row_vector(&[1.0, 2.0]));
+        let wv = tape.param(&store, w);
+        let z = tape.matmul(x, wv);
+        let y = tape.sigmoid(z);
+        let loss = tape.sum_all(y);
+        tape.backward(loss, &mut store);
+
+        // z = 0.5 - 1.0 = -0.5; σ(z) ≈ 0.37754; dσ = σ(1-σ) ≈ 0.235
+        let sig = 1.0 / (1.0 + 0.5f32.exp());
+        let dsig = sig * (1.0 - sig);
+        let g = store.grad(w);
+        assert!((g.get(0, 0) - dsig * 1.0).abs() < 1e-5);
+        assert!((g.get(1, 0) - dsig * 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grads_accumulate_across_shared_use() {
+        // loss = sum(w + w) → dw = 2 per element
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::ones(1, 3));
+        let mut tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let s = tape.add(wv, wv);
+        let loss = tape.sum_all(s);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(w).as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn constants_do_not_touch_store() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let c = tape.constant(Matrix::ones(1, 2));
+        let loss = tape.sum_all(c);
+        tape.backward(loss, &mut store);
+        assert!(store.is_empty());
+        assert_eq!(tape.grad(c).as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_and_slice_route_gradients() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::ones(1, 2));
+        let b = store.add("b", Matrix::ones(1, 3));
+        let mut tape = Tape::new();
+        let av = tape.param(&store, a);
+        let bv = tape.param(&store, b);
+        let cat = tape.concat_cols(&[av, bv]); // 1x5
+        let right = tape.slice_cols(cat, 3, 5); // last 2 cols → from b
+        let loss = tape.sum_all(right);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(a).as_slice(), &[0.0, 0.0]);
+        assert_eq!(store.grad(b).as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "root must be a scalar")]
+    fn backward_rejects_non_scalar_root() {
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let c = tape.constant(Matrix::ones(2, 2));
+        tape.backward(c, &mut store);
+    }
+}

@@ -1,0 +1,313 @@
+//! The linear dependent-click-model environment of Theorem 5.1.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rapid_tensor::Matrix;
+
+/// Environment configuration.
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Number of users (each with its own behavior matrix `𝒯_u`).
+    pub num_users: usize,
+    /// Candidate pool size `L` per round.
+    pub pool_size: usize,
+    /// Re-ranked list length `K`.
+    pub k: usize,
+    /// Number of topics `m`.
+    pub num_topics: usize,
+    /// Relevance feature dimension (the `ℛ` block of `η`).
+    pub rel_dim: usize,
+    /// Behavior feature dimension (the `𝒯 d` block of `η`).
+    pub beh_dim: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        Self {
+            num_users: 40,
+            pool_size: 20,
+            k: 5,
+            num_topics: 5,
+            rel_dim: 8,
+            beh_dim: 8,
+            seed: 7,
+        }
+    }
+}
+
+/// One round's context: a user and a candidate pool with relevance
+/// features and topic coverages.
+#[derive(Debug, Clone)]
+pub struct Round {
+    /// Which user this request came from.
+    pub user: usize,
+    /// `(L, rel_dim)` relevance features of the candidates.
+    pub rel_features: Matrix,
+    /// `(L, m)` topic coverages of the candidates.
+    pub coverages: Matrix,
+}
+
+/// A DCM whose attraction is `φ(v) = ω*ᵀ η(v)` with
+/// `η(v) = [rel(v); 𝒯_u · ζ(v)]`, where `ζ(v)` is the sequential
+/// topic-coverage gain of `v` given the list prefix — exactly the
+/// linear model Theorem 5.1 assumes.
+pub struct LinearDcmEnv {
+    config: EnvConfig,
+    /// Unknown ground-truth weights `ω* = [β*; b*]`, `‖ω*‖₂ ≤ 1`.
+    omega: Vec<f32>,
+    /// Per-user behavior matrices `𝒯_u ∈ (beh_dim, m)` — known to the
+    /// learner (they come from the observable history).
+    behavior: Vec<Matrix>,
+    /// Non-increasing termination probabilities `ε̄(1) ≥ … ≥ ε̄(K)`.
+    terminations: Vec<f32>,
+    rng: StdRng,
+}
+
+impl LinearDcmEnv {
+    /// Builds an environment with random ground truth.
+    pub fn new(config: EnvConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let q0 = config.rel_dim + config.beh_dim;
+        // ω*: random direction, positive-leaning so attractions are
+        // usable probabilities; normalised to ‖ω*‖ = 1 (the theorem's
+        // assumption ‖ω*‖₂ ≤ 1).
+        let mut omega: Vec<f32> = (0..q0).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        let norm = omega.iter().map(|v| v * v).sum::<f32>().sqrt();
+        for w in &mut omega {
+            *w /= norm;
+        }
+        let behavior = (0..config.num_users)
+            .map(|_| {
+                Matrix::rand_uniform(config.beh_dim, config.num_topics, 0.0, 1.0, &mut rng)
+                    .scale(1.0 / config.num_topics as f32)
+            })
+            .collect();
+        let terminations = (0..config.k)
+            .map(|i| 0.6 * 0.85f32.powi(i as i32))
+            .collect();
+        Self {
+            config,
+            omega,
+            behavior,
+            terminations,
+            rng,
+        }
+    }
+
+    /// Environment configuration.
+    pub fn config(&self) -> &EnvConfig {
+        &self.config
+    }
+
+    /// The termination schedule (known ordering, per the theorem).
+    pub fn terminations(&self) -> &[f32] {
+        &self.terminations
+    }
+
+    /// The user's (observable) behavior matrix.
+    pub fn behavior_matrix(&self, user: usize) -> &Matrix {
+        &self.behavior[user]
+    }
+
+    /// Draws the next round's context.
+    pub fn next_round(&mut self) -> Round {
+        let user = self.rng.gen_range(0..self.config.num_users);
+        let l = self.config.pool_size;
+        // Relevance features in [0, 1/√dim] so ωᵀη stays in [0, ~1].
+        let scale = 1.0 / (self.config.rel_dim as f32).sqrt();
+        let rel_features =
+            Matrix::rand_uniform(l, self.config.rel_dim, 0.0, scale, &mut self.rng);
+        // One-hot-ish coverages with some soft items.
+        let mut coverages = Matrix::zeros(l, self.config.num_topics);
+        for i in 0..l {
+            let t = self.rng.gen_range(0..self.config.num_topics);
+            coverages.set(i, t, 1.0);
+            if self.rng.gen_bool(0.3) {
+                let t2 = self.rng.gen_range(0..self.config.num_topics);
+                coverages.set(i, t, 0.6);
+                coverages.set(i, t2, coverages.get(i, t2).max(0.4));
+            }
+        }
+        Round {
+            user,
+            rel_features,
+            coverages,
+        }
+    }
+
+    /// The feature map `η(v | prefix)` for candidate `v` of a round,
+    /// given the topic *miss* probabilities of the already-selected
+    /// prefix (`miss_j = Π (1 − τ^j)` so the gain is `miss_j · τ_v^j`).
+    pub fn eta(&self, round: &Round, item: usize, miss: &[f32]) -> Vec<f32> {
+        let m = self.config.num_topics;
+        let mut gain = vec![0.0f32; m];
+        for j in 0..m {
+            gain[j] = miss[j] * round.coverages.get(item, j);
+        }
+        let gain_m = Matrix::col_vector(&gain);
+        let td = self.behavior[round.user].matmul(&gain_m); // (beh_dim, 1)
+        let mut eta = Vec::with_capacity(self.config.rel_dim + self.config.beh_dim);
+        eta.extend_from_slice(round.rel_features.row(item));
+        eta.extend_from_slice(td.as_slice());
+        eta
+    }
+
+    /// Updates the miss vector after selecting `item`.
+    pub fn update_miss(&self, round: &Round, item: usize, miss: &mut [f32]) {
+        for (j, mj) in miss.iter_mut().enumerate() {
+            *mj *= 1.0 - round.coverages.get(item, j).clamp(0.0, 1.0);
+        }
+    }
+
+    /// True attraction `ω*ᵀ η`, clamped to `[0, 1]`.
+    pub fn attraction(&self, eta: &[f32]) -> f32 {
+        self.omega
+            .iter()
+            .zip(eta)
+            .map(|(w, x)| w * x)
+            .sum::<f32>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// Simulates DCM clicks for a ranked list of attractions. Returns
+    /// `(clicks, observed)`: positions after a satisfied termination
+    /// are unobserved.
+    pub fn simulate(&mut self, attractions: &[f32]) -> (Vec<bool>, Vec<bool>) {
+        let mut clicks = vec![false; attractions.len()];
+        let mut observed = vec![false; attractions.len()];
+        for (i, &phi) in attractions.iter().enumerate() {
+            if i >= self.terminations.len() {
+                break;
+            }
+            observed[i] = true;
+            if self.rng.gen::<f32>() < phi {
+                clicks[i] = true;
+                if self.rng.gen::<f32>() < self.terminations[i] {
+                    break;
+                }
+            }
+        }
+        (clicks, observed)
+    }
+
+    /// DCM satisfaction `f(S, ε̄, φ) = 1 − Π (1 − ε̄(k) φ(v_k))`.
+    pub fn satisfaction(&self, attractions: &[f32]) -> f32 {
+        let mut miss = 1.0f32;
+        for (i, &phi) in attractions.iter().enumerate().take(self.terminations.len()) {
+            miss *= 1.0 - self.terminations[i] * phi;
+        }
+        1.0 - miss
+    }
+
+    /// The oracle: greedy list maximising true satisfaction (position-
+    /// wise greedy by true attraction, which is optimal for sorted
+    /// terminations). Returns (items, satisfaction).
+    pub fn oracle(&self, round: &Round) -> (Vec<usize>, f32) {
+        let l = self.config.pool_size;
+        let mut miss = vec![1.0f32; self.config.num_topics];
+        let mut chosen: Vec<usize> = Vec::with_capacity(self.config.k);
+        let mut phis = Vec::with_capacity(self.config.k);
+        let mut remaining: Vec<usize> = (0..l).collect();
+        for _ in 0..self.config.k {
+            let (pos, best, phi) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &i)| {
+                    let eta = self.eta(round, i, &miss);
+                    (pos, i, self.attraction(&eta))
+                })
+                .max_by(|a, b| a.2.total_cmp(&b.2))
+                .expect("non-empty pool");
+            remaining.swap_remove(pos);
+            self.update_miss(round, best, &mut miss);
+            chosen.push(best);
+            phis.push(phi);
+        }
+        let sat = self.satisfaction(&phis);
+        (chosen, sat)
+    }
+
+    /// The theorem's approximation ratio
+    /// `γ = (1 − 1/e) · max{1/K, 1 − 2 φ_max / (K − 1)}`.
+    pub fn gamma(&self) -> f32 {
+        let k = self.config.k as f32;
+        let phi_max = 1.0f32; // worst case
+        (1.0 - (-1.0f32).exp()) * (1.0 / k).max(1.0 - 2.0 * phi_max / (k - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attractions_are_valid_probabilities() {
+        let mut env = LinearDcmEnv::new(EnvConfig::default());
+        for _ in 0..20 {
+            let round = env.next_round();
+            let miss = vec![1.0f32; env.config().num_topics];
+            for i in 0..env.config().pool_size {
+                let eta = env.eta(&round, i, &miss);
+                let a = env.attraction(&eta);
+                assert!((0.0..=1.0).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn terminations_non_increasing() {
+        let env = LinearDcmEnv::new(EnvConfig::default());
+        for w in env.terminations().windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn coverage_gain_shrinks_with_prefix() {
+        // After selecting an item, the same item's η behavior block must
+        // shrink (its topics are partially covered).
+        let mut env = LinearDcmEnv::new(EnvConfig::default());
+        let round = env.next_round();
+        let mut miss = vec![1.0f32; env.config().num_topics];
+        let eta_before = env.eta(&round, 0, &miss);
+        env.update_miss(&round, 0, &mut miss);
+        let eta_after = env.eta(&round, 0, &miss);
+        let rel = env.config().rel_dim;
+        let before: f32 = eta_before[rel..].iter().sum();
+        let after: f32 = eta_after[rel..].iter().sum();
+        assert!(after < before, "behavior block must shrink: {after} vs {before}");
+        // Relevance block unchanged.
+        assert_eq!(&eta_before[..rel], &eta_after[..rel]);
+    }
+
+    #[test]
+    fn oracle_beats_random_lists() {
+        let mut env = LinearDcmEnv::new(EnvConfig::default());
+        let mut oracle_total = 0.0;
+        let mut random_total = 0.0;
+        for _ in 0..50 {
+            let round = env.next_round();
+            let (_, sat) = env.oracle(&round);
+            oracle_total += sat;
+            // Random list: first K of the pool.
+            let mut miss = vec![1.0f32; env.config().num_topics];
+            let mut phis = Vec::new();
+            for i in 0..env.config().k {
+                let eta = env.eta(&round, i, &miss);
+                phis.push(env.attraction(&eta));
+                env.update_miss(&round, i, &mut miss);
+            }
+            random_total += env.satisfaction(&phis);
+        }
+        assert!(oracle_total > random_total);
+    }
+
+    #[test]
+    fn gamma_is_in_unit_interval() {
+        let env = LinearDcmEnv::new(EnvConfig::default());
+        let g = env.gamma();
+        assert!(g > 0.0 && g < 1.0, "gamma {g}");
+    }
+}

@@ -1,0 +1,160 @@
+//! The LinUCB-style learner of §V-A: ridge regression over `η` with
+//! Sherman–Morrison inverse maintenance and UCB-greedy list selection.
+
+use rapid_tensor::Matrix;
+
+use crate::env::{LinearDcmEnv, Round};
+
+/// RAPID's linear bandit: maintains `M = I + Σ η ηᵀ` (via its inverse)
+/// and `b = Σ c·η`, estimates `ω̂ = M⁻¹ b`, and ranks by the UCB
+/// `ω̂ᵀη + s·√(ηᵀ M⁻¹ η)`.
+pub struct RapidBandit {
+    m_inv: Matrix,
+    b: Vec<f32>,
+    omega_hat: Vec<f32>,
+    /// Exploration scale `s` (the theorem's confidence width).
+    pub s: f32,
+    dim: usize,
+}
+
+impl RapidBandit {
+    /// A fresh learner for feature dimension `dim` with exploration
+    /// scale `s`.
+    pub fn new(dim: usize, s: f32) -> Self {
+        Self {
+            m_inv: Matrix::identity(dim),
+            b: vec![0.0; dim],
+            omega_hat: vec![0.0; dim],
+            s,
+            dim,
+        }
+    }
+
+    /// Feature dimension `q₀`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Current ridge estimate `ω̂`.
+    pub fn omega_hat(&self) -> &[f32] {
+        &self.omega_hat
+    }
+
+    /// UCB of a single feature vector.
+    pub fn ucb(&self, eta: &[f32]) -> f32 {
+        let mean: f32 = self.omega_hat.iter().zip(eta).map(|(w, x)| w * x).sum();
+        let width = self.confidence_width(eta);
+        (mean + self.s * width).clamp(0.0, 1.0)
+    }
+
+    /// `√(ηᵀ M⁻¹ η)`.
+    pub fn confidence_width(&self, eta: &[f32]) -> f32 {
+        let e = Matrix::col_vector(eta);
+        let mi_e = self.m_inv.matmul(&e);
+        e.dot(&mi_e).max(0.0).sqrt()
+    }
+
+    /// Selects the top-`k` list greedily by UCB, threading the coverage
+    /// state through the selection (each pick changes the next
+    /// candidates' `η`). Returns the chosen pool indices in rank order
+    /// and their feature vectors.
+    pub fn select(&self, env: &LinearDcmEnv, round: &Round, k: usize) -> (Vec<usize>, Vec<Vec<f32>>) {
+        let l = env.config().pool_size;
+        let mut miss = vec![1.0f32; env.config().num_topics];
+        let mut remaining: Vec<usize> = (0..l).collect();
+        let mut chosen = Vec::with_capacity(k);
+        let mut etas = Vec::with_capacity(k);
+        for _ in 0..k.min(l) {
+            let (pos, best, eta) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &i)| {
+                    let eta = env.eta(round, i, &miss);
+                    let u = self.ucb(&eta);
+                    (pos, i, eta, u)
+                })
+                .max_by(|a, b| a.3.total_cmp(&b.3))
+                .map(|(pos, i, eta, _)| (pos, i, eta))
+                .expect("non-empty pool");
+            remaining.swap_remove(pos);
+            env.update_miss(round, best, &mut miss);
+            chosen.push(best);
+            etas.push(eta);
+        }
+        (chosen, etas)
+    }
+
+    /// Rank-1 ridge update with observation `(η, clicked)` via
+    /// Sherman–Morrison: `M⁻¹ ← M⁻¹ − (M⁻¹ η ηᵀ M⁻¹) / (1 + ηᵀ M⁻¹ η)`.
+    pub fn update(&mut self, eta: &[f32], clicked: bool) {
+        let e = Matrix::col_vector(eta);
+        let mi_e = self.m_inv.matmul(&e); // (d, 1)
+        let denom = 1.0 + e.dot(&mi_e);
+        // M⁻¹ -= (mi_e · mi_eᵀ) / denom
+        let outer = mi_e.matmul_bt(&mi_e);
+        self.m_inv.add_scaled_assign(&outer, -1.0 / denom);
+        let c = if clicked { 1.0 } else { 0.0 };
+        for (bi, &xi) in self.b.iter_mut().zip(eta) {
+            *bi += c * xi;
+        }
+        // ω̂ = M⁻¹ b.
+        let b = Matrix::col_vector(&self.b);
+        self.omega_hat = self.m_inv.matmul(&b).into_vec();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Sherman–Morrison must agree with the definition `M = I + Σηηᵀ`.
+    #[test]
+    fn inverse_updates_stay_consistent() {
+        let dim = 4;
+        let mut bandit = RapidBandit::new(dim, 0.5);
+        let mut m = Matrix::identity(dim);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let eta: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            bandit.update(&eta, rng.gen_bool(0.5));
+            let e = Matrix::col_vector(&eta);
+            m.add_assign(&e.matmul_bt(&e));
+        }
+        // M · M⁻¹ ≈ I.
+        let prod = m.matmul(&bandit.m_inv);
+        let id = Matrix::identity(dim);
+        let err = prod.sub(&id).norm();
+        assert!(err < 1e-2, "‖M·M⁻¹ − I‖ = {err}");
+    }
+
+    #[test]
+    fn estimate_converges_to_truth_on_linear_data() {
+        let dim = 6;
+        let mut bandit = RapidBandit::new(dim, 0.5);
+        let truth: Vec<f32> = vec![0.3, 0.1, 0.4, 0.05, 0.1, 0.05];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30_000 {
+            let eta: Vec<f32> = (0..dim).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+            let p: f32 = truth.iter().zip(&eta).map(|(w, x)| w * x).sum();
+            bandit.update(&eta, rng.gen::<f32>() < p);
+        }
+        for (est, tr) in bandit.omega_hat().iter().zip(&truth) {
+            assert!((est - tr).abs() < 0.05, "est {est} vs truth {tr}");
+        }
+    }
+
+    #[test]
+    fn confidence_width_shrinks_with_data() {
+        let dim = 3;
+        let mut bandit = RapidBandit::new(dim, 1.0);
+        let eta = vec![0.5, 0.3, 0.2];
+        let before = bandit.confidence_width(&eta);
+        for _ in 0..100 {
+            bandit.update(&eta, true);
+        }
+        let after = bandit.confidence_width(&eta);
+        assert!(after < before * 0.2, "width should shrink: {after} vs {before}");
+    }
+}

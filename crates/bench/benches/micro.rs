@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks for the performance-critical kernels:
+//! the autodiff substrate (matmul, LSTM step, attention), the
+//! diversification algorithms (DPP greedy MAP, coverage math), and the
+//! end-to-end RAPID per-list inference and training step that Table VI
+//! times at the system level.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rapid_autograd::{ParamStore, Tape};
+use rapid_core::{Rapid, RapidConfig};
+use rapid_data::{generate, DataConfig, Flavor};
+use rapid_diversity::{coverage_vector, greedy_map, mmr_select, DppKernel};
+use rapid_nn::{self_attention, Lstm};
+use rapid_rerankers::{ReRanker, RerankInput, TrainSample};
+use rapid_tensor::Matrix;
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a64 = Matrix::rand_uniform(64, 64, -1.0, 1.0, &mut rng);
+    let b64 = Matrix::rand_uniform(64, 64, -1.0, 1.0, &mut rng);
+    c.bench_function("matmul 64x64", |b| b.iter(|| a64.matmul(&b64)));
+
+    let a = Matrix::rand_uniform(20, 64, -1.0, 1.0, &mut rng);
+    c.bench_function("softmax_rows 20x64", |b| b.iter(|| a.softmax_rows()));
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let lstm = Lstm::new(&mut store, "l", 32, 32, &mut rng);
+    let inputs: Vec<Matrix> = (0..20)
+        .map(|_| Matrix::rand_uniform(1, 32, -1.0, 1.0, &mut rng))
+        .collect();
+    c.bench_function("lstm forward L=20 h=32", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let vars: Vec<_> = inputs.iter().map(|m| tape.constant(m.clone())).collect();
+            lstm.forward(&mut tape, &store, &vars)
+        })
+    });
+
+    let v = Matrix::rand_uniform(20, 32, -1.0, 1.0, &mut rng);
+    c.bench_function("self_attention 20x32", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let vv = tape.constant(v.clone());
+            self_attention(&mut tape, vv)
+        })
+    });
+}
+
+fn bench_diversity(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let covs: Vec<Vec<f32>> = (0..20)
+        .map(|_| {
+            Matrix::rand_uniform(1, 20, 0.0, 1.0, &mut rng)
+                .into_vec()
+        })
+        .collect();
+    let refs: Vec<&[f32]> = covs.iter().map(|v| v.as_slice()).collect();
+    let rel: Vec<f32> = (0..20).map(|i| 1.0 - 0.03 * i as f32).collect();
+
+    c.bench_function("coverage_vector L=20 m=20", |b| {
+        b.iter(|| coverage_vector(&refs))
+    });
+    c.bench_function("mmr_select L=20", |b| b.iter(|| mmr_select(&rel, &refs, 0.7)));
+    c.bench_function("dpp greedy_map L=20 k=10", |b| {
+        b.iter_batched(
+            || DppKernel::from_relevance_and_coverage(&rel, &refs, 2.0),
+            |k| greedy_map(&k, 10),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rapid(c: &mut Criterion) {
+    let mut cfg = DataConfig::new(Flavor::Taobao);
+    cfg.num_users = 30;
+    cfg.num_items = 200;
+    cfg.ranker_train_interactions = 100;
+    cfg.rerank_train_requests = 20;
+    cfg.test_requests = 5;
+    let ds = generate(&cfg);
+
+    let model = Rapid::new(&ds, RapidConfig::probabilistic());
+    let input = RerankInput {
+        user: ds.test[0].user,
+        items: ds.test[0].candidates.clone(),
+        init_scores: (0..cfg.list_len).map(|i| 1.0 - 0.05 * i as f32).collect(),
+    };
+    // The latency Table VI's `test-b` measures, per list.
+    c.bench_function("rapid inference per list (L=20)", |b| {
+        b.iter(|| model.scores(&ds, &input))
+    });
+
+    let samples: Vec<TrainSample> = (0..16)
+        .map(|i| {
+            let req = &ds.rerank_train[i];
+            TrainSample {
+                input: RerankInput {
+                    user: req.user,
+                    items: req.candidates.clone(),
+                    init_scores: vec![0.0; req.candidates.len()],
+                },
+                clicks: (0..req.candidates.len()).map(|p| p % 5 == 0).collect(),
+            }
+        })
+        .collect();
+    c.bench_function("rapid train step (batch of 16 lists)", |b| {
+        b.iter_batched(
+            || {
+                Rapid::new(
+                    &ds,
+                    RapidConfig {
+                        epochs: 1,
+                        batch: 16,
+                        ..RapidConfig::probabilistic()
+                    },
+                )
+            },
+            |mut m| m.fit(&ds, &samples),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_tensor, bench_nn, bench_diversity, bench_rapid
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Reproduces **Fig. 3**: the ablation study — RAPID (pro) against
+//! RAPID-RNN (no personalized diversity), RAPID-mean (mean-pooled
+//! behavior), RAPID-det (deterministic head), and RAPID-trans
+//! (transformer relevance encoder) — `click@10` and `div@10` on all
+//! three worlds at λ = 0.9.
+
+use rapid_bench::Cli;
+use rapid_data::Flavor;
+use rapid_eval::{zoo, ExperimentConfig, Pipeline, ResultTable};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Fig. 3 reproduction — ablations (scale: {})\n", cli.scale_tag());
+
+    for flavor in [Flavor::Taobao, Flavor::MovieLens, Flavor::AppStore] {
+        let mut config = ExperimentConfig::new(flavor, cli.scale);
+        if flavor != Flavor::AppStore {
+            config.lambda = 0.9;
+        }
+        config.seed = cli.seed;
+        config.data.seed = cli.seed;
+        let epochs = config.epochs;
+        let hidden = config.hidden;
+
+        let pipeline = Pipeline::prepare(config);
+        let mut table = ResultTable::new(&["click@10", "div@10"]);
+        for mut model in zoo::ablation_lineup(pipeline.dataset(), hidden, epochs, cli.seed) {
+            let result = pipeline.evaluate(model.as_mut());
+            eprintln!(
+                "  [{}] {} done in {:.1}s",
+                flavor.name(),
+                result.name,
+                result.train_time.as_secs_f64()
+            );
+            table.push(result);
+        }
+        println!("{}", table.render(&format!("{} — ablations", flavor.name())));
+    }
+}

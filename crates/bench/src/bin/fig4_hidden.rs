@@ -1,0 +1,37 @@
+//! Reproduces **Fig. 4**: RAPID-pro with hidden size
+//! `q_h ∈ {8, 16, 32, 64}` — `click@10` and `div@10` on all three
+//! worlds (λ = 0.9 for the semi-synthetic ones, per the paper).
+
+use rapid_bench::Cli;
+use rapid_data::Flavor;
+use rapid_eval::{zoo, ExperimentConfig, Pipeline, ResultTable};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Fig. 4 reproduction — hidden size sweep (scale: {})\n", cli.scale_tag());
+
+    for flavor in [Flavor::Taobao, Flavor::MovieLens, Flavor::AppStore] {
+        let mut config = ExperimentConfig::new(flavor, cli.scale);
+        if flavor != Flavor::AppStore {
+            config.lambda = 0.9;
+        }
+        config.seed = cli.seed;
+        config.data.seed = cli.seed;
+        let epochs = config.epochs;
+
+        let pipeline = Pipeline::prepare(config);
+        let mut table = ResultTable::new(&["click@10", "div@10"]);
+        for hidden in [8usize, 16, 32, 64] {
+            let mut model = zoo::rapid_pro(pipeline.dataset(), hidden, 5, epochs, cli.seed);
+            let mut result = pipeline.evaluate(&mut model);
+            result.name = format!("q_h={hidden}");
+            eprintln!(
+                "  [{}] q_h={hidden} done in {:.1}s",
+                flavor.name(),
+                result.train_time.as_secs_f64()
+            );
+            table.push(result);
+        }
+        println!("{}", table.render(&format!("{} — hidden size sweep", flavor.name())));
+    }
+}

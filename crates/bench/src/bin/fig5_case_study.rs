@@ -1,0 +1,94 @@
+//! Reproduces **Fig. 5** (the RQ5 case study): for one diverse-interest
+//! user and one focused-interest user of the MovieLens-like world,
+//! prints the genre distribution of (a) their behavior history and
+//! (b) the top-5 items RAPID recommends across their test requests —
+//! showing that RAPID diversifies *in proportion to* each user's own
+//! interests.
+
+use rapid_bench::Cli;
+use rapid_data::Flavor;
+use rapid_eval::{zoo, ExperimentConfig, Pipeline};
+use rapid_rerankers::ReRanker;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Fig. 5 reproduction — case study (scale: {})\n", cli.scale_tag());
+
+    let mut config = ExperimentConfig::new(Flavor::MovieLens, cli.scale).with_lambda(0.5);
+    config.seed = cli.seed;
+    config.data.seed = cli.seed;
+    let epochs = config.epochs;
+    let hidden = config.hidden;
+
+    let pipeline = Pipeline::prepare(config);
+    let ds = pipeline.dataset();
+    let mut rapid = zoo::rapid_pro(ds, hidden, 5, epochs, cli.seed);
+    rapid.fit(ds, pipeline.train_samples());
+
+    // Pick the most diverse and the most focused user that actually
+    // appear in test requests.
+    let mut test_users: Vec<usize> = pipeline.test_inputs().iter().map(|i| i.user).collect();
+    test_users.sort_unstable();
+    test_users.dedup();
+    let diverse = *test_users
+        .iter()
+        .max_by(|&&a, &&b| ds.users[a].pref_entropy().total_cmp(&ds.users[b].pref_entropy()))
+        .expect("non-empty test set");
+    let focused = *test_users
+        .iter()
+        .min_by(|&&a, &&b| ds.users[a].pref_entropy().total_cmp(&ds.users[b].pref_entropy()))
+        .expect("non-empty test set");
+
+    for (tag, user) in [("User 1 (diverse interests)", diverse), ("User 2 (focused interests)", focused)] {
+        println!("--- {tag} — preference entropy {:.2} ---", ds.users[user].pref_entropy());
+
+        // History genre distribution.
+        let mut hist_mass = vec![0.0f32; ds.num_topics()];
+        for &v in &ds.users[user].history {
+            for (j, &c) in ds.items[v].coverage.iter().enumerate() {
+                hist_mass[j] += c;
+            }
+        }
+        print_distribution("history genres ", &hist_mass);
+
+        // RAPID top-5 genre distribution over this user's test requests.
+        let mut rec_mass = vec![0.0f32; ds.num_topics()];
+        let mut requests = 0;
+        for input in pipeline.test_inputs().iter().filter(|i| i.user == user) {
+            requests += 1;
+            let perm = rapid.rerank(ds, input);
+            for &p in perm.iter().take(5) {
+                let v = input.items[p];
+                for (j, &c) in ds.items[v].coverage.iter().enumerate() {
+                    rec_mass[j] += c;
+                }
+            }
+        }
+        if requests == 0 {
+            println!("  (no test requests for this user)");
+        } else {
+            print_distribution("RAPID top-5    ", &rec_mass);
+            let covered_hist = hist_mass.iter().filter(|&&m| m > 0.0).count();
+            let covered_rec = rec_mass.iter().filter(|&&m| m > 0.0).count();
+            println!(
+                "  genres in history: {covered_hist} / {}; genres in RAPID top-5: {covered_rec} / {}",
+                ds.num_topics(),
+                ds.num_topics()
+            );
+        }
+        println!();
+    }
+}
+
+/// Prints a normalised topic-mass histogram as percentages.
+fn print_distribution(label: &str, mass: &[f32]) {
+    let total: f32 = mass.iter().sum::<f32>().max(1e-9);
+    print!("  {label}:");
+    for (j, &m) in mass.iter().enumerate() {
+        let pct = 100.0 * m / total;
+        if pct >= 1.0 {
+            print!(" g{j}:{pct:.0}%");
+        }
+    }
+    println!();
+}

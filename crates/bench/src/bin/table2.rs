@@ -1,0 +1,47 @@
+//! Reproduces **Table II** (a, b, c): overall performance on the
+//! Taobao-like and MovieLens-like worlds for λ ∈ {0.5, 0.9, 1.0}, DIN
+//! initial ranker — click/ndcg/div/satis @5 and @10 for Init, all ten
+//! baselines, and RAPID-det / RAPID-pro.
+
+use rapid_bench::Cli;
+use rapid_data::Flavor;
+use rapid_eval::{zoo, ExperimentConfig, Pipeline, ResultTable};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Table II reproduction (scale: {})\n", cli.scale_tag());
+
+    for lambda in [0.5f32, 0.9, 1.0] {
+        for flavor in [Flavor::Taobao, Flavor::MovieLens] {
+            let config = ExperimentConfig::new(flavor, cli.scale)
+                .with_lambda(lambda);
+            let mut config = config;
+            config.seed = cli.seed;
+            config.data.seed = cli.seed;
+            let epochs = config.epochs;
+            let hidden = config.hidden;
+
+            let pipeline = Pipeline::prepare(config);
+            let mut table = ResultTable::new(&[
+                "click@5", "ndcg@5", "div@5", "satis@5", "click@10", "ndcg@10", "div@10",
+                "satis@10",
+            ])
+            .with_significance_vs("PRM");
+
+            for mut model in zoo::full_lineup(pipeline.dataset(), hidden, epochs, cli.seed) {
+                let result = pipeline.evaluate(model.as_mut());
+                eprintln!(
+                    "  [{} λ={lambda}] {} done in {:.1}s",
+                    flavor.name(),
+                    result.name,
+                    result.train_time.as_secs_f64()
+                );
+                table.push(result);
+            }
+            println!(
+                "{}",
+                table.render(&format!("{} — λ = {lambda} (t-test vs PRM)", flavor.name()))
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Reproduces **Table III**: overall performance on the AppStore-like
+//! world — click/ndcg/div/rev @5 and @10 under the logged-click
+//! protocol (no click model at evaluation time), plus the `impv%` row
+//! of RAPID-pro over the strongest baseline.
+
+use rapid_bench::Cli;
+use rapid_data::Flavor;
+use rapid_eval::{zoo, ExperimentConfig, Pipeline, ResultTable};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Table III reproduction (scale: {})\n", cli.scale_tag());
+
+    let mut config = ExperimentConfig::new(Flavor::AppStore, cli.scale);
+    config.seed = cli.seed;
+    config.data.seed = cli.seed;
+    let epochs = config.epochs;
+    let hidden = config.hidden;
+
+    let pipeline = Pipeline::prepare(config);
+    let metrics = [
+        "click@5", "ndcg@5", "div@5", "rev@5", "click@10", "ndcg@10", "div@10", "rev@10",
+    ];
+    let mut table = ResultTable::new(&metrics).with_significance_vs("PRM");
+
+    for mut model in zoo::full_lineup(pipeline.dataset(), hidden, epochs, cli.seed) {
+        let result = pipeline.evaluate(model.as_mut());
+        eprintln!(
+            "  [App Store] {} done in {:.1}s",
+            result.name,
+            result.train_time.as_secs_f64()
+        );
+        table.push(result);
+    }
+    println!("{}", table.render("App Store (t-test vs PRM)"));
+
+    // impv% of RAPID-pro over the best baseline per metric (the paper
+    // reports the improvement over PRM, its strongest baseline).
+    let rapid = table
+        .rows()
+        .iter()
+        .find(|r| r.name == "RAPID-pro")
+        .expect("RAPID-pro row");
+    let prm = table
+        .rows()
+        .iter()
+        .find(|r| r.name == "PRM")
+        .expect("PRM row");
+    print!("impv% vs PRM:");
+    for m in metrics {
+        let imp = 100.0 * (rapid.mean(m) - prm.mean(m)) / prm.mean(m).abs().max(1e-9);
+        print!("  {m} {imp:+.2}%");
+    }
+    println!();
+}

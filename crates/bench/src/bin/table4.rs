@@ -1,0 +1,47 @@
+//! Reproduces **Table IV**: the same comparison with SVMRank and
+//! LambdaMART as the initial ranker (λ = 0.9), reporting `click@10` and
+//! `div@10` on the Taobao-like and MovieLens-like worlds.
+
+use rapid_bench::Cli;
+use rapid_data::Flavor;
+use rapid_eval::{zoo, ExperimentConfig, Pipeline, RankerKind, ResultTable};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Table IV reproduction (scale: {})\n", cli.scale_tag());
+
+    for ranker in [RankerKind::SvmRank, RankerKind::LambdaMart] {
+        for flavor in [Flavor::Taobao, Flavor::MovieLens] {
+            let mut config = ExperimentConfig::new(flavor, cli.scale)
+                .with_lambda(0.9)
+                .with_ranker(ranker);
+            config.seed = cli.seed;
+            config.data.seed = cli.seed;
+            let epochs = config.epochs;
+            let hidden = config.hidden;
+
+            let pipeline = Pipeline::prepare(config);
+            let mut table =
+                ResultTable::new(&["click@10", "div@10"]).with_significance_vs("PRM");
+            for mut model in zoo::full_lineup(pipeline.dataset(), hidden, epochs, cli.seed) {
+                let result = pipeline.evaluate(model.as_mut());
+                eprintln!(
+                    "  [{} / {}] {} done in {:.1}s",
+                    ranker.name(),
+                    flavor.name(),
+                    result.name,
+                    result.train_time.as_secs_f64()
+                );
+                table.push(result);
+            }
+            println!(
+                "{}",
+                table.render(&format!(
+                    "{} initial ranker — {} (λ = 0.9)",
+                    ranker.name(),
+                    flavor.name()
+                ))
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Reproduces **Table V**: RAPID-pro with maximum behavior-sequence
+//! length D ∈ {3, 5, 10} on the AppStore-like world.
+
+use rapid_bench::Cli;
+use rapid_data::Flavor;
+use rapid_eval::{zoo, ExperimentConfig, Pipeline, ResultTable};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Table V reproduction (scale: {})\n", cli.scale_tag());
+
+    let mut config = ExperimentConfig::new(Flavor::AppStore, cli.scale);
+    config.seed = cli.seed;
+    config.data.seed = cli.seed;
+    let epochs = config.epochs;
+    let hidden = config.hidden;
+
+    let pipeline = Pipeline::prepare(config);
+    let mut table = ResultTable::new(&[
+        "click@5", "ndcg@5", "div@5", "rev@5", "click@10", "ndcg@10", "div@10", "rev@10",
+    ]);
+
+    for d in [3usize, 5, 10] {
+        let mut model = zoo::rapid_pro(pipeline.dataset(), hidden, d, epochs, cli.seed);
+        let mut result = pipeline.evaluate(&mut model);
+        result.name = format!("RAPID-{d}");
+        eprintln!("  RAPID-{d} done in {:.1}s", result.train_time.as_secs_f64());
+        table.push(result);
+    }
+    println!(
+        "{}",
+        table.render("App Store — behavior sequence length D sweep")
+    );
+}

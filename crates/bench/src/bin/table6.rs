@@ -1,0 +1,76 @@
+//! Reproduces **Table VI**: training and inference time of PRM, DESA,
+//! and RAPID on all three worlds — total training wall-clock
+//! (train-all), mean training time per batch of 16 lists (train-b), and
+//! mean inference time per batch of 16 lists (test-b).
+//!
+//! Absolute numbers differ from the paper (CPU autodiff here vs. their
+//! GPUs); the *relative* ordering and the "inference fits the ≤ 50 ms
+//! industrial budget" conclusion are what this reproduces.
+
+use rapid_bench::{ms, Cli};
+use rapid_core::RapidConfig;
+use rapid_data::Flavor;
+use rapid_eval::{ExperimentConfig, Pipeline};
+use rapid_rerankers::{Desa, DesaConfig, Prm, PrmConfig, ReRanker};
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Table VI reproduction (scale: {})\n", cli.scale_tag());
+    println!(
+        "{:<12} {:<16} {:>14} {:>12} {:>12}",
+        "dataset", "model", "train-all (s)", "train-b (ms)", "test-b (ms)"
+    );
+
+    for flavor in [Flavor::Taobao, Flavor::MovieLens, Flavor::AppStore] {
+        let mut config = ExperimentConfig::new(flavor, cli.scale);
+        config.seed = cli.seed;
+        config.data.seed = cli.seed;
+        let epochs = config.epochs;
+        let hidden = config.hidden;
+        let pipeline = Pipeline::prepare(config);
+        let ds = pipeline.dataset();
+
+        let mut models: Vec<Box<dyn ReRanker>> = vec![
+            Box::new(Prm::new(
+                ds,
+                PrmConfig {
+                    hidden,
+                    epochs,
+                    seed: cli.seed,
+                    ..PrmConfig::default()
+                },
+            )),
+            Box::new(Desa::new(
+                ds,
+                DesaConfig {
+                    hidden,
+                    epochs,
+                    seed: cli.seed,
+                    ..DesaConfig::default()
+                },
+            )),
+            Box::new(rapid_core::Rapid::new(
+                ds,
+                RapidConfig {
+                    hidden,
+                    epochs,
+                    seed: cli.seed,
+                    ..RapidConfig::probabilistic()
+                },
+            )),
+        ];
+        for model in &mut models {
+            let result = pipeline.evaluate(model.as_mut());
+            println!(
+                "{:<12} {:<16} {:>14.1} {:>12.2} {:>12.2}",
+                flavor.name(),
+                result.name,
+                result.train_time.as_secs_f64(),
+                ms(result.train_per_batch),
+                ms(result.test_per_batch),
+            );
+        }
+    }
+    println!("\n(inference budget check: test-b is per batch of 16 lists; per-list");
+    println!(" latency = test-b / 16, to compare against the 50 ms industrial bound)");
+}

@@ -1,0 +1,85 @@
+//! Shared harness code for the table/figure reproduction binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--full` — run at the paper-comparable scale (`Scale::Full`);
+//!   the default is `Scale::Quick`, which reproduces the same *shapes*
+//!   in a few minutes.
+//! * `--seed N` — override the master seed (default 42).
+//!
+//! Binaries (one per table/figure of the paper):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table2` | Table II (a–c): overall performance, λ ∈ {0.5, 0.9, 1.0} |
+//! | `table3` | Table III: App Store with `rev@k` |
+//! | `table4` | Table IV: SVMRank / LambdaMART initial rankers |
+//! | `table5` | Table V: behavior length D ∈ {3, 5, 10} |
+//! | `table6` | Table VI: training / inference time |
+//! | `fig3_ablation` | Fig. 3: RAPID ablations |
+//! | `fig4_hidden` | Fig. 4: hidden size sweep |
+//! | `fig5_case_study` | Fig. 5: per-user genre distributions |
+//! | `regret` | Theorem 5.1: empirical regret curve |
+//! | `tradeoff_sweep` | extension: λ-sweep tradeoff curve (§IV-D) |
+
+use rapid_eval::Scale;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Cli {
+    /// Parses `--full` and `--seed N` from `std::env::args`.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let scale = if args.iter().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        };
+        let seed = args
+            .iter()
+            .position(|a| a == "--seed")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        Self { scale, seed }
+    }
+
+    /// Human-readable scale tag for output headers.
+    pub fn scale_tag(&self) -> &'static str {
+        match self.scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// Formats a `Duration` as fractional milliseconds.
+pub fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cli_is_quick_seed_42() {
+        // parse() reads real argv (the test binary's), which contains
+        // neither flag.
+        let cli = Cli::parse();
+        assert_eq!(cli.seed, 42);
+        assert_eq!(cli.scale_tag(), "quick");
+    }
+
+    #[test]
+    fn ms_converts() {
+        assert_eq!(ms(std::time::Duration::from_millis(1500)), 1500.0);
+    }
+}

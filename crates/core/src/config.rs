@@ -1,0 +1,162 @@
+//! RAPID configuration, including every ablation of Fig. 3.
+
+use serde::{Deserialize, Serialize};
+
+/// How the final re-ranking scores are produced (§III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputMode {
+    /// Eq. (7): one MLP emits the score directly (RAPID-det).
+    Deterministic,
+    /// Eq. (8)–(10): mean and stddev heads, reparameterized sampling in
+    /// training, UCB `φ̂ + Σ̂` at inference (RAPID-pro).
+    Probabilistic,
+}
+
+/// Which architecture models the listwise context (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RelevanceEncoder {
+    /// The paper's default Bi-LSTM.
+    BiLstm,
+    /// The RAPID-trans ablation: a transformer encoder layer with
+    /// learned position embeddings.
+    Transformer,
+}
+
+/// How the per-topic behavior sequences are encoded (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BehaviorEncoder {
+    /// The paper's default: an LSTM over each topic sequence (weights
+    /// shared across topics), final state as the topic representation.
+    Lstm,
+    /// The RAPID-mean ablation: plain mean pooling of the topic's item
+    /// embeddings, linearly projected to the hidden size.
+    Mean,
+}
+
+/// Full RAPID hyper-parameter set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RapidConfig {
+    /// Hidden size `q_h` (paper grid: {8, 16, 32, 64}).
+    pub hidden: usize,
+    /// Maximum per-topic behavior sequence length `D` (paper: 5).
+    pub behavior_len: usize,
+    /// Output head.
+    pub output: OutputMode,
+    /// Listwise context encoder.
+    pub relevance_encoder: RelevanceEncoder,
+    /// Behavior sequence encoder.
+    pub behavior_encoder: BehaviorEncoder,
+    /// `false` removes the personalized diversity estimator entirely
+    /// (the RAPID-RNN ablation).
+    pub use_diversity: bool,
+    /// Maximum list length (sizes the transformer position table).
+    pub max_len: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate (paper grid: {1e-5 … 1e-2}).
+    pub lr: f32,
+    /// Lists per optimizer step.
+    pub batch: usize,
+    /// Seed for init, topic-sequence sampling, and reparameterization
+    /// noise.
+    pub seed: u64,
+}
+
+impl Default for RapidConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            behavior_len: 5,
+            output: OutputMode::Probabilistic,
+            relevance_encoder: RelevanceEncoder::BiLstm,
+            behavior_encoder: BehaviorEncoder::Lstm,
+            use_diversity: true,
+            max_len: 30,
+            epochs: 4,
+            lr: 3e-3,
+            batch: 16,
+            seed: 0,
+        }
+    }
+}
+
+impl RapidConfig {
+    /// RAPID-det: the deterministic output head.
+    pub fn deterministic() -> Self {
+        Self {
+            output: OutputMode::Deterministic,
+            ..Self::default()
+        }
+    }
+
+    /// RAPID-pro: the probabilistic/UCB output head (the default).
+    pub fn probabilistic() -> Self {
+        Self::default()
+    }
+
+    /// RAPID-RNN ablation: no personalized diversity estimator.
+    pub fn without_diversity() -> Self {
+        Self {
+            use_diversity: false,
+            ..Self::default()
+        }
+    }
+
+    /// RAPID-mean ablation: mean-pooled behavior encoding.
+    pub fn mean_behavior() -> Self {
+        Self {
+            behavior_encoder: BehaviorEncoder::Mean,
+            ..Self::default()
+        }
+    }
+
+    /// RAPID-trans ablation: transformer listwise encoder.
+    pub fn transformer_relevance() -> Self {
+        Self {
+            relevance_encoder: RelevanceEncoder::Transformer,
+            ..Self::default()
+        }
+    }
+
+    /// Display name matching the paper's tables for this variant.
+    pub fn variant_name(&self) -> &'static str {
+        if !self.use_diversity {
+            return "RAPID-RNN";
+        }
+        if self.behavior_encoder == BehaviorEncoder::Mean {
+            return "RAPID-mean";
+        }
+        if self.relevance_encoder == RelevanceEncoder::Transformer {
+            return "RAPID-trans";
+        }
+        match self.output {
+            OutputMode::Deterministic => "RAPID-det",
+            OutputMode::Probabilistic => "RAPID-pro",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_match_the_paper() {
+        assert_eq!(RapidConfig::deterministic().variant_name(), "RAPID-det");
+        assert_eq!(RapidConfig::probabilistic().variant_name(), "RAPID-pro");
+        assert_eq!(RapidConfig::without_diversity().variant_name(), "RAPID-RNN");
+        assert_eq!(RapidConfig::mean_behavior().variant_name(), "RAPID-mean");
+        assert_eq!(
+            RapidConfig::transformer_relevance().variant_name(),
+            "RAPID-trans"
+        );
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = RapidConfig::default();
+        assert_eq!(c.behavior_len, 5, "paper sets D = 5");
+        assert!(c.use_diversity);
+        assert_eq!(c.output, OutputMode::Probabilistic);
+    }
+}

@@ -1,0 +1,41 @@
+//! **RAPID** — Re-ranking with Personalized Diversification (§III of the
+//! paper): the primary contribution of this reproduction.
+//!
+//! RAPID jointly estimates, for every item of an initial ranking list:
+//!
+//! 1. **Listwise relevance** (§III-B): a Bi-LSTM over the list's item
+//!    representations `e_i = [x_u, x_v, τ_v]` captures cross-item
+//!    interactions in both directions, yielding `h_i ∈ R^{2q_h}`.
+//! 2. **Personalized diversity** (§III-C): the user's behavior history
+//!    is split into per-topic sequences `T_1 … T_m`; an LSTM encodes the
+//!    intra-topic dynamics, self-attention (Eq. 2) captures inter-topic
+//!    interactions, and an MLP (Eq. 3) emits the preference distribution
+//!    `θ̂ ∈ R^m`. Each item's marginal coverage gain `d_R(R(i))`
+//!    (Eq. 5) is weighted elementwise by `θ̂` into the personalized
+//!    diversity gain `Δ_R(R(i))` (Eq. 6).
+//!
+//! The re-ranker head fuses `[H_R, Δ_R]` with an MLP — either
+//! **deterministically** (Eq. 7) or **probabilistically** (Eq. 8–10):
+//! the probabilistic head learns a mean and a standard deviation per
+//! item, trains through the reparameterization trick, and ranks at
+//! inference by the upper confidence bound `φ̂ + Σ̂`, which injects
+//! LinUCB-style exploration.
+//!
+//! Training minimises the cross-entropy of Eq. (11) against click
+//! feedback, end to end — the relevance/diversity tradeoff is learned,
+//! never hand-tuned.
+//!
+//! The ablation variants of Fig. 3 are all first-class configurations:
+//! `RAPID-RNN` ([`RapidConfig::without_diversity`]), `RAPID-mean`
+//! ([`BehaviorEncoder::Mean`]), `RAPID-det` ([`OutputMode::Deterministic`]),
+//! and `RAPID-trans` ([`RelevanceEncoder::Transformer`]).
+
+mod config;
+mod diversity_estimator;
+mod model;
+mod relevance_estimator;
+
+pub use config::{BehaviorEncoder, OutputMode, RapidConfig, RelevanceEncoder};
+pub use diversity_estimator::DiversityEstimator;
+pub use model::Rapid;
+pub use relevance_estimator::RelevanceEstimator;

@@ -1,0 +1,200 @@
+//! The listwise relevance estimator (§III-B): Bi-LSTM by default,
+//! transformer for the RAPID-trans ablation.
+
+use rand::Rng;
+use rapid_autograd::{ParamId, ParamStore, Tape, Var};
+use rapid_data::{Dataset, ItemId, UserId};
+use rapid_nn::{BiLstm, Linear, TransformerEncoderLayer};
+use rapid_tensor::Matrix;
+
+use crate::config::RelevanceEncoder;
+
+/// Encodes the initial list into per-position context representations
+/// `h_{R(i)}` from the item representations `e_i = [x_u, x_v, τ_v]`.
+pub struct RelevanceEstimator {
+    kind: EncoderKind,
+    out_dim: usize,
+}
+
+enum EncoderKind {
+    BiLstm(BiLstm),
+    Transformer {
+        proj: Linear,
+        pos_embed: ParamId,
+        encoder: TransformerEncoderLayer,
+    },
+}
+
+impl RelevanceEstimator {
+    /// Registers the estimator's parameters under `prefix`.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        encoder: RelevanceEncoder,
+        input_dim: usize,
+        hidden: usize,
+        max_len: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        match encoder {
+            RelevanceEncoder::BiLstm => Self {
+                kind: EncoderKind::BiLstm(BiLstm::new(
+                    store,
+                    &format!("{prefix}.bilstm"),
+                    input_dim,
+                    hidden,
+                    rng,
+                )),
+                out_dim: 2 * hidden,
+            },
+            RelevanceEncoder::Transformer => Self {
+                kind: EncoderKind::Transformer {
+                    proj: Linear::new(store, &format!("{prefix}.proj"), input_dim, 2 * hidden, rng),
+                    pos_embed: store.add(
+                        format!("{prefix}.pos"),
+                        Matrix::rand_uniform(max_len, 2 * hidden, -0.05, 0.05, rng),
+                    ),
+                    encoder: TransformerEncoderLayer::new(
+                        store,
+                        &format!("{prefix}.enc"),
+                        2 * hidden,
+                        2,
+                        4 * hidden,
+                        rng,
+                    ),
+                },
+                out_dim: 2 * hidden,
+            },
+        }
+    }
+
+    /// Output width per position (`2 q_h` for both encoders, so the
+    /// re-ranker head is identical across the ablation).
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Builds the item representation matrix `E = [x_u; x_v; τ_v; s_v]`
+    /// rows for an ordered list (`s_v` is the initial ranker's score —
+    /// part of every re-ranker's item input in this pipeline, RAPID
+    /// included, so the comparison stays fair).
+    pub fn item_representations(
+        ds: &Dataset,
+        user: UserId,
+        items: &[ItemId],
+        init_scores: &[f32],
+    ) -> Matrix {
+        assert_eq!(
+            items.len(),
+            init_scores.len(),
+            "item_representations: {} items vs {} scores",
+            items.len(),
+            init_scores.len()
+        );
+        let xu = &ds.users[user].features;
+        let d = xu.len() + ds.items[0].features.len() + ds.num_topics() + 1;
+        let mut data = Vec::with_capacity(items.len() * d);
+        for (&v, &s) in items.iter().zip(init_scores) {
+            data.extend_from_slice(xu);
+            data.extend_from_slice(&ds.items[v].features);
+            data.extend_from_slice(&ds.items[v].coverage);
+            data.push(s);
+        }
+        Matrix::from_vec(items.len(), d, data)
+    }
+
+    /// Expected input width for this dataset.
+    pub fn input_dim(ds: &Dataset) -> usize {
+        ds.users[0].features.len() + ds.items[0].features.len() + ds.num_topics() + 1
+    }
+
+    /// Encodes an `(L, input_dim)` representation matrix into `(L,
+    /// out_dim)` context states.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, reps: Var) -> Var {
+        match &self.kind {
+            EncoderKind::BiLstm(bilstm) => {
+                let l = tape.value(reps).rows();
+                let steps: Vec<Var> = (0..l).map(|i| tape.slice_rows(reps, i, i + 1)).collect();
+                let states = bilstm.forward(tape, store, &steps);
+                tape.concat_rows(&states)
+            }
+            EncoderKind::Transformer {
+                proj,
+                pos_embed,
+                encoder,
+            } => {
+                let l = tape.value(reps).rows();
+                let h = proj.forward(tape, store, reps);
+                let pos_all = tape.param(store, *pos_embed);
+                let pos = tape.slice_rows(pos_all, 0, l);
+                let h = tape.add(h, pos);
+                encoder.forward(tape, store, h)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rapid_data::{generate, DataConfig, Flavor};
+
+    fn tiny() -> Dataset {
+        let mut c = DataConfig::new(Flavor::Taobao);
+        c.num_users = 10;
+        c.num_items = 60;
+        c.ranker_train_interactions = 50;
+        c.rerank_train_requests = 3;
+        c.test_requests = 2;
+        generate(&c)
+    }
+
+    #[test]
+    fn both_encoders_produce_same_output_shape() {
+        let ds = tiny();
+        let d = RelevanceEstimator::input_dim(&ds);
+        for kind in [RelevanceEncoder::BiLstm, RelevanceEncoder::Transformer] {
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut store = ParamStore::new();
+            let est = RelevanceEstimator::new(&mut store, "rel", kind, d, 16, 30, &mut rng);
+            assert_eq!(est.out_dim(), 32);
+            let scores = vec![0.5; ds.test[0].candidates.len()];
+            let reps = RelevanceEstimator::item_representations(
+                &ds,
+                0,
+                &ds.test[0].candidates,
+                &scores,
+            );
+            let mut tape = Tape::new();
+            let r = tape.constant(reps);
+            let out = est.forward(&mut tape, &store, r);
+            assert_eq!(tape.value(out).shape(), (ds.test[0].candidates.len(), 32));
+            assert!(tape.value(out).is_finite());
+        }
+    }
+
+    #[test]
+    fn representations_embed_user_item_coverage_and_score() {
+        let ds = tiny();
+        let scores: Vec<f32> = (0..ds.test[0].candidates.len())
+            .map(|i| i as f32)
+            .collect();
+        let reps =
+            RelevanceEstimator::item_representations(&ds, 2, &ds.test[0].candidates, &scores);
+        let qu = ds.users[2].features.len();
+        let qv = ds.items[0].features.len();
+        let m = ds.num_topics();
+        assert_eq!(reps.cols(), qu + qv + m + 1);
+        // First block is the (repeated) user features.
+        for i in 0..reps.rows() {
+            assert_eq!(&reps.row(i)[..qu], &ds.users[2].features[..]);
+            // Last column is the init score.
+            assert_eq!(reps.get(i, qu + qv + m), i as f32);
+        }
+        // Coverage block.
+        let v0 = ds.test[0].candidates[0];
+        assert_eq!(&reps.row(0)[qu + qv..qu + qv + m], &ds.items[v0].coverage[..]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Dataset generation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which source dataset's statistical conventions to imitate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Flavor {
+    /// Taobao-like: items carry latent embeddings soft-clustered into
+    /// `m = 5` topics with a GMM (the paper clusters Taobao's 9,439
+    /// categories into 5 topics the same way).
+    Taobao,
+    /// MovieLens-like: `m = 20` genres; each item holds 1–3 genres,
+    /// normalized into a multi-hot coverage vector.
+    MovieLens,
+    /// AppStore-like: `m = 23` one-hot categories plus a per-item bid
+    /// price used by the `rev@k` metric of Table III.
+    AppStore,
+}
+
+impl Flavor {
+    /// The paper's topic count for this flavor.
+    pub fn default_topics(self) -> usize {
+        match self {
+            Flavor::Taobao => 5,
+            Flavor::MovieLens => 20,
+            Flavor::AppStore => 23,
+        }
+    }
+
+    /// Human-readable dataset name used in table output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Flavor::Taobao => "Taobao",
+            Flavor::MovieLens => "MovieLens-20M",
+            Flavor::AppStore => "App Store",
+        }
+    }
+}
+
+/// Full configuration for one synthetic world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataConfig {
+    /// Dataset convention to imitate.
+    pub flavor: Flavor,
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of items.
+    pub num_items: usize,
+    /// Number of topics `m` (defaults to the flavor's paper value).
+    pub num_topics: usize,
+    /// Observable user feature dimension `q_u`.
+    pub user_feature_dim: usize,
+    /// Observable item feature dimension `q_v`.
+    pub item_feature_dim: usize,
+    /// Length of the initial ranking list `L` handed to re-rankers
+    /// (paper: 20; metrics evaluate the top-10 of the re-ranked list,
+    /// so re-rankers genuinely *select* items, not just permute them).
+    pub list_len: usize,
+    /// Behavior-history length range (inclusive) per user.
+    pub history_len: (usize, usize),
+    /// Number of (user, item, click) interactions for initial-ranker
+    /// training.
+    pub ranker_train_interactions: usize,
+    /// Number of re-ranking training requests.
+    pub rerank_train_requests: usize,
+    /// Number of test requests.
+    pub test_requests: usize,
+    /// Fraction of users drawn with a *focused* (low-concentration)
+    /// preference Dirichlet; the rest are diverse.
+    pub focused_user_fraction: f64,
+    /// Noise standard deviation injected into observable features.
+    pub feature_noise: f32,
+    /// RNG seed; everything downstream of it is deterministic.
+    pub seed: u64,
+}
+
+impl DataConfig {
+    /// A small default world for the given flavor; the experiment
+    /// harness scales the sizes up or down from here.
+    pub fn new(flavor: Flavor) -> Self {
+        Self {
+            flavor,
+            num_users: 400,
+            num_items: 1500,
+            num_topics: flavor.default_topics(),
+            user_feature_dim: 12,
+            item_feature_dim: 12,
+            list_len: 20,
+            history_len: (10, 40),
+            ranker_train_interactions: 20_000,
+            rerank_train_requests: 1200,
+            test_requests: 400,
+            focused_user_fraction: 0.5,
+            feature_noise: 0.15,
+            seed: 42,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics on an impossible configuration (e.g. list longer than the
+    /// item pool) with a message naming the offending field.
+    pub fn validate(&self) {
+        assert!(self.num_users > 0, "DataConfig: num_users must be > 0");
+        assert!(
+            self.num_items >= self.list_len,
+            "DataConfig: num_items {} < list_len {}",
+            self.num_items,
+            self.list_len
+        );
+        assert!(self.num_topics >= 2, "DataConfig: need at least 2 topics");
+        assert!(
+            self.history_len.0 <= self.history_len.1 && self.history_len.0 > 0,
+            "DataConfig: invalid history_len range {:?}",
+            self.history_len
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.focused_user_fraction),
+            "DataConfig: focused_user_fraction out of [0,1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_for_all_flavors() {
+        for f in [Flavor::Taobao, Flavor::MovieLens, Flavor::AppStore] {
+            DataConfig::new(f).validate();
+            assert_eq!(DataConfig::new(f).num_topics, f.default_topics());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_items")]
+    fn rejects_list_longer_than_pool() {
+        let mut c = DataConfig::new(Flavor::Taobao);
+        c.num_items = 5;
+        c.list_len = 10;
+        c.validate();
+    }
+
+    #[test]
+    fn topic_defaults_match_paper() {
+        assert_eq!(Flavor::Taobao.default_topics(), 5);
+        assert_eq!(Flavor::MovieLens.default_topics(), 20);
+        assert_eq!(Flavor::AppStore.default_topics(), 23);
+    }
+}

@@ -1,0 +1,469 @@
+//! The dataset generator: users, items, histories, and request splits.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Beta, Dirichlet, Distribution, LogNormal};
+use rapid_tensor::Matrix;
+
+use crate::types::attraction_from_parts;
+use crate::{DataConfig, Dataset, Flavor, Gmm, GmmConfig, ItemProfile, Request, UserProfile};
+
+/// Generates a complete synthetic world from `config`.
+///
+/// Deterministic given `config.seed`.
+///
+/// # Panics
+/// Panics if `config` fails [`DataConfig::validate`].
+pub fn generate(config: &DataConfig) -> Dataset {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Users and items share one topic-space projection, so the latent
+    // alignment `pref·coverage` is (noisily) recoverable from the inner
+    // product of the observable features — like co-trained embeddings in
+    // a real system.
+    let topic_dim = config
+        .user_feature_dim
+        .min(config.item_feature_dim)
+        .saturating_sub(1)
+        .max(1);
+    let topic_proj = Matrix::rand_normal(config.num_topics, topic_dim, 0.0, 1.0, &mut rng);
+
+    let items = generate_items(config, &topic_proj, &mut rng);
+    let mut users = generate_users(config, &topic_proj, &mut rng);
+    sample_histories(config, &mut users, &items, &mut rng);
+
+    let ranker_train = generate_ranker_interactions(config, &users, &items, &mut rng);
+    let rerank_train = generate_requests(config, config.rerank_train_requests, &users, &items, &mut rng);
+    let test = generate_requests(config, config.test_requests, &users, &items, &mut rng);
+
+    Dataset {
+        config: config.clone(),
+        users,
+        items,
+        ranker_train,
+        rerank_train,
+        test,
+    }
+}
+
+/// Draws users: preference Dirichlets with per-user concentration
+/// (focused vs. diverse), an appetite correlated with preference
+/// entropy, and noisy projected features.
+fn generate_users(config: &DataConfig, topic_proj: &Matrix, rng: &mut StdRng) -> Vec<UserProfile> {
+    let m = config.num_topics;
+
+    let focused = Dirichlet::new_with_size(0.15f32, m).expect("valid Dirichlet");
+    let diverse = Dirichlet::new_with_size(2.0f32, m).expect("valid Dirichlet");
+
+    (0..config.num_users)
+        .map(|id| {
+            let is_focused = rng.gen_bool(config.focused_user_fraction);
+            let pref: Vec<f32> = if is_focused {
+                focused.sample(rng)
+            } else {
+                diverse.sample(rng)
+            };
+
+            // Appetite tracks how spread the preference is, plus noise:
+            // the "true" per-user diversity weight the click model uses.
+            let h: f32 = {
+                let ent: f32 = pref
+                    .iter()
+                    .filter(|&&p| p > 0.0)
+                    .map(|&p| -p * p.ln())
+                    .sum();
+                ent / (m as f32).ln()
+            };
+            let appetite = (h + 0.15 * rng.gen_range(-1.0f32..1.0)).clamp(0.05, 0.95);
+
+            // Features: shared-space projected preference, one noisy
+            // appetite channel (so rule-based baselines like adpMMR have
+            // something to key on), zero-padded to `q_u`.
+            let pref_m = Matrix::row_vector(&pref);
+            let projected = pref_m.matmul(topic_proj);
+            let mut features: Vec<f32> = projected
+                .as_slice()
+                .iter()
+                .map(|&v| v + config.feature_noise * gaussian(rng))
+                .collect();
+            features.push(appetite + config.feature_noise * gaussian(rng));
+            features.truncate(config.user_feature_dim);
+            while features.len() < config.user_feature_dim {
+                features.push(0.0);
+            }
+
+            UserProfile {
+                id,
+                features,
+                pref,
+                appetite,
+                history: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// Draws items according to the flavor's coverage convention.
+fn generate_items(
+    config: &DataConfig,
+    topic_proj: &Matrix,
+    rng: &mut StdRng,
+) -> Vec<ItemProfile> {
+    let m = config.num_topics;
+    let quality_dist = Beta::new(2.0f32, 2.0).expect("valid Beta");
+
+    // Coverage per flavor.
+    let coverages: Vec<Vec<f32>> = match config.flavor {
+        Flavor::MovieLens => (0..config.num_items)
+            .map(|_| {
+                let count = rng.gen_range(1..=3.min(m));
+                let mut cov = vec![0.0f32; m];
+                let mut picked = 0;
+                while picked < count {
+                    let g = rng.gen_range(0..m);
+                    if cov[g] == 0.0 {
+                        cov[g] = 1.0 / count as f32;
+                        picked += 1;
+                    }
+                }
+                cov
+            })
+            .collect(),
+        Flavor::AppStore => {
+            // Non-uniform category popularity, as in real app stores.
+            let popularity: Vec<f32> = Dirichlet::new_with_size(1.0f32, m)
+                .expect("valid Dirichlet")
+                .sample(rng);
+            (0..config.num_items)
+                .map(|_| {
+                    let cat = sample_categorical(&popularity, rng);
+                    let mut cov = vec![0.0f32; m];
+                    cov[cat] = 1.0;
+                    cov
+                })
+                .collect()
+        }
+        Flavor::Taobao => {
+            // Latent embeddings around m true centers, soft-clustered
+            // back into m topics with our GMM.
+            let emb_dim = 6;
+            let centers = Matrix::rand_normal(m, emb_dim, 0.0, 3.0, rng);
+            let mut rows = Vec::with_capacity(config.num_items);
+            for _ in 0..config.num_items {
+                let t = rng.gen_range(0..m);
+                let mut row = Vec::with_capacity(emb_dim);
+                for c in 0..emb_dim {
+                    row.push(centers.get(t, c) + 0.8 * gaussian(rng));
+                }
+                rows.push(row);
+            }
+            let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+            let data = Matrix::from_vec(config.num_items, emb_dim, flat);
+            let gmm = Gmm::fit(
+                &data,
+                &GmmConfig {
+                    components: m,
+                    max_iters: 60,
+                    ..GmmConfig::default()
+                },
+                rng,
+            );
+            (0..config.num_items)
+                .map(|i| gmm.responsibilities(data.row(i)))
+                .collect()
+        }
+    };
+
+    // Bid prices only matter for the AppStore flavor's rev@k.
+    let bid_dist = LogNormal::new(0.0f32, 0.5).expect("valid LogNormal");
+
+    coverages
+        .into_iter()
+        .enumerate()
+        .map(|(id, coverage)| {
+            let quality = quality_dist.sample(rng);
+            let bid = if config.flavor == Flavor::AppStore {
+                bid_dist.sample(rng).min(10.0)
+            } else {
+                0.0
+            };
+            let cov_m = Matrix::row_vector(&coverage);
+            let projected = cov_m.matmul(topic_proj);
+            let mut features: Vec<f32> = projected
+                .as_slice()
+                .iter()
+                .map(|&v| v + config.feature_noise * gaussian(rng))
+                .collect();
+            features.push(quality + config.feature_noise * gaussian(rng));
+            features.truncate(config.item_feature_dim);
+            while features.len() < config.item_feature_dim {
+                features.push(0.0);
+            }
+            ItemProfile {
+                id,
+                features,
+                coverage,
+                quality,
+                bid,
+            }
+        })
+        .collect()
+}
+
+/// Samples each user's behavior history from their own attraction model
+/// (rejection sampling over the item pool), so the history's topic mix
+/// mirrors the ground-truth preference distribution.
+fn sample_histories(
+    config: &DataConfig,
+    users: &mut [UserProfile],
+    items: &[ItemProfile],
+    rng: &mut StdRng,
+) {
+    for user in users.iter_mut() {
+        let target = rng.gen_range(config.history_len.0..=config.history_len.1);
+        let mut history = Vec::with_capacity(target);
+        let mut attempts = 0usize;
+        // Cap attempts so a pathological config cannot loop forever.
+        let max_attempts = target * 400;
+        while history.len() < target && attempts < max_attempts {
+            attempts += 1;
+            let item = rng.gen_range(0..items.len());
+            let a = attraction_from_parts(&user.pref, &items[item].coverage, items[item].quality);
+            // Squared acceptance sharpens the preference contrast: the
+            // history is the user's *chosen* interactions, which in real
+            // logs over-represent favourite topics far more than raw
+            // exposure probabilities do.
+            if rng.gen::<f32>() < a * a {
+                history.push(item);
+            }
+        }
+        user.history = history;
+    }
+}
+
+/// Pointwise `(user, item, click)` interactions for initial-ranker
+/// training: exposure is uniform, clicks are Bernoulli in the
+/// ground-truth attraction (no position effects — those only exist for
+/// ranked lists, which don't exist yet at this stage).
+fn generate_ranker_interactions(
+    config: &DataConfig,
+    users: &[UserProfile],
+    items: &[ItemProfile],
+    rng: &mut StdRng,
+) -> Vec<(usize, usize, bool)> {
+    (0..config.ranker_train_interactions)
+        .map(|_| {
+            let u = rng.gen_range(0..users.len());
+            let v = rng.gen_range(0..items.len());
+            let a = attraction_from_parts(&users[u].pref, &items[v].coverage, items[v].quality);
+            (u, v, rng.gen::<f32>() < a)
+        })
+        .collect()
+}
+
+/// Builds requests whose candidate sets are *relevance-biased*, imitating
+/// the recall stage of a multi-stage recommender: an oversample of the
+/// pool is scored by noisy ground-truth attraction and the top `L` kept,
+/// then shuffled (the candidate set is unordered; ordering is the
+/// initial ranker's job).
+fn generate_requests(
+    config: &DataConfig,
+    count: usize,
+    users: &[UserProfile],
+    items: &[ItemProfile],
+    rng: &mut StdRng,
+) -> Vec<Request> {
+    let l = config.list_len;
+    (0..count)
+        .map(|_| {
+            let u = rng.gen_range(0..users.len());
+            let pool = (l * 3).min(items.len());
+            let mut scored: Vec<(usize, f32)> = (0..pool)
+                .map(|_| {
+                    let v = rng.gen_range(0..items.len());
+                    let a = attraction_from_parts(
+                        &users[u].pref,
+                        &items[v].coverage,
+                        items[v].quality,
+                    );
+                    (v, a + 0.5 * gaussian(rng))
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let mut candidates: Vec<usize> = Vec::with_capacity(l);
+            for (v, _) in scored {
+                if !candidates.contains(&v) {
+                    candidates.push(v);
+                    if candidates.len() == l {
+                        break;
+                    }
+                }
+            }
+            // The oversample can contain repeats; refill randomly.
+            while candidates.len() < l {
+                let v = rng.gen_range(0..items.len());
+                if !candidates.contains(&v) {
+                    candidates.push(v);
+                }
+            }
+            candidates.shuffle(rng);
+            Request {
+                user: u,
+                candidates,
+            }
+        })
+        .collect()
+}
+
+fn sample_categorical(weights: &[f32], rng: &mut impl Rng) -> usize {
+    let total: f32 = weights.iter().sum();
+    let mut draw = rng.gen::<f32>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if draw < w {
+            return i;
+        }
+        draw -= w;
+    }
+    weights.len() - 1
+}
+
+fn gaussian(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(flavor: Flavor) -> DataConfig {
+        let mut c = DataConfig::new(flavor);
+        c.num_users = 40;
+        c.num_items = 200;
+        c.ranker_train_interactions = 500;
+        c.rerank_train_requests = 30;
+        c.test_requests = 10;
+        c
+    }
+
+    #[test]
+    fn generation_is_deterministic_given_seed() {
+        let c = small(Flavor::MovieLens);
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a.users[7].pref, b.users[7].pref);
+        assert_eq!(a.users[7].history, b.users[7].history);
+        assert_eq!(a.test[3].candidates, b.test[3].candidates);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = small(Flavor::MovieLens);
+        let a = generate(&c);
+        let b = generate(&c.clone().with_seed(7));
+        assert_ne!(a.users[0].pref, b.users[0].pref);
+    }
+
+    #[test]
+    fn coverage_conventions_per_flavor() {
+        let ml = generate(&small(Flavor::MovieLens));
+        for item in &ml.items {
+            let sum: f32 = item.coverage.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "MovieLens coverage normalised");
+            let nonzero = item.coverage.iter().filter(|&&c| c > 0.0).count();
+            assert!((1..=3).contains(&nonzero));
+            assert_eq!(item.bid, 0.0);
+        }
+
+        let app = generate(&small(Flavor::AppStore));
+        for item in &app.items {
+            let nonzero = item.coverage.iter().filter(|&&c| c > 0.0).count();
+            assert_eq!(nonzero, 1, "AppStore coverage one-hot");
+            assert!(item.bid > 0.0, "AppStore items carry bids");
+        }
+
+        let tb = generate(&small(Flavor::Taobao));
+        for item in &tb.items {
+            let sum: f32 = item.coverage.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3, "Taobao GMM coverage sums to 1");
+            assert!(item.coverage.iter().all(|&c| (0.0..=1.0).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn histories_are_populated_and_reflect_preferences() {
+        let ds = generate(&small(Flavor::MovieLens));
+        let mut aligned = 0usize;
+        let mut total = 0usize;
+        for user in &ds.users {
+            assert!(
+                user.history.len() >= ds.config.history_len.0,
+                "history too short: {}",
+                user.history.len()
+            );
+            // The user's favourite topic should be over-represented in
+            // the history relative to a uniform baseline.
+            let fav = user
+                .pref
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap();
+            for &it in &user.history {
+                total += 1;
+                if ds.items[it].coverage[fav] > 0.0 {
+                    aligned += 1;
+                }
+            }
+        }
+        // Uniform would give roughly (avg genres per item)/m ≈ 2/20 = 10%.
+        let frac = aligned as f32 / total as f32;
+        assert!(frac > 0.15, "history not preference-aligned: {frac}");
+    }
+
+    #[test]
+    fn requests_have_unique_candidates_of_list_len() {
+        let ds = generate(&small(Flavor::Taobao));
+        for req in ds.rerank_train.iter().chain(&ds.test) {
+            assert_eq!(req.candidates.len(), ds.config.list_len);
+            let mut sorted = req.candidates.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), ds.config.list_len, "duplicate candidates");
+            assert!(req.user < ds.users.len());
+        }
+    }
+
+    #[test]
+    fn appetite_tracks_preference_entropy() {
+        let ds = generate(&small(Flavor::MovieLens));
+        // Correlation between entropy and appetite should be clearly
+        // positive (they differ only by clamped noise).
+        let xs: Vec<f32> = ds.users.iter().map(|u| u.pref_entropy()).collect();
+        let ys: Vec<f32> = ds.users.iter().map(|u| u.appetite).collect();
+        let n = xs.len() as f32;
+        let mx = xs.iter().sum::<f32>() / n;
+        let my = ys.iter().sum::<f32>() / n;
+        let cov: f32 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f32 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let vy: f32 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        let corr = cov / (vx * vy).sqrt();
+        assert!(corr > 0.7, "entropy-appetite correlation {corr}");
+    }
+
+    #[test]
+    fn ranker_interactions_have_valid_ids() {
+        let ds = generate(&small(Flavor::AppStore));
+        assert_eq!(ds.ranker_train.len(), 500);
+        for &(u, v, _) in &ds.ranker_train {
+            assert!(u < ds.users.len() && v < ds.items.len());
+        }
+        // Clicks must be a nontrivial mix.
+        let clicks = ds.ranker_train.iter().filter(|(_, _, c)| *c).count();
+        assert!(clicks > 50 && clicks < 450, "clicks = {clicks}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic dataset substrate for the RAPID reproduction.
+//!
+//! The paper evaluates semi-synthetically: real interaction logs (Taobao,
+//! MovieLens-20M) provide items, topics, and behavior histories, and a
+//! dependent click model provides feedback. Real logs are not available
+//! here, so this crate generates worlds with the same *statistical
+//! structure* the paper's method exploits:
+//!
+//! * users hold a latent preference distribution over `m` topics, drawn
+//!   from a Dirichlet whose concentration varies per user — some users
+//!   are *focused* (near one-hot preferences), others *diverse*;
+//! * each user also has a latent **diversity appetite** that scales how
+//!   much topic-coverage novelty contributes to their clicks (the
+//!   per-user `ρ̄` weight of the paper's click model, §IV-B1);
+//! * the behavior history is sampled from the user's own attraction
+//!   model, so the history *reveals* both the preference distribution
+//!   and the appetite — exactly the signal RAPID is designed to mine;
+//! * item topic coverage follows each source dataset's convention:
+//!   normalized multi-hot genres (MovieLens-like), one-hot categories
+//!   (AppStore-like), or soft GMM cluster responsibilities over latent
+//!   embeddings (Taobao-like, mirroring the paper's GMM clustering of
+//!   9,439 categories into 5 topics). The GMM is implemented here.
+//!
+//! The crate is deliberately below `rapid-click` in the dependency order:
+//! histories are sampled from per-item attraction alone (no position
+//! effects), while list-level DCM feedback lives in `rapid-click`.
+
+mod config;
+mod generator;
+mod gmm;
+mod types;
+
+pub use config::{DataConfig, Flavor};
+pub use generator::generate;
+pub use gmm::{Gmm, GmmConfig};
+pub use types::{
+    topic_sequences, Dataset, ItemId, ItemProfile, Request, Split, UserId, UserProfile,
+};

@@ -1,0 +1,274 @@
+//! Core dataset value types.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Index of a user in [`Dataset::users`].
+pub type UserId = usize;
+/// Index of an item in [`Dataset::items`].
+pub type ItemId = usize;
+
+/// A user with both observable features and the generator's ground truth.
+///
+/// Ground-truth fields (`pref`, `appetite`) are used only by the click
+/// environment and the evaluation metrics — the models see `features`
+/// and `history`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// This user's id (its index in the dataset).
+    pub id: UserId,
+    /// Observable feature vector `x_u` (length `q_u`).
+    pub features: Vec<f32>,
+    /// Ground-truth preference distribution over topics (`θ*`, sums to 1).
+    pub pref: Vec<f32>,
+    /// Ground-truth diversity appetite in `[0, 1]`: how strongly topic
+    /// novelty contributes to this user's clicks.
+    pub appetite: f32,
+    /// Behavior history: item ids positively interacted with, oldest
+    /// first.
+    pub history: Vec<ItemId>,
+}
+
+impl UserProfile {
+    /// Normalised entropy of the ground-truth preference (0 = one topic,
+    /// 1 = uniform over topics). Used by tests and the case study.
+    pub fn pref_entropy(&self) -> f32 {
+        let m = self.pref.len() as f32;
+        let h: f32 = self
+            .pref
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum();
+        if m > 1.0 {
+            h / m.ln()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// An item with observable features and ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ItemProfile {
+    /// This item's id (its index in the dataset).
+    pub id: ItemId,
+    /// Observable feature vector `x_v` (length `q_v`).
+    pub features: Vec<f32>,
+    /// Topic coverage `τ_v ∈ [0,1]^m`.
+    pub coverage: Vec<f32>,
+    /// Ground-truth intrinsic quality in `[0, 1]`.
+    pub quality: f32,
+    /// Bid price (AppStore flavor; 0 elsewhere). Drives `rev@k`.
+    pub bid: f32,
+}
+
+/// One recommendation request: a user plus an **unordered** candidate
+/// set of `L` items. The initial ranker turns this into the ordered
+/// initial list `R` that re-rankers consume.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// The requesting user.
+    pub user: UserId,
+    /// Candidate item ids (length = `DataConfig::list_len`).
+    pub candidates: Vec<ItemId>,
+}
+
+/// Which split a request set belongs to (mirrors the paper's
+/// history / ranker-train / rerank-train / test division).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Split {
+    /// Initial-ranker training data.
+    RankerTrain,
+    /// Re-ranker training data.
+    RerankTrain,
+    /// Held-out evaluation data.
+    Test,
+}
+
+/// A fully generated synthetic world.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The configuration that produced this dataset.
+    pub config: crate::DataConfig,
+    /// All users.
+    pub users: Vec<UserProfile>,
+    /// All items.
+    pub items: Vec<ItemProfile>,
+    /// Pointwise interactions `(user, item, clicked)` for initial-ranker
+    /// training (clicks drawn from per-item attraction, no position
+    /// effects).
+    pub ranker_train: Vec<(UserId, ItemId, bool)>,
+    /// Requests for re-ranker training.
+    pub rerank_train: Vec<Request>,
+    /// Held-out requests for evaluation.
+    pub test: Vec<Request>,
+}
+
+impl Dataset {
+    /// Number of topics `m`.
+    pub fn num_topics(&self) -> usize {
+        self.config.num_topics
+    }
+
+    /// Ground-truth attraction probability `ᾱ(u, v)`: how likely item
+    /// `v` attracts user `u` on relevance alone.
+    ///
+    /// Defined as a squashed affinity between the user's preference and
+    /// the item's coverage, boosted by item quality. Kept in `[0.02,
+    /// 0.98]` so no item is a guaranteed click or non-click.
+    pub fn attraction(&self, user: UserId, item: ItemId) -> f32 {
+        let u = &self.users[user];
+        let v = &self.items[item];
+        attraction_from_parts(&u.pref, &v.coverage, v.quality)
+    }
+
+    /// Requests of the given split.
+    pub fn requests(&self, split: Split) -> &[Request] {
+        match split {
+            Split::RankerTrain => &[],
+            Split::RerankTrain => &self.rerank_train,
+            Split::Test => &self.test,
+        }
+    }
+}
+
+/// The shared ground-truth attraction formula (also used while sampling
+/// histories before the `Dataset` exists).
+pub(crate) fn attraction_from_parts(pref: &[f32], coverage: &[f32], quality: f32) -> f32 {
+    let affinity: f32 = pref.iter().zip(coverage).map(|(p, c)| p * c).sum();
+    let m = pref.len() as f32;
+    // Logistic link with a wide dynamic range: topic alignment swings
+    // the logit by up to ±4 and quality by up to ±3, so the resulting
+    // click labels carry enough signal for rankers to learn from
+    // (Bernoulli labels at near-constant probability are unlearnable).
+    let logit = -4.0 + 5.0 * (affinity * m.sqrt()).tanh() + 2.5 * quality;
+    let p = 1.0 / (1.0 + (-logit).exp());
+    p.clamp(0.02, 0.98)
+}
+
+/// Splits a behavior history into per-topic sequences `T_1 … T_m`
+/// (§III-C): each history item is assigned to one topic sampled from its
+/// coverage distribution, preserving time order, and each sequence is
+/// truncated to its **most recent** `max_len` items.
+///
+/// Items with all-zero coverage are skipped.
+pub fn topic_sequences(
+    history: &[ItemId],
+    items: &[ItemProfile],
+    num_topics: usize,
+    max_len: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<ItemId>> {
+    let mut seqs = vec![Vec::new(); num_topics];
+    for &it in history {
+        let cov = &items[it].coverage;
+        let total: f32 = cov.iter().sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let mut draw = rng.gen::<f32>() * total;
+        let mut chosen = num_topics - 1;
+        for (j, &c) in cov.iter().enumerate() {
+            if draw < c {
+                chosen = j;
+                break;
+            }
+            draw -= c;
+        }
+        seqs[chosen].push(it);
+    }
+    for s in &mut seqs {
+        if s.len() > max_len {
+            let start = s.len() - max_len;
+            s.drain(..start);
+        }
+    }
+    seqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn item(id: ItemId, coverage: Vec<f32>) -> ItemProfile {
+        ItemProfile {
+            id,
+            features: vec![],
+            coverage,
+            quality: 0.5,
+            bid: 0.0,
+        }
+    }
+
+    #[test]
+    fn pref_entropy_extremes() {
+        let focused = UserProfile {
+            id: 0,
+            features: vec![],
+            pref: vec![1.0, 0.0, 0.0, 0.0],
+            appetite: 0.0,
+            history: vec![],
+        };
+        let diverse = UserProfile {
+            id: 1,
+            features: vec![],
+            pref: vec![0.25; 4],
+            appetite: 1.0,
+            history: vec![],
+        };
+        assert!(focused.pref_entropy() < 1e-6);
+        assert!((diverse.pref_entropy() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attraction_is_bounded_and_monotone_in_affinity() {
+        let pref = vec![0.7, 0.2, 0.1];
+        let aligned = attraction_from_parts(&pref, &[1.0, 0.0, 0.0], 0.5);
+        let misaligned = attraction_from_parts(&pref, &[0.0, 0.0, 1.0], 0.5);
+        assert!(aligned > misaligned);
+        for a in [aligned, misaligned] {
+            assert!((0.02..=0.98).contains(&a));
+        }
+    }
+
+    #[test]
+    fn attraction_rewards_quality() {
+        let pref = vec![0.5, 0.5];
+        let low = attraction_from_parts(&pref, &[1.0, 0.0], 0.1);
+        let high = attraction_from_parts(&pref, &[1.0, 0.0], 0.9);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn topic_sequences_respect_one_hot_coverage_and_order() {
+        let items = vec![
+            item(0, vec![1.0, 0.0]),
+            item(1, vec![0.0, 1.0]),
+            item(2, vec![1.0, 0.0]),
+        ];
+        let mut rng = StdRng::seed_from_u64(0);
+        let seqs = topic_sequences(&[0, 1, 2], &items, 2, 5, &mut rng);
+        assert_eq!(seqs[0], vec![0, 2]);
+        assert_eq!(seqs[1], vec![1]);
+    }
+
+    #[test]
+    fn topic_sequences_truncate_to_most_recent() {
+        let items: Vec<ItemProfile> = (0..10).map(|i| item(i, vec![1.0])).collect();
+        let history: Vec<ItemId> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let seqs = topic_sequences(&history, &items, 1, 3, &mut rng);
+        assert_eq!(seqs[0], vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn topic_sequences_skip_zero_coverage() {
+        let items = vec![item(0, vec![0.0, 0.0])];
+        let mut rng = StdRng::seed_from_u64(0);
+        let seqs = topic_sequences(&[0], &items, 2, 5, &mut rng);
+        assert!(seqs[0].is_empty() && seqs[1].is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Probabilistic topic coverage — Eq. (4)–(5) of the paper.
+
+/// Probabilistic coverage of a set of items (Eq. 4):
+/// `c_j(R) = 1 − Π_{v∈R} (1 − τ_v^j)`.
+///
+/// `coverages` holds one `τ_v ∈ [0,1]^m` slice per item; all must share
+/// the same length `m`.
+///
+/// # Panics
+/// Panics if coverage vectors disagree on `m`.
+pub fn coverage_vector(coverages: &[&[f32]]) -> Vec<f32> {
+    let Some(first) = coverages.first() else {
+        return Vec::new();
+    };
+    let m = first.len();
+    let mut miss = vec![1.0f32; m];
+    for cov in coverages {
+        assert_eq!(
+            cov.len(),
+            m,
+            "coverage_vector: inconsistent topic counts ({} vs {m})",
+            cov.len()
+        );
+        for (acc, &c) in miss.iter_mut().zip(*cov) {
+            *acc *= 1.0 - c.clamp(0.0, 1.0);
+        }
+    }
+    miss.into_iter().map(|p| 1.0 - p).collect()
+}
+
+/// Marginal diversity of item `idx` within the list (Eq. 5):
+/// `d_R(R(i)) = c(R) − c(R \ {R(i)})`, elementwise over topics.
+///
+/// Each element lies in `[0, 1]`: it is the probability that `R(i)` is
+/// the *only* item covering that topic.
+///
+/// # Panics
+/// Panics if `idx` is out of range.
+pub fn marginal_diversity(coverages: &[&[f32]], idx: usize) -> Vec<f32> {
+    assert!(
+        idx < coverages.len(),
+        "marginal_diversity: idx {idx} out of range for {} items",
+        coverages.len()
+    );
+    let full = coverage_vector(coverages);
+    let without: Vec<&[f32]> = coverages
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != idx)
+        .map(|(_, c)| *c)
+        .collect();
+    let partial = coverage_vector(&without);
+    full.iter().zip(&partial).map(|(f, p)| f - p).collect()
+}
+
+/// Sequential coverage gains `ζ(v_k) = c(S_{1:k}) − c(S_{1:k−1})` for a
+/// list processed in order — the novelty signal of the paper's DCM click
+/// model (§IV-B1).
+///
+/// Returns one gain vector per position.
+pub fn sequential_gains(coverages: &[&[f32]]) -> Vec<Vec<f32>> {
+    let Some(first) = coverages.first() else {
+        return Vec::new();
+    };
+    let m = first.len();
+    let mut miss = vec![1.0f32; m];
+    let mut out = Vec::with_capacity(coverages.len());
+    for cov in coverages {
+        let mut gain = Vec::with_capacity(m);
+        for (j, &c) in cov.iter().enumerate() {
+            let c = c.clamp(0.0, 1.0);
+            let new_miss = miss[j] * (1.0 - c);
+            gain.push(miss[j] - new_miss); // = miss_before * c
+            miss[j] = new_miss;
+        }
+        out.push(gain);
+    }
+    out
+}
+
+/// The `div@k` metric (§IV-B2): expected number of covered topics in the
+/// top-`k` prefix, `Σ_j c_j(S_{1:k})`.
+pub fn topic_coverage_at_k(coverages: &[&[f32]], k: usize) -> f32 {
+    let k = k.min(coverages.len());
+    coverage_vector(&coverages[..k]).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn coverage_of_empty_set_is_empty() {
+        assert!(coverage_vector(&[]).is_empty());
+    }
+
+    #[test]
+    fn coverage_of_disjoint_one_hots_is_their_union() {
+        let a = [1.0, 0.0, 0.0];
+        let b = [0.0, 1.0, 0.0];
+        assert_eq!(coverage_vector(&[&a, &b]), vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn coverage_is_probabilistic_for_soft_vectors() {
+        let a = [0.5, 0.0];
+        let b = [0.5, 0.0];
+        let c = coverage_vector(&[&a, &b]);
+        assert!((c[0] - 0.75).abs() < 1e-6); // 1 − 0.5²
+        assert_eq!(c[1], 0.0);
+    }
+
+    #[test]
+    fn marginal_diversity_is_zero_for_duplicated_item() {
+        let a = [1.0, 0.0];
+        let b = [1.0, 0.0];
+        let d = marginal_diversity(&[&a, &b], 0);
+        assert!(d.iter().all(|&x| x.abs() < 1e-6));
+    }
+
+    #[test]
+    fn marginal_diversity_is_full_for_unique_topic() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        let d = marginal_diversity(&[&a, &b], 1);
+        assert!((d[1] - 1.0).abs() < 1e-6);
+        assert!(d[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn sequential_gains_sum_to_total_coverage() {
+        let lists: Vec<Vec<f32>> = vec![
+            vec![0.5, 0.2, 0.0],
+            vec![0.3, 0.9, 0.1],
+            vec![0.0, 0.5, 0.5],
+        ];
+        let refs: Vec<&[f32]> = lists.iter().map(|v| v.as_slice()).collect();
+        let gains = sequential_gains(&refs);
+        let total = coverage_vector(&refs);
+        for j in 0..3 {
+            let sum: f32 = gains.iter().map(|g| g[j]).sum();
+            assert!((sum - total[j]).abs() < 1e-6, "topic {j}");
+        }
+    }
+
+    #[test]
+    fn div_at_k_truncates() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert_eq!(topic_coverage_at_k(&[&a, &b], 1), 1.0);
+        assert_eq!(topic_coverage_at_k(&[&a, &b], 2), 2.0);
+        assert_eq!(topic_coverage_at_k(&[&a, &b], 99), 2.0);
+    }
+
+    proptest! {
+        /// Coverage is monotone: adding an item never decreases any
+        /// element.
+        #[test]
+        fn coverage_is_monotone(
+            items in proptest::collection::vec(
+                proptest::collection::vec(0.0f32..=1.0, 4), 1..8),
+            extra in proptest::collection::vec(0.0f32..=1.0, 4),
+        ) {
+            let refs: Vec<&[f32]> = items.iter().map(|v| v.as_slice()).collect();
+            let before = coverage_vector(&refs);
+            let mut with: Vec<&[f32]> = refs.clone();
+            with.push(&extra);
+            let after = coverage_vector(&with);
+            for (b, a) in before.iter().zip(&after) {
+                prop_assert!(a >= &(b - 1e-6));
+            }
+        }
+
+        /// Coverage is submodular: the gain of adding `extra` to a
+        /// superset is no larger than adding it to a subset.
+        #[test]
+        fn coverage_is_submodular(
+            base in proptest::collection::vec(
+                proptest::collection::vec(0.0f32..=1.0, 3), 1..6),
+            more in proptest::collection::vec(0.0f32..=1.0, 3),
+            extra in proptest::collection::vec(0.0f32..=1.0, 3),
+        ) {
+            let small: Vec<&[f32]> = base.iter().map(|v| v.as_slice()).collect();
+            let mut big = small.clone();
+            big.push(&more);
+
+            let gain = |set: &[&[f32]]| -> Vec<f32> {
+                let before = coverage_vector(set);
+                let mut with = set.to_vec();
+                with.push(&extra);
+                let after = coverage_vector(&with);
+                after.iter().zip(&before).map(|(a, b)| a - b).collect()
+            };
+            let g_small = gain(&small);
+            let g_big = gain(&big);
+            for (s, b) in g_small.iter().zip(&g_big) {
+                prop_assert!(b <= &(s + 1e-5));
+            }
+        }
+
+        /// Marginal diversity entries stay in [0, 1].
+        #[test]
+        fn marginal_diversity_bounded(
+            items in proptest::collection::vec(
+                proptest::collection::vec(0.0f32..=1.0, 3), 1..6),
+        ) {
+            let refs: Vec<&[f32]> = items.iter().map(|v| v.as_slice()).collect();
+            for idx in 0..refs.len() {
+                let d = marginal_diversity(&refs, idx);
+                for v in d {
+                    prop_assert!((-1e-5..=1.0 + 1e-5).contains(&v));
+                }
+            }
+        }
+
+        /// Gains at every position are non-negative and bounded by the
+        /// item's own coverage.
+        #[test]
+        fn sequential_gains_bounded(
+            items in proptest::collection::vec(
+                proptest::collection::vec(0.0f32..=1.0, 3), 1..6),
+        ) {
+            let refs: Vec<&[f32]> = items.iter().map(|v| v.as_slice()).collect();
+            let gains = sequential_gains(&refs);
+            for (g, item) in gains.iter().zip(&refs) {
+                for (gv, iv) in g.iter().zip(*item) {
+                    prop_assert!(*gv >= -1e-6);
+                    prop_assert!(*gv <= iv + 1e-6);
+                }
+            }
+        }
+    }
+}

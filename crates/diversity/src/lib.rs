@@ -1,0 +1,33 @@
+//! Diversity machinery: submodular topic coverage, marginal diversity,
+//! and the classical diversification algorithms the paper compares
+//! against.
+//!
+//! * [`coverage`] — the probabilistic coverage function of Eq. (4), the
+//!   marginal diversity of Eq. (5), and the sequential coverage gains
+//!   `ζ` used by the click model.
+//! * [`mmr`] — Maximal Marginal Relevance greedy selection.
+//! * [`dpp`] — Determinantal Point Process kernel construction and the
+//!   fast greedy MAP inference of Chen et al. (2018).
+//! * [`ssd`] — a sliding-window spectrum decomposition re-ranker in the
+//!   spirit of Huang et al. (2021): items are scored by relevance plus
+//!   the orthogonal residual they add to the span of a sliding window of
+//!   previously selected items.
+//! * [`entropy`] — the history-entropy diversity propensity used by the
+//!   adpMMR baseline (Di Noia et al., 2014).
+//!
+//! Everything here is deterministic pure math over coverage vectors and
+//! relevance scores — no model training.
+
+pub mod coverage;
+pub mod dpp;
+pub mod entropy;
+pub mod mmr;
+pub mod ssd;
+pub mod submodular;
+
+pub use coverage::{coverage_vector, marginal_diversity, sequential_gains, topic_coverage_at_k};
+pub use dpp::{greedy_map, DppKernel};
+pub use entropy::history_entropy_propensity;
+pub use mmr::mmr_select;
+pub use ssd::ssd_select;
+pub use submodular::{LogCoverage, ProbabilisticCoverage, SaturatedCoverage, SubmodularCoverage};

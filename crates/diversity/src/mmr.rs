@@ -1,0 +1,111 @@
+//! Maximal Marginal Relevance (Carbonell & Goldstein, 1998).
+
+/// Greedy MMR selection.
+///
+/// Repeatedly picks the unselected item maximising
+/// `λ · rel(v) − (1 − λ) · max_{s ∈ selected} sim(v, s)`,
+/// where `sim` is the cosine similarity of topic-coverage vectors.
+/// Returns the selected indices in rank order (all items, i.e. a full
+/// permutation of `0..n`).
+///
+/// `lambda = 1` reduces to sorting by relevance; `lambda = 0` is pure
+/// novelty.
+///
+/// # Panics
+/// Panics if `relevance` and `coverages` disagree on length.
+pub fn mmr_select(relevance: &[f32], coverages: &[&[f32]], lambda: f32) -> Vec<usize> {
+    assert_eq!(
+        relevance.len(),
+        coverages.len(),
+        "mmr_select: {} scores vs {} items",
+        relevance.len(),
+        coverages.len()
+    );
+    let n = relevance.len();
+    let mut selected: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining: Vec<usize> = (0..n).collect();
+
+    while !remaining.is_empty() {
+        let mut best_pos = 0;
+        let mut best_score = f32::NEG_INFINITY;
+        for (pos, &cand) in remaining.iter().enumerate() {
+            let max_sim = selected
+                .iter()
+                .map(|&s| cosine(coverages[cand], coverages[s]))
+                .fold(0.0f32, f32::max);
+            let score = lambda * relevance[cand] - (1.0 - lambda) * max_sim;
+            if score > best_score {
+                best_score = score;
+                best_pos = pos;
+            }
+        }
+        selected.push(remaining.swap_remove(best_pos));
+    }
+    selected
+}
+
+/// Cosine similarity; zero vectors yield 0.
+pub(crate) fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lambda_one_is_relevance_sort() {
+        let rel = [0.1, 0.9, 0.5];
+        let covs: Vec<Vec<f32>> = vec![vec![1.0, 0.0]; 3];
+        let refs: Vec<&[f32]> = covs.iter().map(|v| v.as_slice()).collect();
+        assert_eq!(mmr_select(&rel, &refs, 1.0), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn low_lambda_interleaves_topics() {
+        // Two near-duplicate relevant items from topic 0 and one slightly
+        // less relevant item from topic 1: with diversity pressure the
+        // topic-1 item must move up to rank 2.
+        let rel = [0.9, 0.85, 0.6];
+        let covs = [
+            vec![1.0f32, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ];
+        let refs: Vec<&[f32]> = covs.iter().map(|v| v.as_slice()).collect();
+        let order = mmr_select(&rel, &refs, 0.4);
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 2, "diverse item should rank second");
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    proptest! {
+        /// MMR always returns a permutation of the input indices.
+        #[test]
+        fn mmr_is_a_permutation(
+            rel in proptest::collection::vec(0.0f32..1.0, 1..10),
+            lambda in 0.0f32..=1.0,
+        ) {
+            let covs: Vec<Vec<f32>> = rel.iter().map(|&r| vec![r, 1.0 - r]).collect();
+            let refs: Vec<&[f32]> = covs.iter().map(|v| v.as_slice()).collect();
+            let mut order = mmr_select(&rel, &refs, lambda);
+            order.sort_unstable();
+            let expect: Vec<usize> = (0..rel.len()).collect();
+            prop_assert_eq!(order, expect);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Sliding Spectrum Decomposition (Huang et al., KDD 2021), simplified.
+//!
+//! SSD treats the selected prefix as a trajectory of item vectors and
+//! scores a candidate by the relevance plus the *volume* it adds to the
+//! span of a sliding window of recent selections. The volume increment
+//! equals the norm of the candidate's component orthogonal to that span,
+//! which we compute by Gram–Schmidt against the window.
+
+/// Greedy SSD selection.
+///
+/// At each step picks the unselected item maximising
+/// `rel(v) + gamma · ‖residual of cov(v) against the last `window`
+/// selections‖`, then appends it. Returns a full permutation in rank
+/// order.
+///
+/// # Panics
+/// Panics if `relevance` and `vectors` disagree on length or
+/// `window == 0`.
+pub fn ssd_select(relevance: &[f32], vectors: &[&[f32]], gamma: f32, window: usize) -> Vec<usize> {
+    assert_eq!(
+        relevance.len(),
+        vectors.len(),
+        "ssd_select: {} scores vs {} items",
+        relevance.len(),
+        vectors.len()
+    );
+    assert!(window > 0, "ssd_select: window must be positive");
+    let n = relevance.len();
+    let mut selected: Vec<usize> = Vec::with_capacity(n);
+    let mut remaining: Vec<usize> = (0..n).collect();
+    // Orthonormal basis of the sliding window's span (rebuilt per step;
+    // window sizes are tiny).
+    while !remaining.is_empty() {
+        let start = selected.len().saturating_sub(window);
+        let basis = orthonormal_basis(
+            &selected[start..]
+                .iter()
+                .map(|&s| vectors[s])
+                .collect::<Vec<_>>(),
+        );
+        let mut best_pos = 0;
+        let mut best_score = f32::NEG_INFINITY;
+        for (pos, &cand) in remaining.iter().enumerate() {
+            let resid = residual_norm(vectors[cand], &basis);
+            let score = relevance[cand] + gamma * resid;
+            if score > best_score {
+                best_score = score;
+                best_pos = pos;
+            }
+        }
+        selected.push(remaining.swap_remove(best_pos));
+    }
+    selected
+}
+
+/// Gram–Schmidt orthonormal basis of the given vectors (near-zero
+/// residuals dropped).
+fn orthonormal_basis(vectors: &[&[f32]]) -> Vec<Vec<f32>> {
+    let mut basis: Vec<Vec<f32>> = Vec::with_capacity(vectors.len());
+    for v in vectors {
+        let mut r = v.to_vec();
+        for b in &basis {
+            let dot: f32 = r.iter().zip(b).map(|(x, y)| x * y).sum();
+            for (ri, bi) in r.iter_mut().zip(b) {
+                *ri -= dot * bi;
+            }
+        }
+        let norm: f32 = r.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-6 {
+            for ri in &mut r {
+                *ri /= norm;
+            }
+            basis.push(r);
+        }
+    }
+    basis
+}
+
+/// Norm of `v`'s component orthogonal to `basis` (orthonormal).
+fn residual_norm(v: &[f32], basis: &[Vec<f32>]) -> f32 {
+    let mut r = v.to_vec();
+    for b in basis {
+        let dot: f32 = r.iter().zip(b).map(|(x, y)| x * y).sum();
+        for (ri, bi) in r.iter_mut().zip(b) {
+            *ri -= dot * bi;
+        }
+    }
+    r.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn residual_of_spanned_vector_is_zero() {
+        let basis = orthonormal_basis(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!(residual_norm(&[3.0, 4.0], &basis) < 1e-5);
+    }
+
+    #[test]
+    fn residual_of_orthogonal_vector_is_its_norm() {
+        let basis = orthonormal_basis(&[&[1.0, 0.0, 0.0]]);
+        assert!((residual_norm(&[0.0, 0.0, 2.0], &basis) - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn duplicate_vectors_collapse_in_basis() {
+        let basis = orthonormal_basis(&[&[1.0, 0.0], &[2.0, 0.0]]);
+        assert_eq!(basis.len(), 1);
+    }
+
+    #[test]
+    fn ssd_promotes_orthogonal_item() {
+        let rel = [0.9, 0.85, 0.5];
+        let vecs = [
+            vec![1.0f32, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ];
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        let order = ssd_select(&rel, &refs, 1.0, 3);
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 2, "orthogonal item should be boosted to rank 2");
+    }
+
+    #[test]
+    fn window_forgets_old_directions() {
+        // With window 1, only the immediately preceding item suppresses
+        // similarity; item 1 (duplicate of item 0) can return at rank 3.
+        let rel = [0.9, 0.89, 0.5, 0.1];
+        let vecs = [
+            vec![1.0f32, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+        ];
+        let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+        let order = ssd_select(&rel, &refs, 0.5, 1);
+        // After selecting 0 then 2, the window only contains 2, so the
+        // duplicate of 0 is no longer penalised and wins on relevance.
+        assert_eq!(&order[..3], &[0, 2, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn ssd_is_a_permutation(
+            rel in proptest::collection::vec(0.0f32..1.0, 1..9),
+            gamma in 0.0f32..2.0,
+        ) {
+            let vecs: Vec<Vec<f32>> = rel.iter().map(|&r| vec![r, 1.0 - r, 0.3]).collect();
+            let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
+            let mut order = ssd_select(&rel, &refs, gamma, 3);
+            order.sort_unstable();
+            let expect: Vec<usize> = (0..rel.len()).collect();
+            prop_assert_eq!(order, expect);
+        }
+    }
+}

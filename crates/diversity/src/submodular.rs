@@ -1,0 +1,224 @@
+//! Pluggable submodular diversity functions.
+//!
+//! The paper notes (§III-C) that its probabilistic coverage function
+//! "can be replaced by other submodular diversity functions according
+//! to the objective of the recommendation scenario". This module makes
+//! that replacement a first-class API: a [`SubmodularCoverage`] trait
+//! with the paper's probabilistic coverage plus two widely used
+//! alternatives, and a generic marginal-diversity computation over any
+//! of them.
+
+/// A monotone submodular, topic-wise coverage function: maps a set of
+/// item coverage vectors to an `m`-vector of per-topic coverage levels.
+pub trait SubmodularCoverage {
+    /// Coverage of a set of items (each a `τ_v ∈ [0,1]^m` slice).
+    fn coverage(&self, items: &[&[f32]]) -> Vec<f32>;
+
+    /// Marginal diversity of `idx` within `items` under this function:
+    /// `c(R) − c(R \ {R(idx)})`, elementwise (the generalised Eq. 5).
+    fn marginal(&self, items: &[&[f32]], idx: usize) -> Vec<f32> {
+        assert!(
+            idx < items.len(),
+            "marginal: idx {idx} out of range for {} items",
+            items.len()
+        );
+        let full = self.coverage(items);
+        let without: Vec<&[f32]> = items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx)
+            .map(|(_, c)| *c)
+            .collect();
+        let partial = self.coverage(&without);
+        full.iter().zip(&partial).map(|(f, p)| f - p).collect()
+    }
+}
+
+/// The paper's default (Eq. 4): `c_j(R) = 1 − Π (1 − τ_v^j)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbabilisticCoverage;
+
+impl SubmodularCoverage for ProbabilisticCoverage {
+    fn coverage(&self, items: &[&[f32]]) -> Vec<f32> {
+        crate::coverage::coverage_vector(items)
+    }
+}
+
+/// Saturated linear coverage: `c_j(R) = min(1, Σ τ_v^j / s)` — each
+/// topic saturates once it has accumulated `s` units of coverage mass.
+/// A common choice when a platform wants "at least s items per topic".
+#[derive(Debug, Clone, Copy)]
+pub struct SaturatedCoverage {
+    /// Saturation threshold `s > 0`.
+    pub saturation: f32,
+}
+
+impl Default for SaturatedCoverage {
+    fn default() -> Self {
+        Self { saturation: 1.0 }
+    }
+}
+
+impl SubmodularCoverage for SaturatedCoverage {
+    fn coverage(&self, items: &[&[f32]]) -> Vec<f32> {
+        let Some(first) = items.first() else {
+            return Vec::new();
+        };
+        let mut mass = vec![0.0f32; first.len()];
+        for cov in items {
+            for (acc, &c) in mass.iter_mut().zip(*cov) {
+                *acc += c.clamp(0.0, 1.0);
+            }
+        }
+        mass.into_iter()
+            .map(|x| (x / self.saturation.max(1e-9)).min(1.0))
+            .collect()
+    }
+}
+
+/// Logarithmic coverage: `c_j(R) = ln(1 + Σ τ_v^j) / ln(1 + cap)` —
+/// the concave-utility form of Yue & Guestrin's linear submodular
+/// bandits, with diminishing (but never saturating) returns.
+#[derive(Debug, Clone, Copy)]
+pub struct LogCoverage {
+    /// Normalisation cap (mass at which coverage reads 1.0).
+    pub cap: f32,
+}
+
+impl Default for LogCoverage {
+    fn default() -> Self {
+        Self { cap: 5.0 }
+    }
+}
+
+impl SubmodularCoverage for LogCoverage {
+    fn coverage(&self, items: &[&[f32]]) -> Vec<f32> {
+        let Some(first) = items.first() else {
+            return Vec::new();
+        };
+        let denom = (1.0 + self.cap.max(1e-9)).ln();
+        let mut mass = vec![0.0f32; first.len()];
+        for cov in items {
+            for (acc, &c) in mass.iter_mut().zip(*cov) {
+                *acc += c.clamp(0.0, 1.0);
+            }
+        }
+        mass.into_iter().map(|x| (1.0 + x).ln() / denom).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_monotone_submodular(f: &dyn SubmodularCoverage, sets: &[Vec<Vec<f32>>], extra: &[f32]) {
+        for base in sets {
+            let refs: Vec<&[f32]> = base.iter().map(|v| v.as_slice()).collect();
+            let before = f.coverage(&refs);
+            let mut with = refs.clone();
+            with.push(extra);
+            let after = f.coverage(&with);
+            // Monotone.
+            for (b, a) in before.iter().zip(&after) {
+                assert!(a >= &(b - 1e-6), "not monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn probabilistic_delegates_to_eq4() {
+        let a = [0.5f32, 0.0];
+        let b = [0.5f32, 1.0];
+        let f = ProbabilisticCoverage;
+        let c = f.coverage(&[&a, &b]);
+        assert!((c[0] - 0.75).abs() < 1e-6);
+        assert!((c[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturated_caps_at_one() {
+        let a = [0.8f32];
+        let f = SaturatedCoverage { saturation: 1.0 };
+        assert!((f.coverage(&[&a])[0] - 0.8).abs() < 1e-6);
+        assert!((f.coverage(&[&a, &a])[0] - 1.0).abs() < 1e-6, "saturates");
+        assert!((f.coverage(&[&a, &a, &a])[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_coverage_has_diminishing_returns() {
+        let a = [1.0f32];
+        let f = LogCoverage::default();
+        let g1 = f.coverage(&[&a])[0];
+        let g2 = f.coverage(&[&a, &a])[0] - g1;
+        let g3 = f.coverage(&[&a, &a, &a])[0] - f.coverage(&[&a, &a])[0];
+        assert!(g1 > g2 && g2 > g3, "gains must shrink: {g1} {g2} {g3}");
+        assert!(g3 > 0.0, "but never vanish");
+    }
+
+    #[test]
+    fn marginal_is_zero_for_redundant_items_under_saturation() {
+        // Three items each carrying 1.0 mass at saturation 2: removing
+        // any one still saturates, so each marginal is 0.
+        let a = [1.0f32];
+        let f = SaturatedCoverage { saturation: 2.0 };
+        let items: Vec<&[f32]> = vec![&a, &a, &a];
+        for i in 0..3 {
+            assert!(f.marginal(&items, i)[0].abs() < 1e-6);
+        }
+        // With only two items, each marginal is 0.5 (1.0/2 of the cap).
+        let two: Vec<&[f32]> = vec![&a, &a];
+        for i in 0..2 {
+            assert!((f.marginal(&two, i)[0] - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn all_functions_are_monotone_on_fixed_cases() {
+        let sets = vec![
+            vec![vec![0.2f32, 0.8], vec![0.5, 0.5]],
+            vec![vec![1.0f32, 0.0]],
+            vec![],
+        ];
+        let extra = [0.7f32, 0.3];
+        check_monotone_submodular(&ProbabilisticCoverage, &sets[..2], &extra);
+        check_monotone_submodular(&SaturatedCoverage::default(), &sets[..2], &extra);
+        check_monotone_submodular(&LogCoverage::default(), &sets[..2], &extra);
+    }
+
+    proptest! {
+        /// Submodularity of the alternatives: the marginal gain of an
+        /// item shrinks as the base set grows.
+        #[test]
+        fn alternatives_are_submodular(
+            base in proptest::collection::vec(
+                proptest::collection::vec(0.0f32..=1.0, 3), 1..5),
+            more in proptest::collection::vec(0.0f32..=1.0, 3),
+            extra in proptest::collection::vec(0.0f32..=1.0, 3),
+            saturation in 0.5f32..4.0,
+            cap in 1.0f32..8.0,
+        ) {
+            let functions: Vec<Box<dyn SubmodularCoverage>> = vec![
+                Box::new(SaturatedCoverage { saturation }),
+                Box::new(LogCoverage { cap }),
+            ];
+            for f in &functions {
+                let small: Vec<&[f32]> = base.iter().map(|v| v.as_slice()).collect();
+                let mut big = small.clone();
+                big.push(&more);
+                let gain = |set: &[&[f32]]| -> Vec<f32> {
+                    let before = f.coverage(set);
+                    let mut with = set.to_vec();
+                    with.push(&extra);
+                    let after = f.coverage(&with);
+                    after.iter().zip(&before).map(|(a, b)| a - b).collect()
+                };
+                let g_small = gain(&small);
+                let g_big = gain(&big);
+                for (s, b) in g_small.iter().zip(&g_big) {
+                    prop_assert!(b <= &(s + 1e-5), "submodularity violated");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Experiment configuration and scale presets.
+
+use rapid_data::{DataConfig, Flavor};
+use serde::{Deserialize, Serialize};
+
+/// Which initial ranker produces the lists (§IV-B3 / Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RankerKind {
+    /// Deep Interest Network (the default, as in Table II).
+    Din,
+    /// Pairwise linear SVM.
+    SvmRank,
+    /// Listwise boosted trees.
+    LambdaMart,
+}
+
+impl RankerKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RankerKind::Din => "DIN",
+            RankerKind::SvmRank => "SVMRank",
+            RankerKind::LambdaMart => "LambdaMART",
+        }
+    }
+}
+
+/// How test lists are scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalProtocol {
+    /// Ground-truth DCM scores the re-ranked list (Taobao/MovieLens).
+    SemiSynthetic,
+    /// Item-level click labels logged once on the initial list
+    /// (App Store, Table III).
+    Logged,
+}
+
+/// Experiment size preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Seconds-per-model: CI and integration tests.
+    Quick,
+    /// The scale the committed EXPERIMENTS.md numbers were produced at.
+    Full,
+}
+
+/// Everything one experiment run needs.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Synthetic world parameters.
+    pub data: DataConfig,
+    /// DCM relevance/diversity tradeoff λ (Table II uses 0.5/0.9/1.0).
+    pub lambda: f32,
+    /// Initial ranker.
+    pub ranker: RankerKind,
+    /// Evaluation protocol.
+    pub protocol: EvalProtocol,
+    /// Neural re-ranker training epochs.
+    pub epochs: usize,
+    /// Hidden size `q_h` for all neural re-rankers (Fig. 4 sweeps it).
+    pub hidden: usize,
+    /// RAPID's behavior sequence length `D` (Table V sweeps it).
+    pub behavior_len: usize,
+    /// Simulated click rollouts per test request for `ndcg@k`.
+    pub ndcg_rollouts: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The standard configuration for a flavor at a given scale.
+    pub fn new(flavor: Flavor, scale: Scale) -> Self {
+        let mut data = DataConfig::new(flavor);
+        match scale {
+            Scale::Quick => {
+                data.num_users = 80;
+                data.num_items = 400;
+                data.ranker_train_interactions = 4000;
+                data.rerank_train_requests = 400;
+                data.test_requests = 150;
+            }
+            Scale::Full => {
+                data.num_users = 400;
+                data.num_items = 1500;
+                data.ranker_train_interactions = 20_000;
+                data.rerank_train_requests = 1500;
+                data.test_requests = 400;
+            }
+        }
+        let protocol = if flavor == Flavor::AppStore {
+            EvalProtocol::Logged
+        } else {
+            EvalProtocol::SemiSynthetic
+        };
+        Self {
+            data,
+            // The App Store world's "real" users weigh relevance and
+            // diversity at a fixed λ = 0.7; the semi-synthetic tables
+            // sweep λ explicitly.
+            lambda: if flavor == Flavor::AppStore { 0.7 } else { 0.9 },
+            ranker: RankerKind::Din,
+            protocol,
+            epochs: match scale {
+                Scale::Quick => 15,
+                Scale::Full => 20,
+            },
+            hidden: 32,
+            behavior_len: 5,
+            ndcg_rollouts: 8,
+            seed: 42,
+        }
+    }
+
+    /// Sets the DCM λ.
+    pub fn with_lambda(mut self, lambda: f32) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the initial ranker.
+    pub fn with_ranker(mut self, ranker: RankerKind) -> Self {
+        self.ranker = ranker;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appstore_defaults_to_logged_protocol() {
+        let c = ExperimentConfig::new(Flavor::AppStore, Scale::Quick);
+        assert_eq!(c.protocol, EvalProtocol::Logged);
+        let c2 = ExperimentConfig::new(Flavor::Taobao, Scale::Quick);
+        assert_eq!(c2.protocol, EvalProtocol::SemiSynthetic);
+    }
+
+    #[test]
+    fn full_scale_is_larger_than_quick() {
+        let q = ExperimentConfig::new(Flavor::MovieLens, Scale::Quick);
+        let f = ExperimentConfig::new(Flavor::MovieLens, Scale::Full);
+        assert!(f.data.num_users > q.data.num_users);
+        assert!(f.data.rerank_train_requests > q.data.rerank_train_requests);
+        assert!(f.epochs >= q.epochs);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = ExperimentConfig::new(Flavor::Taobao, Scale::Quick)
+            .with_lambda(0.5)
+            .with_ranker(RankerKind::SvmRank);
+        assert_eq!(c.lambda, 0.5);
+        assert_eq!(c.ranker, RankerKind::SvmRank);
+    }
+}

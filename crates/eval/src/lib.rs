@@ -1,0 +1,38 @@
+//! The end-to-end experiment pipeline (§IV): dataset → initial ranker →
+//! DCM feedback → train every re-ranker → evaluate → format tables.
+//!
+//! This crate is what the `rapid-bench` binaries drive to regenerate
+//! each table and figure of the paper:
+//!
+//! * [`Pipeline`] — owns the dataset, the trained initial ranker, the
+//!   labeled training lists, and the test inputs; [`Pipeline::evaluate`]
+//!   runs one re-ranker through training and evaluation and returns
+//!   per-request metric vectors plus wall-clock timings.
+//! * [`zoo`] — constructors for the full model line-up of Tables II/III
+//!   and the ablation variants of Fig. 3.
+//! * [`table`] — fixed-width table formatting with significance stars
+//!   (paired t-test vs. a chosen baseline, `p < 0.05`, as in the
+//!   paper).
+//!
+//! Evaluation protocols, mirroring §IV-B:
+//!
+//! * **Semi-synthetic** (Taobao-like, MovieLens-like): the ground-truth
+//!   DCM scores the *re-ranked* list. `click@k` and `satis@k` are
+//!   computed in closed form (no simulation noise); `ndcg@k` averages
+//!   simulated click rollouts; `div@k` is topic coverage.
+//! * **Logged** (AppStore-like): clicks are simulated once on the
+//!   *initial* list and frozen as item-level labels; re-rankers are
+//!   scored offline against those labels (clicks travel with items),
+//!   plus bid-weighted `rev@k` — Table III's protocol, where evaluation
+//!   "does not depend on the click model".
+
+pub mod config;
+pub mod pipeline;
+pub mod report;
+pub mod table;
+pub mod zoo;
+
+pub use config::{EvalProtocol, ExperimentConfig, RankerKind, Scale};
+pub use pipeline::{ModelResult, Pipeline};
+pub use report::{Report, ReportRow};
+pub use table::ResultTable;

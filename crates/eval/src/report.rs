@@ -1,0 +1,117 @@
+//! Machine-readable experiment reports: serialise a set of
+//! [`ModelResult`]s to JSON for downstream plotting or regression
+//! tracking.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::ModelResult;
+
+/// One model's row in a serialised report: metric means plus timing.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ReportRow {
+    /// Model display name.
+    pub model: String,
+    /// Metric name → mean across test requests.
+    pub metrics: std::collections::BTreeMap<String, f32>,
+    /// Total training seconds.
+    pub train_seconds: f64,
+    /// Mean inference milliseconds per batch of 16 lists.
+    pub test_batch_ms: f64,
+}
+
+/// A complete experiment report.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Report {
+    /// Free-form experiment label (e.g. "table2/taobao/lambda=0.5").
+    pub experiment: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Number of test requests behind each mean.
+    pub test_requests: usize,
+    /// One row per evaluated model, in evaluation order.
+    pub rows: Vec<ReportRow>,
+}
+
+impl Report {
+    /// Builds a report from evaluated results.
+    pub fn new(experiment: &str, seed: u64, results: &[ModelResult]) -> Self {
+        let test_requests = results
+            .first()
+            .and_then(|r| r.per_request.values().next())
+            .map_or(0, |v| v.len());
+        let rows = results
+            .iter()
+            .map(|r| ReportRow {
+                model: r.name.clone(),
+                metrics: r
+                    .per_request
+                    .iter()
+                    .map(|(k, v)| (k.clone(), rapid_metrics::mean(v)))
+                    .collect(),
+                train_seconds: r.train_time.as_secs_f64(),
+                test_batch_ms: r.test_per_batch.as_secs_f64() * 1e3,
+            })
+            .collect();
+        Self {
+            experiment: experiment.to_string(),
+            seed,
+            test_requests,
+            rows,
+        }
+    }
+
+    /// Serialises to pretty JSON.
+    ///
+    /// # Panics
+    /// Never panics in practice — the report contains only maps,
+    /// strings, and numbers.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// Parses a report back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    fn result(name: &str) -> ModelResult {
+        let mut per_request = BTreeMap::new();
+        per_request.insert("click@5".to_string(), vec![1.0, 2.0, 3.0]);
+        per_request.insert("div@5".to_string(), vec![2.0, 2.0, 2.0]);
+        ModelResult {
+            name: name.to_string(),
+            per_request,
+            train_time: Duration::from_millis(1500),
+            train_per_batch: Duration::from_millis(10),
+            test_per_batch: Duration::from_micros(2500),
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = Report::new("demo", 42, &[result("A"), result("B")]);
+        assert_eq!(report.test_requests, 3);
+        assert_eq!(report.rows.len(), 2);
+        assert!((report.rows[0].metrics["click@5"] - 2.0).abs() < 1e-6);
+        assert!((report.rows[0].test_batch_ms - 2.5).abs() < 1e-9);
+
+        let json = report.to_json();
+        let parsed = Report::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let report = Report::new("empty", 0, &[]);
+        assert_eq!(report.test_requests, 0);
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert!(parsed.rows.is_empty());
+    }
+}

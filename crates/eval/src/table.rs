@@ -1,0 +1,150 @@
+//! Fixed-width result tables with significance stars, matching the
+//! layout of the paper's Tables II–V.
+
+use rapid_metrics::paired_t_test;
+
+use crate::pipeline::ModelResult;
+
+/// A formatted comparison table over a fixed metric set.
+pub struct ResultTable {
+    metrics: Vec<String>,
+    rows: Vec<ModelResult>,
+    /// Row name whose per-request values anchor the paired t-test
+    /// (the paper stars improvements over the strongest baseline).
+    significance_baseline: Option<String>,
+}
+
+impl ResultTable {
+    /// New table over the given metric columns.
+    pub fn new(metrics: &[&str]) -> Self {
+        Self {
+            metrics: metrics.iter().map(|m| m.to_string()).collect(),
+            rows: Vec::new(),
+            significance_baseline: None,
+        }
+    }
+
+    /// Adds a model's results as a row.
+    pub fn push(&mut self, result: ModelResult) {
+        self.rows.push(result);
+    }
+
+    /// Stars entries that significantly (`p < 0.05`, paired t-test)
+    /// improve over the named baseline row.
+    pub fn with_significance_vs(mut self, baseline: &str) -> Self {
+        self.significance_baseline = Some(baseline.to_string());
+        self
+    }
+
+    /// The rows pushed so far.
+    pub fn rows(&self) -> &[ModelResult] {
+        &self.rows
+    }
+
+    /// The best row name for a metric (highest mean).
+    pub fn best(&self, metric: &str) -> Option<&str> {
+        self.rows
+            .iter()
+            .max_by(|a, b| a.mean(metric).total_cmp(&b.mean(metric)))
+            .map(|r| r.name.as_str())
+    }
+
+    /// Renders the table.
+    pub fn render(&self, title: &str) -> String {
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(10);
+        let col_w = self.metrics.iter().map(|m| m.len()).max().unwrap_or(8).max(9);
+
+        let mut out = String::new();
+        out.push_str(&format!("== {title} ==\n"));
+        out.push_str(&format!("{:<name_w$}", "model"));
+        for m in &self.metrics {
+            out.push_str(&format!(" {m:>col_w$}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(name_w + (col_w + 1) * self.metrics.len()));
+        out.push('\n');
+
+        let baseline = self
+            .significance_baseline
+            .as_ref()
+            .and_then(|b| self.rows.iter().find(|r| &r.name == b));
+
+        for row in &self.rows {
+            out.push_str(&format!("{:<name_w$}", row.name));
+            for m in &self.metrics {
+                let mean = row.mean(m);
+                let star = baseline
+                    .filter(|b| b.name != row.name)
+                    .and_then(|b| {
+                        let a = row.per_request.get(m)?;
+                        let bv = b.per_request.get(m)?;
+                        let t = paired_t_test(a, bv)?;
+                        Some(t.t > 0.0 && t.significant(0.05))
+                    })
+                    .unwrap_or(false);
+                let cell = format!("{mean:.4}{}", if star { "*" } else { " " });
+                out.push_str(&format!(" {cell:>col_w$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    fn row(name: &str, click: Vec<f32>) -> ModelResult {
+        let mut per_request = BTreeMap::new();
+        per_request.insert("click@5".to_string(), click);
+        ModelResult {
+            name: name.to_string(),
+            per_request,
+            train_time: Duration::ZERO,
+            train_per_batch: Duration::ZERO,
+            test_per_batch: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn renders_rows_and_finds_best() {
+        let mut t = ResultTable::new(&["click@5"]);
+        t.push(row("A", vec![1.0, 1.0, 1.0]));
+        t.push(row("B", vec![2.0, 2.0, 2.0]));
+        assert_eq!(t.best("click@5"), Some("B"));
+        let s = t.render("demo");
+        assert!(s.contains("demo"));
+        assert!(s.contains("1.0000"));
+        assert!(s.contains("2.0000"));
+    }
+
+    #[test]
+    fn stars_significant_improvements_only() {
+        let base: Vec<f32> = (0..40).map(|i| (i as f32 * 0.37).sin()).collect();
+        let better: Vec<f32> = base.iter().map(|x| x + 0.5).collect();
+        let same: Vec<f32> = base.clone();
+
+        let mut t = ResultTable::new(&["click@5"]).with_significance_vs("base");
+        t.push(row("base", base));
+        t.push(row("better", better));
+        t.push(row("same", same));
+        let s = t.render("sig");
+        let lines: Vec<&str> = s.lines().collect();
+        let better_line = lines.iter().find(|l| l.starts_with("better")).unwrap();
+        assert!(better_line.contains('*'), "{better_line}");
+        let same_line = lines.iter().find(|l| l.starts_with("same")).unwrap();
+        assert!(!same_line.contains('*'), "{same_line}");
+        // The baseline row itself never stars.
+        let base_line = lines.iter().find(|l| l.starts_with("base")).unwrap();
+        assert!(!base_line.contains('*'));
+    }
+}

@@ -1,0 +1,171 @@
+//! Model line-ups: the full comparison of Tables II/III and the
+//! ablation variants of Fig. 3.
+
+use rapid_core::{Rapid, RapidConfig};
+use rapid_data::Dataset;
+use rapid_rerankers::{
+    AdpMmr, Desa, DesaConfig, Dlcm, DlcmConfig, DppReranker, Identity, MmrReranker, PdGan,
+    PdGanConfig, Prm, PrmConfig, ReRanker, SetRank, SetRankConfig, Srga, SrgaConfig, SsdReranker,
+};
+
+/// Builds the paper's full model line-up, in table order: Init, the
+/// four relevance-oriented baselines, the four diversity-aware
+/// baselines, the two personalized-diversity baselines, and
+/// RAPID-det / RAPID-pro.
+///
+/// `hidden` and `epochs` apply uniformly to the neural models so the
+/// comparison is fair (the paper grid-searches these; the bench
+/// binaries pin the best grid point per scale).
+pub fn full_lineup(ds: &Dataset, hidden: usize, epochs: usize, seed: u64) -> Vec<Box<dyn ReRanker>> {
+    let mut models: Vec<Box<dyn ReRanker>> = Vec::new();
+    models.push(Box::new(Identity));
+    models.push(Box::new(Dlcm::new(
+        ds,
+        DlcmConfig {
+            hidden,
+            epochs,
+            seed,
+            ..DlcmConfig::default()
+        },
+    )));
+    models.push(Box::new(Prm::new(
+        ds,
+        PrmConfig {
+            hidden,
+            epochs,
+            seed,
+            ..PrmConfig::default()
+        },
+    )));
+    models.push(Box::new(SetRank::new(
+        ds,
+        SetRankConfig {
+            hidden,
+            epochs,
+            seed,
+            ..SetRankConfig::default()
+        },
+    )));
+    models.push(Box::new(Srga::new(
+        ds,
+        SrgaConfig {
+            hidden,
+            epochs,
+            seed,
+            ..SrgaConfig::default()
+        },
+    )));
+    models.push(Box::new(MmrReranker::default()));
+    models.push(Box::new(DppReranker::default()));
+    models.push(Box::new(Desa::new(
+        ds,
+        DesaConfig {
+            hidden,
+            epochs,
+            seed,
+            ..DesaConfig::default()
+        },
+    )));
+    models.push(Box::new(SsdReranker::default()));
+    models.push(Box::new(AdpMmr::default()));
+    models.push(Box::new(PdGan::new(
+        ds,
+        PdGanConfig {
+            hidden: hidden / 2,
+            epochs,
+            seed,
+            ..PdGanConfig::default()
+        },
+    )));
+    models.push(Box::new(rapid_det(ds, hidden, 5, epochs, seed)));
+    models.push(Box::new(rapid_pro(ds, hidden, 5, epochs, seed)));
+    models
+}
+
+/// RAPID with the deterministic head (Eq. 7).
+pub fn rapid_det(ds: &Dataset, hidden: usize, behavior_len: usize, epochs: usize, seed: u64) -> Rapid {
+    Rapid::new(
+        ds,
+        RapidConfig {
+            hidden,
+            behavior_len,
+            epochs,
+            seed,
+            ..RapidConfig::deterministic()
+        },
+    )
+}
+
+/// RAPID with the probabilistic/UCB head (Eq. 8–10).
+pub fn rapid_pro(ds: &Dataset, hidden: usize, behavior_len: usize, epochs: usize, seed: u64) -> Rapid {
+    Rapid::new(
+        ds,
+        RapidConfig {
+            hidden,
+            behavior_len,
+            epochs,
+            seed,
+            ..RapidConfig::probabilistic()
+        },
+    )
+}
+
+/// The ablation line-up of Fig. 3: full RAPID plus the four variants.
+pub fn ablation_lineup(ds: &Dataset, hidden: usize, epochs: usize, seed: u64) -> Vec<Box<dyn ReRanker>> {
+    let mk = |base: RapidConfig| -> Box<dyn ReRanker> {
+        Box::new(Rapid::new(
+            ds,
+            RapidConfig {
+                hidden,
+                epochs,
+                seed,
+                ..base
+            },
+        ))
+    };
+    vec![
+        mk(RapidConfig::probabilistic()),
+        mk(RapidConfig::without_diversity()),
+        mk(RapidConfig::mean_behavior()),
+        mk(RapidConfig::deterministic()),
+        mk(RapidConfig::transformer_relevance()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_data::{generate, DataConfig, Flavor};
+
+    #[test]
+    fn lineups_have_expected_names_in_order() {
+        let mut c = DataConfig::new(Flavor::Taobao);
+        c.num_users = 10;
+        c.num_items = 60;
+        c.ranker_train_interactions = 50;
+        c.rerank_train_requests = 3;
+        c.test_requests = 2;
+        let ds = generate(&c);
+
+        let names: Vec<&str> = full_lineup(&ds, 16, 1, 0)
+            .iter()
+            .map(|m| m.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "Init", "DLCM", "PRM", "SetRank", "SRGA", "MMR", "DPP", "DESA", "SSD",
+                "adpMMR", "PD-GAN", "RAPID-det", "RAPID-pro"
+            ]
+        );
+
+        let ablation: Vec<&str> = ablation_lineup(&ds, 16, 1, 0)
+            .iter()
+            .map(|m| m.name())
+            .collect();
+        assert_eq!(
+            ablation,
+            vec!["RAPID-pro", "RAPID-RNN", "RAPID-mean", "RAPID-det", "RAPID-trans"]
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain gradient boosting on squared error.
+
+use crate::tree::{RegressionTree, TreeParams};
+
+/// Boosting hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GbdtParams {
+    /// Number of boosting rounds.
+    pub num_trees: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f32,
+    /// Per-tree growth parameters.
+    pub tree: TreeParams,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        Self {
+            num_trees: 50,
+            learning_rate: 0.1,
+            tree: TreeParams::default(),
+        }
+    }
+}
+
+/// A gradient-boosted ensemble for squared-error regression.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    base: f32,
+    learning_rate: f32,
+    trees: Vec<RegressionTree>,
+}
+
+impl Gbdt {
+    /// Fits the ensemble: starts from the target mean and repeatedly
+    /// fits trees to the residuals.
+    ///
+    /// # Panics
+    /// Panics on empty input or length mismatch (via the tree).
+    pub fn fit(features: &[Vec<f32>], targets: &[f32], params: &GbdtParams) -> Self {
+        assert!(!targets.is_empty(), "Gbdt: empty training set");
+        let base = targets.iter().sum::<f32>() / targets.len() as f32;
+        let mut preds = vec![base; targets.len()];
+        let mut trees = Vec::with_capacity(params.num_trees);
+        for _ in 0..params.num_trees {
+            let residuals: Vec<f32> = targets
+                .iter()
+                .zip(&preds)
+                .map(|(t, p)| t - p)
+                .collect();
+            let tree = RegressionTree::fit(features, &residuals, &params.tree);
+            for (p, row) in preds.iter_mut().zip(features) {
+                *p += params.learning_rate * tree.predict(row);
+            }
+            trees.push(tree);
+        }
+        Self {
+            base,
+            learning_rate: params.learning_rate,
+            trees,
+        }
+    }
+
+    /// Predicts one feature row.
+    pub fn predict(&self, row: &[f32]) -> f32 {
+        self.base
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict(row))
+                    .sum::<f32>()
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_nonlinear_function() {
+        // y = x² on [-2, 2]; boosting with stumps of depth 3 should get
+        // close.
+        let features: Vec<Vec<f32>> = (0..200)
+            .map(|i| vec![-2.0 + 4.0 * i as f32 / 199.0])
+            .collect();
+        let targets: Vec<f32> = features.iter().map(|r| r[0] * r[0]).collect();
+        let model = Gbdt::fit(
+            &features,
+            &targets,
+            &GbdtParams {
+                num_trees: 80,
+                learning_rate: 0.2,
+                tree: TreeParams {
+                    max_depth: 3,
+                    min_samples_leaf: 3,
+                    lambda: 0.0,
+                },
+            },
+        );
+        let mse: f32 = features
+            .iter()
+            .zip(&targets)
+            .map(|(r, t)| {
+                let e = model.predict(r) - t;
+                e * e
+            })
+            .sum::<f32>()
+            / 200.0;
+        assert!(mse < 0.02, "mse {mse}");
+    }
+
+    #[test]
+    fn zero_trees_predicts_the_mean() {
+        let features = vec![vec![0.0f32], vec![1.0]];
+        let targets = vec![2.0f32, 4.0];
+        let model = Gbdt::fit(
+            &features,
+            &targets,
+            &GbdtParams {
+                num_trees: 0,
+                ..GbdtParams::default()
+            },
+        );
+        assert!((model.predict(&[9.0]) - 3.0).abs() < 1e-6);
+        assert_eq!(model.num_trees(), 0);
+    }
+
+    #[test]
+    fn more_trees_reduce_training_error() {
+        let features: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 100.0]).collect();
+        let targets: Vec<f32> = features.iter().map(|r| (6.0 * r[0]).sin()).collect();
+        let mse_with = |n: usize| -> f32 {
+            let model = Gbdt::fit(
+                &features,
+                &targets,
+                &GbdtParams {
+                    num_trees: n,
+                    learning_rate: 0.3,
+                    tree: TreeParams {
+                        max_depth: 2,
+                        min_samples_leaf: 2,
+                        lambda: 0.0,
+                    },
+                },
+            );
+            features
+                .iter()
+                .zip(&targets)
+                .map(|(r, t)| {
+                    let e = model.predict(r) - t;
+                    e * e
+                })
+                .sum::<f32>()
+                / 100.0
+        };
+        assert!(mse_with(40) < mse_with(5));
+    }
+}

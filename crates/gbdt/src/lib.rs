@@ -1,0 +1,21 @@
+//! Gradient-boosted regression trees — the substrate for the LambdaMART
+//! initial ranker (§IV-B3 of the paper).
+//!
+//! Three layers:
+//!
+//! * [`RegressionTree`] — an exact-split CART regression tree with
+//!   optional per-sample Newton weights (hessians), so the same tree
+//!   code serves both squared-error boosting and LambdaMART's
+//!   lambda/hessian updates.
+//! * [`Gbdt`] — plain gradient boosting on squared error.
+//! * [`LambdaMart`] — listwise learning-to-rank boosting with pairwise
+//!   ΔNDCG-weighted lambda gradients (Burges et al.), trained on grouped
+//!   query data.
+
+mod boost;
+mod lambdamart;
+mod tree;
+
+pub use boost::{Gbdt, GbdtParams};
+pub use lambdamart::{LambdaMart, LambdaMartParams, QueryGroup};
+pub use tree::{RegressionTree, TreeParams};

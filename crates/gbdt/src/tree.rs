@@ -1,0 +1,296 @@
+//! CART regression tree with exact greedy splits and optional Newton
+//! (hessian) weights.
+
+/// Tree growth hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required in each child of a split.
+    pub min_samples_leaf: usize,
+    /// L2 regularisation added to the hessian sum in leaf values.
+    pub lambda: f32,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 4,
+            min_samples_leaf: 5,
+            lambda: 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree. Prediction routes a feature row to a leaf;
+/// the leaf value is the Newton step `Σg / (Σh + λ)` over its samples
+/// (with unit hessians this reduces to the mean target).
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree to `(features, targets)` with per-sample `hessians`.
+    ///
+    /// For plain regression pass unit hessians (see [`RegressionTree::fit`]).
+    ///
+    /// # Panics
+    /// Panics if lengths disagree or `features` is empty.
+    pub fn fit_weighted(
+        features: &[Vec<f32>],
+        targets: &[f32],
+        hessians: &[f32],
+        params: &TreeParams,
+    ) -> Self {
+        assert!(!features.is_empty(), "RegressionTree: empty training set");
+        assert_eq!(features.len(), targets.len(), "RegressionTree: row/target mismatch");
+        assert_eq!(features.len(), hessians.len(), "RegressionTree: row/hessian mismatch");
+        let mut tree = Self { nodes: Vec::new() };
+        let indices: Vec<usize> = (0..features.len()).collect();
+        tree.grow(features, targets, hessians, indices, 0, params);
+        tree
+    }
+
+    /// Fits a plain regression tree (unit hessians → leaf values are
+    /// regularised means).
+    pub fn fit(features: &[Vec<f32>], targets: &[f32], params: &TreeParams) -> Self {
+        let ones = vec![1.0f32; targets.len()];
+        Self::fit_weighted(features, targets, &ones, params)
+    }
+
+    /// Grows one node from `indices`; returns the node id.
+    fn grow(
+        &mut self,
+        features: &[Vec<f32>],
+        targets: &[f32],
+        hessians: &[f32],
+        indices: Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let leaf_value = |idx: &[usize]| -> f32 {
+            let g: f32 = idx.iter().map(|&i| targets[i]).sum();
+            let h: f32 = idx.iter().map(|&i| hessians[i]).sum();
+            g / (h + params.lambda)
+        };
+
+        if depth >= params.max_depth || indices.len() < 2 * params.min_samples_leaf {
+            let id = self.nodes.len();
+            self.nodes.push(Node::Leaf {
+                value: leaf_value(&indices),
+            });
+            return id;
+        }
+
+        let best = best_split(features, targets, hessians, &indices, params);
+        let Some((feature, threshold)) = best else {
+            let id = self.nodes.len();
+            self.nodes.push(Node::Leaf {
+                value: leaf_value(&indices),
+            });
+            return id;
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| features[i][feature] <= threshold);
+
+        // Reserve the split node id before growing children.
+        let id = self.nodes.len();
+        self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+        let left = self.grow(features, targets, hessians, left_idx, depth + 1, params);
+        let right = self.grow(features, targets, hessians, right_idx, depth + 1, params);
+        self.nodes[id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        id
+    }
+
+    /// Predicts one feature row.
+    pub fn predict(&self, row: &[f32]) -> f32 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (for tests / diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Finds the (feature, threshold) pair maximising the Newton gain
+/// `GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ)`, or `None` when no admissible
+/// split improves it.
+fn best_split(
+    features: &[Vec<f32>],
+    targets: &[f32],
+    hessians: &[f32],
+    indices: &[usize],
+    params: &TreeParams,
+) -> Option<(usize, f32)> {
+    let num_features = features[0].len();
+    let g_total: f32 = indices.iter().map(|&i| targets[i]).sum();
+    let h_total: f32 = indices.iter().map(|&i| hessians[i]).sum();
+    let base = g_total * g_total / (h_total + params.lambda);
+
+    let mut best: Option<(usize, f32)> = None;
+    let mut best_gain = 1e-6f32;
+
+    let mut order: Vec<usize> = indices.to_vec();
+    for f in 0..num_features {
+        order.sort_by(|&a, &b| features[a][f].total_cmp(&features[b][f]));
+        let mut gl = 0.0f32;
+        let mut hl = 0.0f32;
+        for (pos, &i) in order.iter().enumerate() {
+            gl += targets[i];
+            hl += hessians[i];
+            let n_left = pos + 1;
+            let n_right = order.len() - n_left;
+            if n_left < params.min_samples_leaf || n_right < params.min_samples_leaf {
+                continue;
+            }
+            let next = order.get(pos + 1);
+            let Some(&next) = next else { continue };
+            let v = features[i][f];
+            let v_next = features[next][f];
+            if v == v_next {
+                continue; // can't split between equal values
+            }
+            let gr = g_total - gl;
+            let hr = h_total - hl;
+            let gain =
+                gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - base;
+            if gain > best_gain {
+                best_gain = gain;
+                best = Some((f, 0.5 * (v + v_next)));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        let features: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let targets: Vec<f32> = (0..100).map(|i| if i < 50 { -1.0 } else { 1.0 }).collect();
+        let tree = RegressionTree::fit(
+            &features,
+            &targets,
+            &TreeParams {
+                max_depth: 2,
+                min_samples_leaf: 2,
+                lambda: 0.0,
+            },
+        );
+        assert!((tree.predict(&[10.0]) - -1.0).abs() < 1e-4);
+        assert!((tree.predict(&[90.0]) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn respects_max_depth_zero() {
+        let features: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let targets: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let tree = RegressionTree::fit(
+            &features,
+            &targets,
+            &TreeParams {
+                max_depth: 0,
+                min_samples_leaf: 1,
+                lambda: 0.0,
+            },
+        );
+        assert_eq!(tree.num_nodes(), 1);
+        // Leaf = mean of targets = 4.5.
+        assert!((tree.predict(&[3.0]) - 4.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn constant_targets_yield_single_leaf() {
+        let features: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, -(i as f32)]).collect();
+        let targets = vec![2.0f32; 20];
+        let tree = RegressionTree::fit(&features, &targets, &TreeParams::default());
+        assert_eq!(tree.num_nodes(), 1, "no split should improve a constant");
+    }
+
+    #[test]
+    fn uses_the_informative_feature() {
+        // Feature 0 is noise-ish (alternating), feature 1 carries signal.
+        let features: Vec<Vec<f32>> = (0..60)
+            .map(|i| vec![(i % 2) as f32, if i < 30 { 0.0 } else { 1.0 }])
+            .collect();
+        let targets: Vec<f32> = (0..60).map(|i| if i < 30 { 0.0 } else { 10.0 }).collect();
+        let tree = RegressionTree::fit(
+            &features,
+            &targets,
+            &TreeParams {
+                max_depth: 1,
+                min_samples_leaf: 5,
+                lambda: 0.0,
+            },
+        );
+        assert!(tree.predict(&[0.0, 0.0]) < 1.0);
+        assert!(tree.predict(&[0.0, 1.0]) > 9.0);
+    }
+
+    #[test]
+    fn hessian_weights_shift_leaf_values() {
+        // Two samples, same leaf: value = Σg / (Σh + λ).
+        let features = vec![vec![0.0f32], vec![0.0]];
+        let targets = vec![4.0f32, 0.0];
+        let hessians = vec![1.0f32, 3.0];
+        let tree = RegressionTree::fit_weighted(
+            &features,
+            &targets,
+            &hessians,
+            &TreeParams {
+                max_depth: 0,
+                min_samples_leaf: 1,
+                lambda: 0.0,
+            },
+        );
+        assert!((tree.predict(&[0.0]) - 1.0).abs() < 1e-5); // 4 / 4
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn rejects_empty_input() {
+        let _ = RegressionTree::fit(&[], &[], &TreeParams::default());
+    }
+}

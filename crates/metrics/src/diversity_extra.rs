@@ -1,0 +1,258 @@
+//! Additional diversity metrics beyond the paper's `div@k` — provided
+//! because downstream users of a diversification library routinely
+//! report them: intra-list distance (ILD), α-NDCG, and the normalised
+//! topic entropy of a prefix.
+
+/// Intra-list distance at `k`: mean pairwise cosine *distance* between
+/// the coverage vectors of the top-`k` items (Zhang & Hurley, 2008).
+/// Returns 0 for prefixes shorter than 2.
+pub fn ild_at_k(coverages: &[&[f32]], k: usize) -> f32 {
+    let k = k.min(coverages.len());
+    if k < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    let mut pairs = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            total += 1.0 - cosine(coverages[i], coverages[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f32
+}
+
+/// α-NDCG at `k` (Clarke et al., 2008): DCG with per-topic redundancy
+/// decay — a click's gain on topic `t` is multiplied by
+/// `(1 − α)^(count of earlier clicked items covering t)` — normalised by
+/// a greedy ideal ordering of the clicked items.
+///
+/// `alpha` is conventionally 0.5. Returns 0 for clickless lists.
+pub fn alpha_ndcg_at_k(clicks: &[bool], coverages: &[&[f32]], alpha: f32, k: usize) -> f32 {
+    assert_eq!(
+        clicks.len(),
+        coverages.len(),
+        "alpha_ndcg_at_k: {} clicks vs {} coverages",
+        clicks.len(),
+        coverages.len()
+    );
+    let m = coverages.first().map_or(0, |c| c.len());
+    if !clicks.iter().any(|&c| c) || m == 0 {
+        return 0.0;
+    }
+    let k = k.min(clicks.len());
+
+    let dcg = alpha_dcg(
+        &(0..k).filter(|&i| clicks[i]).collect::<Vec<_>>(),
+        coverages,
+        alpha,
+        // Positions are the actual ranks of the clicked items.
+        &(0..k).filter(|&i| clicks[i]).collect::<Vec<_>>(),
+    );
+
+    // Ideal: greedily order the clicked items (all of them, placed at
+    // ranks 0..) to maximise the same gain.
+    let clicked: Vec<usize> = (0..clicks.len()).filter(|&i| clicks[i]).collect();
+    let ideal_order = greedy_alpha_order(&clicked, coverages, alpha);
+    let take = ideal_order.len().min(k);
+    let ranks: Vec<usize> = (0..take).collect();
+    let idcg = alpha_dcg(&ideal_order[..take], coverages, alpha, &ranks);
+    if idcg <= 0.0 {
+        0.0
+    } else {
+        (dcg / idcg).min(1.0)
+    }
+}
+
+/// α-decayed DCG of `items` (clicked item indices) shown at `ranks`.
+fn alpha_dcg(items: &[usize], coverages: &[&[f32]], alpha: f32, ranks: &[usize]) -> f32 {
+    let m = coverages.first().map_or(0, |c| c.len());
+    let mut topic_seen = vec![0.0f32; m];
+    let mut dcg = 0.0f32;
+    for (&item, &rank) in items.iter().zip(ranks) {
+        let mut gain = 0.0f32;
+        for (t, &c) in coverages[item].iter().enumerate() {
+            gain += c * (1.0 - alpha).powf(topic_seen[t]);
+        }
+        dcg += gain / (rank as f32 + 2.0).log2();
+        for (t, &c) in coverages[item].iter().enumerate() {
+            topic_seen[t] += c;
+        }
+    }
+    dcg
+}
+
+/// Greedy ideal ordering for α-NDCG's normaliser.
+fn greedy_alpha_order(items: &[usize], coverages: &[&[f32]], alpha: f32) -> Vec<usize> {
+    let m = coverages.first().map_or(0, |c| c.len());
+    let mut topic_seen = vec![0.0f32; m];
+    let mut remaining: Vec<usize> = items.to_vec();
+    let mut order = Vec::with_capacity(items.len());
+    while !remaining.is_empty() {
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let gain: f32 = coverages[i]
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &c)| c * (1.0 - alpha).powf(topic_seen[t]))
+                    .sum();
+                (pos, gain)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty remaining");
+        let item = remaining.swap_remove(pos);
+        for (t, &c) in coverages[item].iter().enumerate() {
+            topic_seen[t] += c;
+        }
+        order.push(item);
+    }
+    order
+}
+
+/// Normalised topic entropy of the top-`k` prefix's aggregated coverage
+/// mass: 0 = one topic, 1 = uniform.
+pub fn topic_entropy_at_k(coverages: &[&[f32]], k: usize) -> f32 {
+    let k = k.min(coverages.len());
+    let m = coverages.first().map_or(0, |c| c.len());
+    if m < 2 || k == 0 {
+        return 0.0;
+    }
+    let mut mass = vec![0.0f32; m];
+    for cov in &coverages[..k] {
+        for (acc, &c) in mass.iter_mut().zip(*cov) {
+            *acc += c;
+        }
+    }
+    let total: f32 = mass.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let h: f32 = mass
+        .iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| {
+            let p = x / total;
+            -p * p.ln()
+        })
+        .sum();
+    h / (m as f32).ln()
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn one_hot(m: usize, j: usize) -> Vec<f32> {
+        let mut v = vec![0.0; m];
+        v[j] = 1.0;
+        v
+    }
+
+    #[test]
+    fn ild_extremes() {
+        let a = one_hot(3, 0);
+        let b = one_hot(3, 1);
+        let dup: Vec<&[f32]> = vec![&a, &a];
+        assert!(ild_at_k(&dup, 2) < 1e-6, "identical items → ILD 0");
+        let distinct: Vec<&[f32]> = vec![&a, &b];
+        assert!((ild_at_k(&distinct, 2) - 1.0).abs() < 1e-6, "orthogonal → ILD 1");
+        assert_eq!(ild_at_k(&distinct, 1), 0.0, "single item has no pairs");
+    }
+
+    #[test]
+    fn alpha_ndcg_rewards_topic_spread() {
+        let a = one_hot(2, 0);
+        let b = one_hot(2, 1);
+        // Three clicked items: two topic-0, one topic-1.
+        let covs_spread: Vec<&[f32]> = vec![&a, &b, &a];
+        let covs_clumped: Vec<&[f32]> = vec![&a, &a, &b];
+        let clicks = [true, true, true];
+        let spread = alpha_ndcg_at_k(&clicks, &covs_spread, 0.5, 3);
+        let clumped = alpha_ndcg_at_k(&clicks, &covs_clumped, 0.5, 3);
+        assert!(
+            spread > clumped,
+            "alternating topics should score higher: {spread} vs {clumped}"
+        );
+    }
+
+    #[test]
+    fn alpha_ndcg_is_one_for_ideal_order() {
+        let a = one_hot(2, 0);
+        let b = one_hot(2, 1);
+        let covs: Vec<&[f32]> = vec![&a, &b];
+        let clicks = [true, true];
+        let v = alpha_ndcg_at_k(&clicks, &covs, 0.5, 2);
+        assert!((v - 1.0).abs() < 1e-5, "ideal order scores 1, got {v}");
+    }
+
+    #[test]
+    fn alpha_ndcg_zero_for_clickless() {
+        let a = one_hot(2, 0);
+        let covs: Vec<&[f32]> = vec![&a];
+        assert_eq!(alpha_ndcg_at_k(&[false], &covs, 0.5, 1), 0.0);
+    }
+
+    #[test]
+    fn topic_entropy_extremes() {
+        let a = one_hot(4, 0);
+        let same: Vec<&[f32]> = vec![&a; 4];
+        assert!(topic_entropy_at_k(&same, 4) < 1e-6);
+        let covs: Vec<Vec<f32>> = (0..4).map(|j| one_hot(4, j)).collect();
+        let refs: Vec<&[f32]> = covs.iter().map(|v| v.as_slice()).collect();
+        assert!((topic_entropy_at_k(&refs, 4) - 1.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn ild_bounded(
+            covs in proptest::collection::vec(
+                proptest::collection::vec(0.0f32..=1.0, 3), 2..8),
+            k in 2usize..10,
+        ) {
+            let refs: Vec<&[f32]> = covs.iter().map(|v| v.as_slice()).collect();
+            let v = ild_at_k(&refs, k);
+            prop_assert!((0.0..=2.0 + 1e-6).contains(&v));
+        }
+
+        #[test]
+        fn alpha_ndcg_bounded(
+            pattern in proptest::collection::vec(any::<bool>(), 2..8),
+            alpha in 0.1f32..0.9,
+        ) {
+            let covs: Vec<Vec<f32>> = (0..pattern.len())
+                .map(|i| {
+                    let mut v = vec![0.0f32; 3];
+                    v[i % 3] = 1.0;
+                    v
+                })
+                .collect();
+            let refs: Vec<&[f32]> = covs.iter().map(|v| v.as_slice()).collect();
+            let v = alpha_ndcg_at_k(&pattern, &refs, alpha, pattern.len());
+            prop_assert!((0.0..=1.0 + 1e-5).contains(&v));
+        }
+
+        #[test]
+        fn topic_entropy_bounded(
+            covs in proptest::collection::vec(
+                proptest::collection::vec(0.0f32..=1.0, 4), 1..8),
+        ) {
+            let refs: Vec<&[f32]> = covs.iter().map(|v| v.as_slice()).collect();
+            let v = topic_entropy_at_k(&refs, refs.len());
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&v));
+        }
+    }
+}

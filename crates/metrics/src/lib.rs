@@ -1,0 +1,21 @@
+//! Evaluation metrics and significance tests (§IV-B2 of the paper).
+//!
+//! * [`ranking`] — `click@k`, `ndcg@k`, `rev@k` over click labels.
+//! * [`stats`] — mean/std aggregation, paired and Welch t-tests with
+//!   exact Student-t p-values (incomplete-beta implementation), used for
+//!   the significance stars in Tables II and III.
+//!
+//! `div@k` lives in `rapid-diversity` (it is pure coverage math);
+//! `satis@k` lives in `rapid-click` (it is a DCM quantity). Both are
+//! re-exported here so the evaluation pipeline has one metrics import.
+
+pub mod diversity_extra;
+pub mod ranking;
+pub mod stats;
+
+pub use diversity_extra::{alpha_ndcg_at_k, ild_at_k, topic_entropy_at_k};
+pub use ranking::{click_at_k, ndcg_at_k, rev_at_k};
+pub use stats::{mean, paired_t_test, std_dev, welch_t_test, Summary, TTestResult};
+
+pub use rapid_click::Dcm;
+pub use rapid_diversity::topic_coverage_at_k;

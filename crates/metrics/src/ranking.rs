@@ -1,0 +1,118 @@
+//! Click-label ranking metrics.
+
+/// `click@k`: number of clicked items in the top-`k` prefix.
+pub fn click_at_k(clicks: &[bool], k: usize) -> f32 {
+    clicks.iter().take(k).filter(|&&c| c).count() as f32
+}
+
+/// `ndcg@k` with binary click gains: `DCG@k / IDCG@k`, where
+/// `DCG@k = Σ_{i<k} y_i / log2(i + 2)` and the ideal ranking puts all
+/// clicked items first. Returns 0 for a clickless list (the paper's
+/// convention — such lists contribute no ranking signal).
+pub fn ndcg_at_k(clicks: &[bool], k: usize) -> f32 {
+    let k = k.min(clicks.len());
+    let total_clicks = clicks.iter().filter(|&&c| c).count();
+    if total_clicks == 0 {
+        return 0.0;
+    }
+    let dcg: f32 = clicks
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(i, _)| 1.0 / (i as f32 + 2.0).log2())
+        .sum();
+    let idcg: f32 = (0..total_clicks.min(k))
+        .map(|i| 1.0 / (i as f32 + 2.0).log2())
+        .sum();
+    dcg / idcg
+}
+
+/// `rev@k`: total bid-weighted clicks in the top-`k` prefix — the App
+/// Store platform's revenue objective (Table III).
+///
+/// # Panics
+/// Panics if `bids` is shorter than `clicks`.
+pub fn rev_at_k(clicks: &[bool], bids: &[f32], k: usize) -> f32 {
+    assert!(
+        bids.len() >= clicks.len(),
+        "rev_at_k: {} bids for {} positions",
+        bids.len(),
+        clicks.len()
+    );
+    clicks
+        .iter()
+        .zip(bids)
+        .take(k)
+        .filter(|(&c, _)| c)
+        .map(|(_, &b)| b)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn click_at_k_counts_prefix_only() {
+        let clicks = [true, false, true, true];
+        assert_eq!(click_at_k(&clicks, 1), 1.0);
+        assert_eq!(click_at_k(&clicks, 2), 1.0);
+        assert_eq!(click_at_k(&clicks, 4), 3.0);
+        assert_eq!(click_at_k(&clicks, 99), 3.0);
+    }
+
+    #[test]
+    fn ndcg_is_one_for_perfect_ranking() {
+        let clicks = [true, true, false, false];
+        assert!((ndcg_at_k(&clicks, 4) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ndcg_penalises_clicks_at_the_bottom() {
+        let top = [true, false, false, false];
+        let bottom = [false, false, false, true];
+        assert!(ndcg_at_k(&top, 4) > ndcg_at_k(&bottom, 4));
+    }
+
+    #[test]
+    fn ndcg_of_clickless_list_is_zero() {
+        assert_eq!(ndcg_at_k(&[false, false], 2), 0.0);
+    }
+
+    #[test]
+    fn ndcg_handles_clicks_outside_prefix() {
+        // One click below the cutoff: DCG@2 = 0, but IDCG@2 > 0.
+        let clicks = [false, false, true];
+        assert_eq!(ndcg_at_k(&clicks, 2), 0.0);
+    }
+
+    #[test]
+    fn rev_weights_clicks_by_bids() {
+        let clicks = [true, false, true];
+        let bids = [2.0, 5.0, 3.0];
+        assert_eq!(rev_at_k(&clicks, &bids, 3), 5.0);
+        assert_eq!(rev_at_k(&clicks, &bids, 1), 2.0);
+    }
+
+    proptest! {
+        /// NDCG stays in [0, 1] for any click pattern.
+        #[test]
+        fn ndcg_is_bounded(clicks in proptest::collection::vec(any::<bool>(), 1..20), k in 1usize..25) {
+            let v = ndcg_at_k(&clicks, k);
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&v));
+        }
+
+        /// click@k is monotone in k.
+        #[test]
+        fn clicks_monotone_in_k(clicks in proptest::collection::vec(any::<bool>(), 1..20)) {
+            let mut prev = 0.0;
+            for k in 1..=clicks.len() {
+                let c = click_at_k(&clicks, k);
+                prop_assert!(c >= prev);
+                prev = c;
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Summary statistics and Student-t significance tests.
+//!
+//! The paper marks improvements with `*` when a t-test gives
+//! `p < 0.05`; we implement both the paired test (same requests, two
+//! systems) and Welch's unequal-variance test, with exact p-values via
+//! the regularised incomplete beta function.
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Sample standard deviation (n−1 denominator; 0 for n < 2).
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / (xs.len() - 1) as f32;
+    var.sqrt()
+}
+
+/// Mean ± std summary of a metric across requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f32,
+    /// Sample standard deviation.
+    pub std: f32,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarises a sample.
+    pub fn of(xs: &[f32]) -> Self {
+        Self {
+            mean: mean(xs),
+            std: std_dev(xs),
+            n: xs.len(),
+        }
+    }
+}
+
+/// Result of a t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct TTestResult {
+    /// The t statistic (positive when the first sample is larger).
+    pub t: f64,
+    /// Degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl TTestResult {
+    /// `true` when significant at the given two-sided level (e.g. 0.05).
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Paired t-test over per-request metric pairs (e.g. RAPID vs PRM on
+/// the same test requests). Returns `None` for fewer than 2 pairs or a
+/// degenerate (zero-variance) difference.
+pub fn paired_t_test(a: &[f32], b: &[f32]) -> Option<TTestResult> {
+    assert_eq!(a.len(), b.len(), "paired_t_test: unequal sample sizes");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let diffs: Vec<f32> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let md = f64::from(mean(&diffs));
+    let sd = f64::from(std_dev(&diffs));
+    if sd == 0.0 {
+        return None;
+    }
+    let t = md / (sd / (n as f64).sqrt());
+    let df = (n - 1) as f64;
+    Some(TTestResult {
+        t,
+        df,
+        p_value: two_sided_p(t, df),
+    })
+}
+
+/// Welch's unequal-variance t-test for two independent samples. Returns
+/// `None` for degenerate inputs.
+pub fn welch_t_test(a: &[f32], b: &[f32]) -> Option<TTestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (f64::from(mean(a)), f64::from(mean(b)));
+    let (sa, sb) = (f64::from(std_dev(a)), f64::from(std_dev(b)));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let va = sa * sa / na;
+    let vb = sb * sb / nb;
+    if va + vb == 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / (va + vb).sqrt();
+    let df = (va + vb) * (va + vb)
+        / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    Some(TTestResult {
+        t,
+        df,
+        p_value: two_sided_p(t, df),
+    })
+}
+
+/// Two-sided p-value of a t statistic with `df` degrees of freedom:
+/// `p = I_{df/(df+t²)}(df/2, 1/2)` via the regularised incomplete beta.
+fn two_sided_p(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    incomplete_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// Regularised incomplete beta `I_x(a, b)` by Lentz's continued
+/// fraction (Numerical Recipes §6.4).
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued-fraction core of the incomplete beta.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const FPMIN: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_5e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - std::f32::consts::SQRT_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24.
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!(ln_gamma(2.0).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_values_match_reference_points() {
+        // t = 1.96 with df → ∞ gives p ≈ 0.05; at df = 100 it's ≈ 0.0527.
+        let p = two_sided_p(1.96, 100.0);
+        assert!((p - 0.0527).abs() < 0.002, "p = {p}");
+        // t = 0 is p = 1.
+        assert!((two_sided_p(0.0, 10.0) - 1.0).abs() < 1e-9);
+        // t = 2.228, df = 10 is the classic 0.05 critical point.
+        let p = two_sided_p(2.228, 10.0);
+        assert!((p - 0.05).abs() < 0.001, "p = {p}");
+    }
+
+    #[test]
+    fn paired_test_detects_a_clear_shift() {
+        let a: Vec<f32> = (0..50).map(|i| 1.0 + 0.01 * i as f32).collect();
+        let b: Vec<f32> = a.iter().map(|x| x - 0.2).collect();
+        let r = paired_t_test(&a, &b).unwrap();
+        assert!(r.t > 0.0);
+        assert!(r.significant(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn paired_test_is_insensitive_to_shared_variance() {
+        // Large between-request variance, tiny consistent improvement:
+        // the paired test must still detect it.
+        let base: Vec<f32> = (0..40).map(|i| (i as f32 * 0.7).sin() * 10.0).collect();
+        let improved: Vec<f32> = base.iter().map(|x| x + 0.05).collect();
+        let r = paired_t_test(&improved, &base).unwrap();
+        assert!(r.significant(0.01));
+        // Welch on the same data cannot (variance swamps the shift).
+        let w = welch_t_test(&improved, &base).unwrap();
+        assert!(!w.significant(0.05));
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
+        assert!(paired_t_test(&[1.0, 2.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = [1.0f32, 2.0, 3.0, 2.5];
+        let b = [1.1f32, 1.9, 3.05, 2.45];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn summary_of() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.n, 2);
+        assert!((s.std - std::f32::consts::SQRT_2).abs() < 1e-6);
+    }
+}

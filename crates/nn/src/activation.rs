@@ -1,0 +1,55 @@
+//! Activation functions selectable by name in layer configs.
+
+use rapid_autograd::{Tape, Var};
+
+/// Elementwise nonlinearity applied between layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// `max(0, x)` — the default for MLP hidden layers.
+    #[default]
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Softplus `ln(1 + eˣ)` — used where a positive output is needed
+    /// (the standard-deviation head of RAPID-pro).
+    Softplus,
+    /// No nonlinearity.
+    Identity,
+}
+
+impl Activation {
+    /// Records this activation on the tape.
+    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Relu => tape.relu(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Softplus => tape.softplus(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_tensor::Matrix;
+
+    #[test]
+    fn each_activation_produces_expected_values() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::row_vector(&[-1.0, 0.0, 1.0]));
+        let r = Activation::Relu.apply(&mut tape, x);
+        assert_eq!(tape.value(r).as_slice(), &[0.0, 0.0, 1.0]);
+        let t = Activation::Tanh.apply(&mut tape, x);
+        assert!((tape.value(t).get(0, 2) - 1.0f32.tanh()).abs() < 1e-6);
+        let s = Activation::Sigmoid.apply(&mut tape, x);
+        assert!((tape.value(s).get(0, 1) - 0.5).abs() < 1e-6);
+        let sp = Activation::Softplus.apply(&mut tape, x);
+        assert!(tape.value(sp).as_slice().iter().all(|&v| v > 0.0));
+        let id = Activation::Identity.apply(&mut tape, x);
+        assert_eq!(id, x);
+    }
+}

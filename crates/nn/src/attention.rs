@@ -1,0 +1,170 @@
+//! Attention primitives.
+//!
+//! [`self_attention`] is the *unparameterized* attention of the paper's
+//! Eq. (2): `A = softmax(V Vᵀ / sqrt(q_h)) V`, used by RAPID to capture
+//! inter-topic interactions. [`MultiHeadAttention`] is the standard
+//! parameterized QKV attention used by the PRM / SetRank / DESA baselines
+//! and the RAPID-trans ablation.
+
+use rand::Rng;
+use rapid_autograd::{ParamStore, Tape, Var};
+
+use crate::Linear;
+
+/// Unparameterized scaled dot-product self-attention over the rows of a
+/// `(m, d)` matrix — Eq. (2) of the paper.
+pub fn self_attention(tape: &mut Tape, v: Var) -> Var {
+    let d = tape.value(v).cols();
+    let vt = tape.transpose(v);
+    let scores = tape.matmul(v, vt);
+    let scaled = tape.scale(scores, 1.0 / (d as f32).sqrt());
+    let attn = tape.softmax_rows(scaled);
+    tape.matmul(attn, v)
+}
+
+/// Multi-head scaled dot-product attention with learned Q/K/V/O
+/// projections.
+///
+/// `forward(q, kv)` computes cross-attention of `q` over `kv`;
+/// `forward(x, x)` is ordinary self-attention. Head splitting is done by
+/// column slicing, so `model_dim` must be divisible by `heads`.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Registers an attention block under `prefix`.
+    ///
+    /// # Panics
+    /// Panics if `model_dim % heads != 0`.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        model_dim: usize,
+        heads: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(
+            model_dim % heads,
+            0,
+            "MultiHeadAttention: model_dim {model_dim} not divisible by heads {heads}"
+        );
+        Self {
+            wq: Linear::new(store, &format!("{prefix}.wq"), model_dim, model_dim, rng),
+            wk: Linear::new(store, &format!("{prefix}.wk"), model_dim, model_dim, rng),
+            wv: Linear::new(store, &format!("{prefix}.wv"), model_dim, model_dim, rng),
+            wo: Linear::new(store, &format!("{prefix}.wo"), model_dim, model_dim, rng),
+            heads,
+            head_dim: model_dim / heads,
+        }
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Attention of the `(n_q, d)` queries `q` over the `(n_kv, d)`
+    /// keys/values `kv`; returns `(n_q, d)`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, q: Var, kv: Var) -> Var {
+        let qp = self.wq.forward(tape, store, q);
+        let kp = self.wk.forward(tape, store, kv);
+        let vp = self.wv.forward(tape, store, kv);
+        let mut head_outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let lo = h * self.head_dim;
+            let hi = lo + self.head_dim;
+            let qh = tape.slice_cols(qp, lo, hi);
+            let kh = tape.slice_cols(kp, lo, hi);
+            let vh = tape.slice_cols(vp, lo, hi);
+            let kt = tape.transpose(kh);
+            let scores = tape.matmul(qh, kt);
+            let scaled = tape.scale(scores, 1.0 / (self.head_dim as f32).sqrt());
+            let attn = tape.softmax_rows(scaled);
+            head_outs.push(tape.matmul(attn, vh));
+        }
+        let cat = tape.concat_cols(&head_outs);
+        self.wo.forward(tape, store, cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rapid_autograd::gradcheck::check_gradients;
+    use rapid_tensor::Matrix;
+
+    #[test]
+    fn self_attention_preserves_shape_and_mixes_rows() {
+        let mut tape = Tape::new();
+        let v = tape.constant(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let a = self_attention(&mut tape, v);
+        assert_eq!(tape.value(a).shape(), (2, 2));
+        // Rows are convex mixtures, so values fall strictly inside (0,1).
+        for r in 0..2 {
+            for c in 0..2 {
+                let x = tape.value(a).get(r, c);
+                assert!(x > 0.0 && x < 1.0, "({r},{c}) = {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_rows_attend_identically() {
+        let mut tape = Tape::new();
+        let v = tape.constant(Matrix::from_rows(&[&[0.3, 0.7], &[0.3, 0.7]]));
+        let a = self_attention(&mut tape, v);
+        assert_eq!(tape.value(a).row(0), tape.value(a).row(1));
+        // Mixing identical rows returns the row itself.
+        assert!((tape.value(a).get(0, 0) - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mha_shapes_for_self_and_cross_attention() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::rand_uniform(5, 8, -1.0, 1.0, &mut rng));
+        let y = tape.constant(Matrix::rand_uniform(3, 8, -1.0, 1.0, &mut rng));
+        let self_out = mha.forward(&mut tape, &store, x, x);
+        assert_eq!(tape.value(self_out).shape(), (5, 8));
+        let cross_out = mha.forward(&mut tape, &store, y, x);
+        assert_eq!(tape.value(cross_out).shape(), (3, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn mha_rejects_indivisible_heads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let _ = MultiHeadAttention::new(&mut store, "a", 6, 4, &mut rng);
+    }
+
+    #[test]
+    fn mha_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "a", 4, 2, &mut rng);
+        let x = Matrix::rand_uniform(3, 4, -0.5, 0.5, &mut rng);
+        let t = Matrix::rand_uniform(3, 4, -0.5, 0.5, &mut rng);
+        let report = check_gradients(
+            &mut store,
+            |tape, store| {
+                let xv = tape.constant(x.clone());
+                let o = mha.forward(tape, store, xv, xv);
+                tape.mse(o, &t)
+            },
+            5e-3,
+        );
+        assert!(report.passes(2e-2), "{report:?}");
+    }
+}

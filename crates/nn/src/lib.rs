@@ -1,0 +1,44 @@
+//! Neural layers for the RAPID reproduction, built on `rapid-autograd`.
+//!
+//! The layer set is exactly what the paper's models need:
+//!
+//! * [`Linear`] / [`Mlp`] — dense projections and the fusion MLPs of
+//!   Eq. (3), (7), and (8).
+//! * [`LstmCell`], [`Lstm`], [`BiLstm`] — the listwise relevance
+//!   estimator (§III-B) and the per-topic behavior encoders (§III-C).
+//! * [`GruCell`], [`Gru`] — the DLCM baseline.
+//! * [`self_attention`] — the unparameterized self-attention of Eq. (2).
+//! * [`MultiHeadAttention`], [`TransformerEncoderLayer`], [`LayerNorm`] —
+//!   PRM, SetRank (via induced attention), SRGA, DESA, and the
+//!   RAPID-trans ablation.
+//!
+//! Layers follow a uniform convention: construction registers parameters
+//! in a caller-supplied [`ParamStore`] under a dotted name prefix;
+//! `forward` records ops on a [`Tape`]. Sequence layers operate on
+//! *time-major batched* sequences: a `&[Var]` of length `T` whose
+//! elements are `(B, d)` matrices — all `B` lists in a batch advance one
+//! position per step, which turns the recurrence into a handful of
+//! `(B, d) x (d, h)` matmuls per step.
+//!
+//! Every layer's gradients are verified against finite differences in the
+//! tests at the bottom of each module.
+
+mod activation;
+mod attention;
+mod gru;
+mod linear;
+mod lstm;
+mod mlp;
+mod transformer;
+
+pub use activation::Activation;
+pub use attention::{self_attention, MultiHeadAttention};
+pub use gru::{Gru, GruCell};
+pub use linear::Linear;
+pub use lstm::{BiLstm, Lstm, LstmCell};
+pub use mlp::Mlp;
+pub use transformer::{InducedSetAttention, LayerNorm, TransformerEncoderLayer};
+
+// Re-export the things every downstream model file needs, so they can
+// depend on `rapid_nn` alone for the common cases.
+pub use rapid_autograd::{ParamStore, Tape, Var};

@@ -1,0 +1,105 @@
+//! Dense affine layer.
+
+use rand::Rng;
+use rapid_autograd::{ParamId, ParamStore, Tape, Var};
+use rapid_tensor::Matrix;
+
+/// An affine map `x ↦ x W + b` with Xavier-initialised weights.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a `in_dim → out_dim` linear layer under `prefix` (its
+    /// parameters become `"{prefix}.w"` and `"{prefix}.b"`).
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = store.add(format!("{prefix}.w"), Matrix::xavier_uniform(in_dim, out_dim, rng));
+        let b = store.add(format!("{prefix}.b"), Matrix::zeros(1, out_dim));
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer to a `(B, in_dim)` input.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        debug_assert_eq!(
+            tape.value(x).cols(),
+            self.in_dim,
+            "Linear::forward: expected {} input columns, got {}",
+            self.in_dim,
+            tape.value(x).cols()
+        );
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let xw = tape.matmul(x, w);
+        tape.add_row_broadcast(xw, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rapid_autograd::gradcheck::check_gradients;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 3, 2, &mut rng);
+        // Zero the weights so output equals bias.
+        let wid = store.ids().next().unwrap();
+        *store.value_mut(wid) = Matrix::zeros(3, 2);
+        let bid = store.ids().nth(1).unwrap();
+        *store.value_mut(bid) = Matrix::row_vector(&[1.5, -0.5]);
+
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::ones(4, 3));
+        let y = lin.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (4, 2));
+        assert_eq!(tape.value(y).row(2), &[1.5, -0.5]);
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 4, 3, &mut rng);
+        let x = Matrix::rand_uniform(5, 4, -1.0, 1.0, &mut rng);
+        let t = Matrix::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
+        let report = check_gradients(
+            &mut store,
+            |tape, store| {
+                let xv = tape.constant(x.clone());
+                let y = lin.forward(tape, store, xv);
+                tape.mse(y, &t)
+            },
+            5e-3,
+        );
+        assert!(report.passes(2e-2), "{report:?}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Multi-layer perceptron.
+
+use crate::{Activation, Linear};
+use rand::Rng;
+use rapid_autograd::{ParamStore, Tape, Var};
+
+/// A stack of [`Linear`] layers with a shared hidden activation and a
+/// configurable output activation (identity by default, so the MLP emits
+/// logits suitable for [`Tape::bce_with_logits`]).
+///
+/// This is the fusion network of Eq. (3) (`MLP_θ`), Eq. (7) (`MLP_φ`),
+/// and Eq. (8) (`MLP_φ`, `MLP_Σ`) in the paper.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+impl Mlp {
+    /// Registers an MLP with the given layer widths.
+    ///
+    /// `dims` must list the input dimension followed by each layer's
+    /// output dimension, e.g. `&[34, 32, 1]` for one hidden layer of 32.
+    ///
+    /// # Panics
+    /// Panics if `dims.len() < 2`.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        dims: &[usize],
+        hidden_activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            dims.len() >= 2,
+            "Mlp::new: need at least input and output dims, got {dims:?}"
+        );
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{prefix}.fc{i}"), w[0], w[1], rng))
+            .collect();
+        Self {
+            layers,
+            hidden_activation,
+            output_activation: Activation::Identity,
+        }
+    }
+
+    /// Sets the activation applied to the final layer's output.
+    pub fn with_output_activation(mut self, act: Activation) -> Self {
+        self.output_activation = act;
+        self
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_dim()
+    }
+
+    /// Applies the MLP to a `(B, in_dim)` input.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let last = self.layers.len() - 1;
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            h = if i < last {
+                self.hidden_activation.apply(tape, h)
+            } else {
+                self.output_activation.apply(tape, h)
+            };
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rapid_autograd::gradcheck::check_gradients;
+    use rapid_tensor::Matrix;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[6, 8, 4, 1], Activation::Relu, &mut rng);
+        assert_eq!(mlp.in_dim(), 6);
+        assert_eq!(mlp.out_dim(), 1);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::ones(7, 6));
+        let y = mlp.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (7, 1));
+    }
+
+    #[test]
+    fn output_activation_is_applied() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[2, 2], Activation::Relu, &mut rng)
+            .with_output_activation(Activation::Sigmoid);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::rand_uniform(3, 2, -5.0, 5.0, &mut rng));
+        let y = mlp.forward(&mut tape, &store, x);
+        assert!(tape
+            .value(y)
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deep_mlp_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[3, 5, 2], Activation::Tanh, &mut rng);
+        let x = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
+        let t = Matrix::rand_uniform(4, 2, 0.0, 1.0, &mut rng);
+        let report = check_gradients(
+            &mut store,
+            |tape, store| {
+                let xv = tape.constant(x.clone());
+                let y = mlp.forward(tape, store, xv);
+                tape.mse(y, &t)
+            },
+            5e-3,
+        );
+        assert!(report.passes(2e-2), "{report:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output dims")]
+    fn rejects_too_few_dims() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let _ = Mlp::new(&mut store, "m", &[4], Activation::Relu, &mut rng);
+    }
+}

@@ -1,0 +1,226 @@
+//! Transformer encoder building blocks: layer norm, the standard
+//! post-norm encoder layer (PRM, DESA, RAPID-trans), and the induced set
+//! attention block used by SetRank.
+
+use rand::Rng;
+use rapid_autograd::{ParamId, ParamStore, Tape, Var};
+use rapid_tensor::Matrix;
+
+use crate::{Activation, Linear, MultiHeadAttention};
+
+/// Layer normalisation with learned scale and shift.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers a layer norm over `dim`-wide rows under `prefix`.
+    pub fn new(store: &mut ParamStore, prefix: &str, dim: usize) -> Self {
+        Self {
+            gamma: store.add(format!("{prefix}.gamma"), Matrix::ones(1, dim)),
+            beta: store.add(format!("{prefix}.beta"), Matrix::zeros(1, dim)),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalises each row of `x`, then applies the learned affine.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let n = tape.normalize_rows(x, self.eps);
+        let g = tape.param(store, self.gamma);
+        let b = tape.param(store, self.beta);
+        let scaled = tape.mul_row_broadcast(n, g);
+        tape.add_row_broadcast(scaled, b)
+    }
+}
+
+/// A post-norm transformer encoder layer:
+/// `x = LN(x + MHA(x)); x = LN(x + FFN(x))`.
+#[derive(Debug, Clone)]
+pub struct TransformerEncoderLayer {
+    mha: MultiHeadAttention,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+}
+
+impl TransformerEncoderLayer {
+    /// Registers an encoder layer under `prefix` with the given model
+    /// width, head count, and feed-forward width.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        model_dim: usize,
+        heads: usize,
+        ff_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            mha: MultiHeadAttention::new(store, &format!("{prefix}.mha"), model_dim, heads, rng),
+            ln1: LayerNorm::new(store, &format!("{prefix}.ln1"), model_dim),
+            ln2: LayerNorm::new(store, &format!("{prefix}.ln2"), model_dim),
+            ff1: Linear::new(store, &format!("{prefix}.ff1"), model_dim, ff_dim, rng),
+            ff2: Linear::new(store, &format!("{prefix}.ff2"), ff_dim, model_dim, rng),
+        }
+    }
+
+    /// Applies the encoder layer to an `(n, model_dim)` sequence.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let attn = self.mha.forward(tape, store, x, x);
+        let res1 = tape.add(x, attn);
+        let h = self.ln1.forward(tape, store, res1);
+
+        let f = self.ff1.forward(tape, store, h);
+        let f = Activation::Relu.apply(tape, f);
+        let f = self.ff2.forward(tape, store, f);
+        let res2 = tape.add(h, f);
+        self.ln2.forward(tape, store, res2)
+    }
+}
+
+/// Induced set attention block (Lee et al., ISAB), the permutation-
+/// invariant attention SetRank stacks: a small set of learned inducing
+/// points attends to the input, and the input attends back.
+#[derive(Debug, Clone)]
+pub struct InducedSetAttention {
+    inducing: ParamId,
+    mha1: MultiHeadAttention,
+    mha2: MultiHeadAttention,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+}
+
+impl InducedSetAttention {
+    /// Registers an ISAB with `num_inducing` learned inducing points.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        model_dim: usize,
+        heads: usize,
+        num_inducing: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            inducing: store.add(
+                format!("{prefix}.inducing"),
+                Matrix::xavier_uniform(num_inducing, model_dim, rng),
+            ),
+            mha1: MultiHeadAttention::new(store, &format!("{prefix}.mha1"), model_dim, heads, rng),
+            mha2: MultiHeadAttention::new(store, &format!("{prefix}.mha2"), model_dim, heads, rng),
+            ln1: LayerNorm::new(store, &format!("{prefix}.ln1"), model_dim),
+            ln2: LayerNorm::new(store, &format!("{prefix}.ln2"), model_dim),
+        }
+    }
+
+    /// Applies the block to an `(n, model_dim)` set representation.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let i = tape.param(store, self.inducing);
+        // H = LN(I + MHA(I, X))
+        let h_attn = self.mha1.forward(tape, store, i, x);
+        let h_res = tape.add(i, h_attn);
+        let h = self.ln1.forward(tape, store, h_res);
+        // out = LN(X + MHA(X, H))
+        let o_attn = self.mha2.forward(tape, store, x, h);
+        let o_res = tape.add(x, o_attn);
+        self.ln2.forward(tape, store, o_res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rapid_autograd::gradcheck::check_gradients;
+
+    #[test]
+    fn layer_norm_standardises_rows_at_init() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]));
+        let y = ln.forward(&mut tape, &store, x);
+        let row = tape.value(y).row(0).to_vec();
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn encoder_layer_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let layer = TransformerEncoderLayer::new(&mut store, "t", 8, 2, 16, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::rand_uniform(5, 8, -1.0, 1.0, &mut rng));
+        let y = layer.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (5, 8));
+        assert!(tape.value(y).is_finite());
+    }
+
+    #[test]
+    fn isab_preserves_shape_regardless_of_set_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let isab = InducedSetAttention::new(&mut store, "s", 8, 2, 3, &mut rng);
+        for n in [1usize, 4, 9] {
+            let mut tape = Tape::new();
+            let x = tape.constant(Matrix::rand_uniform(n, 8, -1.0, 1.0, &mut rng));
+            let y = isab.forward(&mut tape, &store, x);
+            assert_eq!(tape.value(y).shape(), (n, 8));
+        }
+    }
+
+    #[test]
+    fn isab_is_permutation_equivariant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let isab = InducedSetAttention::new(&mut store, "s", 4, 1, 2, &mut rng);
+        let x = Matrix::rand_uniform(3, 4, -1.0, 1.0, &mut rng);
+        let perm = [2usize, 0, 1];
+
+        let mut tape1 = Tape::new();
+        let xv = tape1.constant(x.clone());
+        let y = isab.forward(&mut tape1, &store, xv);
+        let y_base = tape1.value(y).clone();
+
+        let mut tape2 = Tape::new();
+        let xp = tape2.constant(x.select_rows(&perm));
+        let yp = isab.forward(&mut tape2, &store, xp);
+        let y_perm = tape2.value(yp).clone();
+
+        for (out_row, &src) in perm.iter().enumerate() {
+            for c in 0..4 {
+                assert!(
+                    (y_perm.get(out_row, c) - y_base.get(src, c)).abs() < 1e-4,
+                    "row {out_row} col {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encoder_gradients_check_out() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let layer = TransformerEncoderLayer::new(&mut store, "t", 4, 2, 6, &mut rng);
+        let x = Matrix::rand_uniform(3, 4, -0.5, 0.5, &mut rng);
+        let t = Matrix::rand_uniform(3, 4, -0.5, 0.5, &mut rng);
+        let report = check_gradients(
+            &mut store,
+            |tape, store| {
+                let xv = tape.constant(x.clone());
+                let y = layer.forward(tape, store, xv);
+                tape.mse(y, &t)
+            },
+            5e-3,
+        );
+        // ReLU kinks + layer norm make this the loosest check in the
+        // workspace; 3e-2 still catches transposition/sign errors.
+        assert!(report.passes(3e-2), "{report:?}");
+    }
+}

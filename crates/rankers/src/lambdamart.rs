@@ -1,0 +1,89 @@
+//! LambdaMART initial ranker: per-user query groups over the pointwise
+//! interaction log, boosted with `rapid-gbdt`.
+
+use rapid_data::{Dataset, ItemId, UserId};
+use rapid_gbdt::{LambdaMart, LambdaMartParams, QueryGroup};
+
+use crate::traits::{pair_features, InitialRanker};
+
+/// A trained LambdaMART initial ranker.
+#[derive(Debug, Clone)]
+pub struct LambdaMartRanker {
+    model: LambdaMart,
+}
+
+impl LambdaMartRanker {
+    /// Trains on the dataset's interactions grouped by user (each user's
+    /// interactions form one query; clicks are the relevance labels).
+    /// Users whose group has no click (or no non-click) are skipped —
+    /// they carry no ranking signal.
+    pub fn fit(ds: &Dataset, params: &LambdaMartParams) -> Self {
+        let mut per_user: Vec<Vec<(ItemId, bool)>> = vec![Vec::new(); ds.users.len()];
+        for &(u, v, c) in &ds.ranker_train {
+            per_user[u].push((v, c));
+        }
+        let groups: Vec<QueryGroup> = per_user
+            .iter()
+            .enumerate()
+            .filter_map(|(u, inter)| {
+                let clicks = inter.iter().filter(|(_, c)| *c).count();
+                if clicks == 0 || clicks == inter.len() || inter.len() < 2 {
+                    return None;
+                }
+                Some(QueryGroup {
+                    features: inter
+                        .iter()
+                        .map(|&(v, _)| pair_features(ds, u, v))
+                        .collect(),
+                    labels: inter
+                        .iter()
+                        .map(|&(_, c)| if c { 1.0 } else { 0.0 })
+                        .collect(),
+                })
+            })
+            .collect();
+        Self {
+            model: LambdaMart::fit(&groups, params),
+        }
+    }
+}
+
+impl InitialRanker for LambdaMartRanker {
+    fn name(&self) -> &'static str {
+        "LambdaMART"
+    }
+
+    fn score(&self, ds: &Dataset, user: UserId, item: ItemId) -> f32 {
+        self.model.predict(&pair_features(ds, user, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::auc;
+    use rapid_data::{generate, DataConfig, Flavor};
+
+    #[test]
+    fn beats_random_on_held_out_interactions() {
+        let mut c = DataConfig::new(Flavor::MovieLens);
+        c.num_users = 60;
+        c.num_items = 300;
+        c.ranker_train_interactions = 6000;
+        c.rerank_train_requests = 10;
+        c.test_requests = 10;
+        c.seed = 5;
+        let ds = generate(&c);
+
+        let model = LambdaMartRanker::fit(
+            &ds,
+            &LambdaMartParams {
+                num_trees: 30,
+                ..LambdaMartParams::default()
+            },
+        );
+        let holdout = crate::traits::sample_holdout(&ds, 3000, 99);
+        let a = auc(&ds, &holdout, |d, u, v| model.score(d, u, v));
+        assert!(a > 0.62, "held-out AUC {a}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Initial rankers — the models that produce the ordered list `R` the
+//! re-rankers consume (§IV-B3 of the paper).
+//!
+//! The paper uses three representative learning-to-rank families:
+//!
+//! * [`Din`] — the deep pointwise CTR model of Zhou et al. (KDD 2018):
+//!   an attention-pooled representation of the user's behavior history,
+//!   keyed by the target item, feeds an MLP trained with BCE.
+//! * [`SvmRank`] — Joachims' pairwise linear ranker, trained with a
+//!   hinge loss on per-user click/non-click feature differences.
+//! * [`LambdaMartRanker`] — listwise boosted trees on per-user query
+//!   groups (built on `rapid-gbdt`).
+//!
+//! All three implement [`InitialRanker`] and train on the dataset's
+//! pointwise `ranker_train` interactions.
+
+mod din;
+mod lambdamart;
+mod svmrank;
+mod traits;
+
+pub use din::{Din, DinConfig};
+pub use lambdamart::LambdaMartRanker;
+pub use svmrank::{SvmRank, SvmRankConfig};
+pub use traits::{auc, pair_features, sample_holdout, InitialRanker};

@@ -1,0 +1,220 @@
+//! Shared feature assembly, mini-batch iteration, and hyper-parameter
+//! tuning used by the re-rankers.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rapid_data::{Dataset, ItemId, UserId};
+use rapid_tensor::Matrix;
+
+use crate::types::{RerankInput, TrainSample};
+
+/// Per-item input features of the neural re-rankers:
+/// `[x_u, x_v, τ_v, init_score]` — user features, item features, topic
+/// coverage, and the initial ranker's score.
+pub fn item_features(ds: &Dataset, user: UserId, item: ItemId, init_score: f32) -> Vec<f32> {
+    let xu = &ds.users[user].features;
+    let xv = &ds.items[item].features;
+    let tau = &ds.items[item].coverage;
+    let mut f = Vec::with_capacity(xu.len() + xv.len() + tau.len() + 1);
+    f.extend_from_slice(xu);
+    f.extend_from_slice(xv);
+    f.extend_from_slice(tau);
+    f.push(init_score);
+    f
+}
+
+/// Feature dimension produced by [`item_features`] for this dataset.
+pub fn item_feature_dim(ds: &Dataset) -> usize {
+    ds.users[0].features.len() + ds.items[0].features.len() + ds.num_topics() + 1
+}
+
+/// The `(L, d)` feature matrix of one initial list.
+pub fn list_feature_matrix(ds: &Dataset, input: &RerankInput) -> Matrix {
+    let d = item_feature_dim(ds);
+    let mut data = Vec::with_capacity(input.len() * d);
+    for (i, &v) in input.items.iter().enumerate() {
+        data.extend(item_features(ds, input.user, v, input.init_scores[i]));
+    }
+    Matrix::from_vec(input.len(), d, data)
+}
+
+/// Shuffled mini-batch iteration over training samples, shared by every
+/// neural re-ranker's `fit`.
+pub fn for_each_batch<'a>(
+    samples: &'a [TrainSample],
+    epochs: usize,
+    batch: usize,
+    rng: &mut StdRng,
+    mut f: impl FnMut(&[&'a TrainSample]),
+) {
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    for _ in 0..epochs {
+        order.shuffle(rng);
+        for chunk in order.chunks(batch.max(1)) {
+            let batch_refs: Vec<&TrainSample> = chunk.iter().map(|&i| &samples[i]).collect();
+            f(&batch_refs);
+        }
+    }
+}
+
+/// Which training loss a neural re-ranker uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListLoss {
+    /// Pointwise binary cross-entropy on the click indicators (DLCM,
+    /// PRM, SetRank, SRGA, RAPID — the paper's Eq. 11).
+    Bce,
+    /// Pairwise logistic loss over click pairs (DESA).
+    Pairwise,
+}
+
+/// Shared training loop of every neural re-ranker: shuffled mini-batches
+/// of lists, one summed-loss graph per batch, Adam, gradient clipping.
+///
+/// `forward` builds the `(L, 1)` score/logit column for one list.
+pub fn fit_listwise(
+    store: &mut rapid_autograd::ParamStore,
+    ds: &Dataset,
+    samples: &[TrainSample],
+    epochs: usize,
+    batch: usize,
+    lr: f32,
+    seed: u64,
+    loss_kind: ListLoss,
+    mut forward: impl FnMut(
+        &mut rapid_autograd::Tape,
+        &rapid_autograd::ParamStore,
+        &Dataset,
+        &RerankInput,
+    ) -> rapid_autograd::Var,
+) {
+    use rapid_autograd::optim::{Adam, Optimizer};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut optimizer = Adam::new(lr);
+    for_each_batch(samples, epochs, batch, &mut rng, |chunk| {
+        let mut tape = rapid_autograd::Tape::new();
+        let mut losses = Vec::with_capacity(chunk.len());
+        for s in chunk {
+            let logits = forward(&mut tape, store, ds, &s.input);
+            let labels: Vec<f32> = s.clicks.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect();
+            let loss = match loss_kind {
+                ListLoss::Bce => {
+                    let targets = Matrix::from_vec(labels.len(), 1, labels);
+                    tape.bce_with_logits(logits, &targets)
+                }
+                ListLoss::Pairwise => tape.pairwise_logistic(logits, &labels),
+            };
+            losses.push(loss);
+        }
+        let stacked = tape.concat_cols(&losses);
+        let total = tape.mean_all(stacked);
+        tape.backward(total, store);
+        store.clip_grad_norm(5.0);
+        optimizer.step_and_zero(store);
+    });
+}
+
+/// Scores one list with a forward function and returns the permutation
+/// by descending score (stable tie-break by original position).
+pub fn perm_by_scores(scores: &[f32]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    order
+}
+
+/// Grid-tunes a scalar hyper-parameter by maximising an objective over
+/// the training samples (used by the heuristic diversifiers, mirroring
+/// the paper's "we also fine-tune all baselines"). Returns the best
+/// grid value; ties break toward the earliest.
+pub fn tune_parameter(grid: &[f32], mut objective: impl FnMut(f32) -> f32) -> f32 {
+    assert!(!grid.is_empty(), "tune_parameter: empty grid");
+    let mut best = grid[0];
+    let mut best_score = f32::NEG_INFINITY;
+    for &g in grid {
+        let s = objective(g);
+        if s > best_score {
+            best_score = s;
+            best = g;
+        }
+    }
+    best
+}
+
+/// Offline utility of a permutation against item-level click labels:
+/// `click@k` under the standard offline re-ranking protocol (labels
+/// attach to items and move with them). Shared by the heuristic tuners.
+pub fn offline_clicks_at_k(perm: &[usize], clicks: &[bool], k: usize) -> f32 {
+    perm.iter()
+        .take(k)
+        .filter(|&&i| clicks[i])
+        .count() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rapid_data::{generate, DataConfig, Flavor};
+
+    fn tiny() -> Dataset {
+        let mut c = DataConfig::new(Flavor::Taobao);
+        c.num_users = 10;
+        c.num_items = 60;
+        c.ranker_train_interactions = 100;
+        c.rerank_train_requests = 4;
+        c.test_requests = 2;
+        generate(&c)
+    }
+
+    #[test]
+    fn feature_matrix_shape_and_content() {
+        let ds = tiny();
+        let l = ds.test[0].candidates.len();
+        let input = RerankInput {
+            user: 1,
+            items: ds.test[0].candidates.clone(),
+            init_scores: (0..l).map(|i| i as f32).collect(),
+        };
+        let m = list_feature_matrix(&ds, &input);
+        assert_eq!(m.shape(), (l, item_feature_dim(&ds)));
+        // Last column is the init score.
+        for i in 0..l {
+            assert_eq!(m.get(i, m.cols() - 1), i as f32);
+        }
+    }
+
+    #[test]
+    fn batching_covers_all_samples_each_epoch() {
+        let ds = tiny();
+        let samples: Vec<TrainSample> = ds
+            .rerank_train
+            .iter()
+            .map(|r| TrainSample {
+                input: RerankInput {
+                    user: r.user,
+                    items: r.candidates.clone(),
+                    init_scores: vec![0.0; r.candidates.len()],
+                },
+                clicks: vec![false; r.candidates.len()],
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = 0usize;
+        for_each_batch(&samples, 3, 2, &mut rng, |batch| seen += batch.len());
+        assert_eq!(seen, samples.len() * 3);
+    }
+
+    #[test]
+    fn tuner_finds_the_argmax() {
+        let best = tune_parameter(&[0.0, 0.25, 0.5, 0.75, 1.0], |x| -(x - 0.5).abs());
+        assert_eq!(best, 0.5);
+    }
+
+    #[test]
+    fn offline_clicks_move_with_items() {
+        let clicks = [false, true, false];
+        // Putting position-1's item first captures its click at k=1.
+        assert_eq!(offline_clicks_at_k(&[1, 0, 2], &clicks, 1), 1.0);
+        assert_eq!(offline_clicks_at_k(&[0, 2, 1], &clicks, 2), 0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! DESA (Qin et al., CIKM 2020): joint relevance/diversity scoring with
+//! self-attention and a pairwise loss.
+//!
+//! Two channels per item: a *relevance* representation from a
+//! transformer encoder over the item features, and a *diversity*
+//! representation from self-attention over the items' marginal-coverage
+//! novelty vectors (Eq. 5 of the RAPID paper — DESA computes novelty
+//! from the list alone, with **no personalization**, which is exactly
+//! the gap RAPID fills). The two are fused by an MLP and trained with
+//! the pairwise logistic loss.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rapid_autograd::{ParamStore, Tape, Var};
+use rapid_data::Dataset;
+use rapid_diversity::marginal_diversity;
+use rapid_nn::{self_attention, Activation, Linear, Mlp, TransformerEncoderLayer};
+use rapid_tensor::Matrix;
+
+use crate::common::{fit_listwise, item_feature_dim, list_feature_matrix, perm_by_scores, ListLoss};
+use crate::types::{ReRanker, RerankInput, TrainSample};
+
+/// DESA hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct DesaConfig {
+    /// Model width.
+    pub hidden: usize,
+    /// Attention heads of the relevance encoder.
+    pub heads: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Lists per optimizer step.
+    pub batch: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for DesaConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            heads: 2,
+            epochs: 4,
+            lr: 3e-3,
+            batch: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained DESA re-ranker.
+pub struct Desa {
+    config: DesaConfig,
+    store: ParamStore,
+    rel_proj: Linear,
+    rel_encoder: TransformerEncoderLayer,
+    div_proj: Linear,
+    head: Mlp,
+}
+
+impl Desa {
+    /// Creates an untrained DESA for the dataset's feature shape.
+    pub fn new(ds: &Dataset, config: DesaConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let d = item_feature_dim(ds);
+        let m = ds.num_topics();
+        let h = config.hidden;
+        let mut store = ParamStore::new();
+        Self {
+            rel_proj: Linear::new(&mut store, "desa.rel_proj", d, h, &mut rng),
+            rel_encoder: TransformerEncoderLayer::new(
+                &mut store,
+                "desa.rel_enc",
+                h,
+                config.heads,
+                2 * h,
+                &mut rng,
+            ),
+            div_proj: Linear::new(&mut store, "desa.div_proj", m, h, &mut rng),
+            head: Mlp::new(
+                &mut store,
+                "desa.head",
+                &[2 * h, h, 1],
+                Activation::Relu,
+                &mut rng,
+            ),
+            config,
+            store,
+        }
+    }
+
+    /// `(L, m)` matrix of marginal-diversity (novelty) vectors.
+    fn novelty_matrix(ds: &Dataset, input: &RerankInput) -> Matrix {
+        let covs = input.coverages(ds);
+        let m = ds.num_topics();
+        let mut data = Vec::with_capacity(input.len() * m);
+        for i in 0..input.len() {
+            data.extend(marginal_diversity(&covs, i));
+        }
+        Matrix::from_vec(input.len(), m, data)
+    }
+
+    fn forward(
+        layers: &DesaLayers,
+        tape: &mut Tape,
+        store: &ParamStore,
+        ds: &Dataset,
+        input: &RerankInput,
+    ) -> Var {
+        // Relevance channel.
+        let feats = tape.constant(list_feature_matrix(ds, input));
+        let rel = layers.rel_proj.forward(tape, store, feats);
+        let rel = layers.rel_encoder.forward(tape, store, rel);
+
+        // Diversity channel: projected novelty vectors mixed by
+        // (unparameterized) self-attention.
+        let novelty = tape.constant(Self::novelty_matrix(ds, input));
+        let div = layers.div_proj.forward(tape, store, novelty);
+        let div = self_attention(tape, div);
+
+        let both = tape.concat_cols(&[rel, div]);
+        layers.head.forward(tape, store, both)
+    }
+
+    fn scores(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let logits = Self::forward(&self.layers(), &mut tape, &self.store, ds, input);
+        tape.value(logits).as_slice().to_vec()
+    }
+
+    fn layers(&self) -> DesaLayers {
+        DesaLayers {
+            rel_proj: self.rel_proj.clone(),
+            rel_encoder: self.rel_encoder.clone(),
+            div_proj: self.div_proj.clone(),
+            head: self.head.clone(),
+        }
+    }
+}
+
+struct DesaLayers {
+    rel_proj: Linear,
+    rel_encoder: TransformerEncoderLayer,
+    div_proj: Linear,
+    head: Mlp,
+}
+
+impl ReRanker for Desa {
+    fn name(&self) -> &'static str {
+        "DESA"
+    }
+
+    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+        let layers = self.layers();
+        fit_listwise(
+            &mut self.store,
+            ds,
+            samples,
+            self.config.epochs,
+            self.config.batch,
+            self.config.lr,
+            self.config.seed,
+            ListLoss::Pairwise,
+            |tape, store, ds, input| Self::forward(&layers, tape, store, ds, input),
+        );
+    }
+
+    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
+        perm_by_scores(&self.scores(ds, input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{click_samples, tiny_dataset, top_click_rate};
+    use crate::types::is_permutation;
+
+    #[test]
+    fn learns_to_put_attractive_items_first() {
+        let ds = tiny_dataset(15);
+        let samples = click_samples(&ds, 450, 11);
+        let mut model = Desa::new(&ds, DesaConfig {
+            epochs: 15,
+            ..DesaConfig::default()
+        });
+        model.fit(&ds, &samples);
+
+        let before = top_click_rate(&ds, &samples[..150], |inp| (0..inp.len()).collect());
+        let after = top_click_rate(&ds, &samples[..150], |inp| model.rerank(&ds, inp));
+        assert!(
+            after > before * 1.02,
+            "DESA should beat the initial order: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn novelty_matrix_has_topic_width() {
+        let ds = tiny_dataset(8);
+        let samples = click_samples(&ds, 2, 1);
+        let m = Desa::novelty_matrix(&ds, &samples[0].input);
+        assert_eq!(m.shape(), (samples[0].input.len(), ds.num_topics()));
+        assert!(m.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn rerank_is_a_permutation() {
+        let ds = tiny_dataset(9);
+        let samples = click_samples(&ds, 6, 2);
+        let mut model = Desa::new(&ds, DesaConfig {
+            epochs: 1,
+            ..DesaConfig::default()
+        });
+        model.fit(&ds, &samples);
+        let perm = model.rerank(&ds, &samples[0].input);
+        assert!(is_permutation(&perm, samples[0].input.len()));
+    }
+}

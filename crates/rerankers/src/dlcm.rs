@@ -1,0 +1,163 @@
+//! DLCM — Deep Listwise Context Model (Ai et al., SIGIR 2018).
+//!
+//! A GRU encodes the initial list top-down; each position's score comes
+//! from its own hidden state combined with the final state (the "local
+//! context" of the whole list).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rapid_autograd::{ParamStore, Tape, Var};
+use rapid_data::Dataset;
+use rapid_nn::{Activation, Gru, Mlp};
+
+use crate::common::{fit_listwise, item_feature_dim, list_feature_matrix, perm_by_scores, ListLoss};
+use crate::types::{ReRanker, RerankInput, TrainSample};
+
+/// DLCM hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct DlcmConfig {
+    /// GRU hidden size.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Lists per optimizer step.
+    pub batch: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for DlcmConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            epochs: 4,
+            lr: 3e-3,
+            batch: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained DLCM re-ranker.
+pub struct Dlcm {
+    config: DlcmConfig,
+    store: ParamStore,
+    gru: Gru,
+    head: Mlp,
+}
+
+impl Dlcm {
+    /// Creates an untrained DLCM for the dataset's feature shape.
+    pub fn new(ds: &Dataset, config: DlcmConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let d = item_feature_dim(ds);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "dlcm.gru", d, config.hidden, &mut rng);
+        let head = Mlp::new(
+            &mut store,
+            "dlcm.head",
+            &[2 * config.hidden, config.hidden, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        Self {
+            config,
+            store,
+            gru,
+            head,
+        }
+    }
+
+    fn forward(
+        gru: &Gru,
+        head: &Mlp,
+        tape: &mut Tape,
+        store: &ParamStore,
+        ds: &Dataset,
+        input: &RerankInput,
+    ) -> Var {
+        let feats = tape.constant(list_feature_matrix(ds, input));
+        let l = input.len();
+        let steps: Vec<Var> = (0..l).map(|i| tape.slice_rows(feats, i, i + 1)).collect();
+        let states = gru.forward(tape, store, &steps);
+        let last = *states.last().expect("non-empty list");
+        let per_pos: Vec<Var> = states
+            .iter()
+            .map(|&s| tape.concat_cols(&[s, last]))
+            .collect();
+        let stacked = tape.concat_rows(&per_pos); // (L, 2h)
+        head.forward(tape, store, stacked) // (L, 1)
+    }
+
+    fn scores(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let logits = Self::forward(&self.gru, &self.head, &mut tape, &self.store, ds, input);
+        tape.value(logits).as_slice().to_vec()
+    }
+}
+
+impl ReRanker for Dlcm {
+    fn name(&self) -> &'static str {
+        "DLCM"
+    }
+
+    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+        let gru = self.gru.clone();
+        let head = self.head.clone();
+        fit_listwise(
+            &mut self.store,
+            ds,
+            samples,
+            self.config.epochs,
+            self.config.batch,
+            self.config.lr,
+            self.config.seed,
+            ListLoss::Bce,
+            |tape, store, ds, input| Self::forward(&gru, &head, tape, store, ds, input),
+        );
+    }
+
+    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
+        perm_by_scores(&self.scores(ds, input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{click_samples, tiny_dataset, top_click_rate};
+    use crate::types::is_permutation;
+
+    #[test]
+    fn learns_to_put_attractive_items_first() {
+        let ds = tiny_dataset(11);
+        let samples = click_samples(&ds, 450, 7);
+        let mut model = Dlcm::new(&ds, DlcmConfig {
+            epochs: 15,
+            ..DlcmConfig::default()
+        });
+        model.fit(&ds, &samples);
+
+        let before = top_click_rate(&ds, &samples[..150], |inp| (0..inp.len()).collect());
+        let after = top_click_rate(&ds, &samples[..150], |inp| model.rerank(&ds, inp));
+        assert!(
+            after > before * 1.02,
+            "DLCM should beat the shuffled order: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn rerank_is_a_permutation() {
+        let ds = tiny_dataset(3);
+        let samples = click_samples(&ds, 10, 1);
+        let mut model = Dlcm::new(&ds, DlcmConfig {
+            epochs: 1,
+            ..DlcmConfig::default()
+        });
+        model.fit(&ds, &samples);
+        let perm = model.rerank(&ds, &samples[0].input);
+        assert!(is_permutation(&perm, samples[0].input.len()));
+    }
+}

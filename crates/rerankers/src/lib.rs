@@ -1,0 +1,62 @@
+//! The ten baseline re-rankers the paper compares RAPID against
+//! (§IV-B3), all implemented from scratch on the workspace substrates.
+//!
+//! Relevance-oriented neural re-rankers:
+//! * [`Dlcm`] — GRU list encoder, scores from each position's state plus
+//!   the final list state (Ai et al., SIGIR 2018).
+//! * [`Prm`] — transformer encoder with learned position embeddings
+//!   (Pei et al., RecSys 2019).
+//! * [`SetRank`] — stacked induced set attention, permutation-invariant
+//!   (Pang et al., SIGIR 2020).
+//! * [`Srga`] — scope-aware gated attention: causal (unidirectional)
+//!   attention gated against a local-window attention (Qian et al.,
+//!   WSDM 2022).
+//!
+//! Diversity-aware re-rankers:
+//! * [`MmrReranker`] — maximal marginal relevance.
+//! * [`DppReranker`] — DPP greedy MAP over a quality/similarity kernel.
+//! * [`Desa`] — self-attentive joint relevance/diversity scoring with a
+//!   pairwise loss (Qin et al., CIKM 2020).
+//! * [`SsdReranker`] — sliding spectrum decomposition.
+//!
+//! Personalized diversity re-rankers:
+//! * [`AdpMmr`] — MMR whose tradeoff comes from the user's history
+//!   entropy (Di Noia et al., RecSys 2014).
+//! * [`PdGan`] — personalized-DPP baseline in the spirit of PD-GAN (Wu
+//!   et al., IJCAI 2019): a learned pointwise quality model inside a
+//!   DPP kernel whose diversity emphasis is personalized by the user's
+//!   history; the adversarial training of the original is replaced by
+//!   maximum-likelihood quality fitting (documented substitution — the
+//!   baseline's *role* in the paper is a ranking-stage personalized
+//!   diversifier with limited expressive power, which this preserves).
+//!
+//! Plus [`Identity`], which returns the initial ranking unchanged (the
+//! `Init` row of every table).
+//!
+//! All models implement [`ReRanker`]; neural ones train on DCM click
+//! feedback over initial lists, heuristic ones grid-tune their tradeoff
+//! parameter on the same feedback.
+
+mod common;
+mod desa;
+#[cfg(test)]
+pub(crate) mod test_support;
+mod dlcm;
+mod dpp;
+mod mmr;
+mod prm;
+mod setrank;
+mod srga;
+mod ssd;
+mod types;
+
+pub use common::{item_features, list_feature_matrix, tune_parameter};
+pub use desa::{Desa, DesaConfig};
+pub use dlcm::{Dlcm, DlcmConfig};
+pub use dpp::{DppReranker, PdGan, PdGanConfig};
+pub use mmr::{AdpMmr, MmrReranker};
+pub use prm::{Prm, PrmConfig};
+pub use setrank::{SetRank, SetRankConfig};
+pub use srga::{Srga, SrgaConfig};
+pub use ssd::SsdReranker;
+pub use types::{is_permutation, Identity, ReRanker, RerankInput, TrainSample};

@@ -1,0 +1,197 @@
+//! MMR and its personalized variant adpMMR.
+
+use rapid_data::Dataset;
+use rapid_diversity::{history_entropy_propensity, mmr_select};
+
+use crate::common::{offline_clicks_at_k, tune_parameter};
+use crate::types::{ReRanker, RerankInput, TrainSample};
+
+/// Maximal Marginal Relevance re-ranker. The relevance term is the
+/// initial ranker's squashed score; the similarity term is the coverage
+/// cosine. The tradeoff `λ` is grid-tuned on training clicks.
+#[derive(Debug, Clone)]
+pub struct MmrReranker {
+    lambda: f32,
+}
+
+impl Default for MmrReranker {
+    fn default() -> Self {
+        Self { lambda: 0.7 }
+    }
+}
+
+impl MmrReranker {
+    /// The current (possibly tuned) tradeoff.
+    pub fn lambda(&self) -> f32 {
+        self.lambda
+    }
+}
+
+impl ReRanker for MmrReranker {
+    fn name(&self) -> &'static str {
+        "MMR"
+    }
+
+    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+        if samples.is_empty() {
+            return;
+        }
+        let k = samples[0].input.len().min(10);
+        self.lambda = tune_parameter(&[1.0, 0.9, 0.8, 0.7, 0.5, 0.3], |lambda| {
+            samples
+                .iter()
+                .map(|s| {
+                    let rel = s.input.relevance_probs();
+                    let covs = s.input.coverages(ds);
+                    let perm = mmr_select(&rel, &covs, lambda);
+                    offline_clicks_at_k(&perm, &s.clicks, k)
+                })
+                .sum()
+        });
+    }
+
+    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
+        let rel = input.relevance_probs();
+        let covs = input.coverages(ds);
+        mmr_select(&rel, &covs, self.lambda)
+    }
+}
+
+/// adpMMR (Di Noia et al., 2014): per-user MMR whose tradeoff comes from
+/// the entropy of the user's behavior history — a diverse history lowers
+/// `λ` (more diversification), a focused one raises it. The mapping
+/// scale is grid-tuned on training clicks.
+#[derive(Debug, Clone)]
+pub struct AdpMmr {
+    /// How strongly the propensity moves `λ` away from 1.
+    strength: f32,
+}
+
+impl Default for AdpMmr {
+    fn default() -> Self {
+        Self { strength: 0.4 }
+    }
+}
+
+impl AdpMmr {
+    /// Per-user tradeoff: `λ_u = 1 − strength · propensity(history)`.
+    fn user_lambda(&self, ds: &Dataset, user: usize) -> f32 {
+        let hist_covs: Vec<&[f32]> = ds.users[user]
+            .history
+            .iter()
+            .map(|&v| ds.items[v].coverage.as_slice())
+            .collect();
+        let propensity = history_entropy_propensity(&hist_covs);
+        (1.0 - self.strength * propensity).clamp(0.0, 1.0)
+    }
+}
+
+impl ReRanker for AdpMmr {
+    fn name(&self) -> &'static str {
+        "adpMMR"
+    }
+
+    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+        if samples.is_empty() {
+            return;
+        }
+        let k = samples[0].input.len().min(10);
+        self.strength = tune_parameter(&[0.1, 0.2, 0.4, 0.6, 0.8], |strength| {
+            let probe = AdpMmr { strength };
+            samples
+                .iter()
+                .map(|s| {
+                    let perm = probe.rerank(ds, &s.input);
+                    offline_clicks_at_k(&perm, &s.clicks, k)
+                })
+                .sum()
+        });
+    }
+
+    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
+        let rel = input.relevance_probs();
+        let covs = input.coverages(ds);
+        mmr_select(&rel, &covs, self.user_lambda(ds, input.user))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::is_permutation;
+    use rapid_data::{generate, DataConfig, Flavor};
+
+    fn tiny() -> Dataset {
+        let mut c = DataConfig::new(Flavor::MovieLens);
+        c.num_users = 20;
+        c.num_items = 100;
+        c.ranker_train_interactions = 200;
+        c.rerank_train_requests = 10;
+        c.test_requests = 5;
+        generate(&c)
+    }
+
+    fn input(ds: &Dataset, idx: usize) -> RerankInput {
+        RerankInput {
+            user: ds.test[idx].user,
+            items: ds.test[idx].candidates.clone(),
+            init_scores: (0..ds.test[idx].candidates.len())
+                .map(|i| -(i as f32) * 0.2)
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn mmr_returns_permutations() {
+        let ds = tiny();
+        let model = MmrReranker::default();
+        let inp = input(&ds, 0);
+        assert!(is_permutation(&model.rerank(&ds, &inp), inp.len()));
+    }
+
+    #[test]
+    fn mmr_tuning_keeps_top_clicks_on_top() {
+        let ds = tiny();
+        // Clicks exactly at the top of the initial list: after tuning,
+        // MMR must not displace them out of the top 2.
+        let samples: Vec<TrainSample> = (0..5)
+            .map(|i| {
+                let inp = input(&ds, i % ds.test.len());
+                let mut clicks = vec![false; inp.len()];
+                clicks[0] = true;
+                clicks[1] = true;
+                TrainSample { input: inp, clicks }
+            })
+            .collect();
+        let mut model = MmrReranker::default();
+        model.fit(&ds, &samples);
+        assert!(model.lambda() >= 0.8, "lambda {}", model.lambda());
+        for s in &samples {
+            let perm = model.rerank(&ds, &s.input);
+            assert!(perm[..2].contains(&0) && perm[..2].contains(&1));
+        }
+    }
+
+    #[test]
+    fn adp_mmr_lambda_anticorrelates_with_preference_entropy() {
+        let ds = tiny();
+        let model = AdpMmr::default();
+        // Across the user population, diverse-preference users must get
+        // systematically lower λ (more diversification). Per-user noise
+        // exists (histories are finite samples), so test the correlation.
+        let xs: Vec<f32> = ds.users.iter().map(|u| u.pref_entropy()).collect();
+        let ys: Vec<f32> = ds
+            .users
+            .iter()
+            .map(|u| model.user_lambda(&ds, u.id))
+            .collect();
+        let n = xs.len() as f32;
+        let mx = xs.iter().sum::<f32>() / n;
+        let my = ys.iter().sum::<f32>() / n;
+        let cov: f32 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f32 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let vy: f32 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        let corr = cov / (vx * vy).sqrt().max(1e-9);
+        assert!(corr < -0.2, "entropy-lambda correlation {corr}");
+    }
+}

@@ -1,0 +1,206 @@
+//! PRM — Personalized Re-ranking Model (Pei et al., RecSys 2019): a
+//! transformer encoder over the initial list with learned position
+//! embeddings.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rapid_autograd::{ParamId, ParamStore, Tape, Var};
+use rapid_data::Dataset;
+use rapid_nn::{Activation, Linear, Mlp, TransformerEncoderLayer};
+use rapid_tensor::Matrix;
+
+use crate::common::{fit_listwise, item_feature_dim, list_feature_matrix, perm_by_scores, ListLoss};
+use crate::types::{ReRanker, RerankInput, TrainSample};
+
+/// PRM hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct PrmConfig {
+    /// Model width (must be divisible by `heads`).
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Encoder blocks.
+    pub blocks: usize,
+    /// Maximum list length (sizes the position embedding).
+    pub max_len: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Lists per optimizer step.
+    pub batch: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for PrmConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            heads: 2,
+            blocks: 1,
+            max_len: 30,
+            epochs: 4,
+            lr: 3e-3,
+            batch: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained PRM re-ranker.
+pub struct Prm {
+    config: PrmConfig,
+    store: ParamStore,
+    input_proj: Linear,
+    pos_embed: ParamId,
+    encoders: Vec<TransformerEncoderLayer>,
+    head: Mlp,
+}
+
+impl Prm {
+    /// Creates an untrained PRM for the dataset's feature shape.
+    pub fn new(ds: &Dataset, config: PrmConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let d = item_feature_dim(ds);
+        let mut store = ParamStore::new();
+        let input_proj = Linear::new(&mut store, "prm.proj", d, config.hidden, &mut rng);
+        let pos_embed = store.add(
+            "prm.pos",
+            Matrix::rand_uniform(config.max_len, config.hidden, -0.05, 0.05, &mut rng),
+        );
+        let encoders = (0..config.blocks)
+            .map(|b| {
+                TransformerEncoderLayer::new(
+                    &mut store,
+                    &format!("prm.enc{b}"),
+                    config.hidden,
+                    config.heads,
+                    2 * config.hidden,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let head = Mlp::new(
+            &mut store,
+            "prm.head",
+            &[config.hidden, config.hidden, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        Self {
+            config,
+            store,
+            input_proj,
+            pos_embed,
+            encoders,
+            head,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn forward(
+        input_proj: &Linear,
+        pos_embed: ParamId,
+        encoders: &[TransformerEncoderLayer],
+        head: &Mlp,
+        tape: &mut Tape,
+        store: &ParamStore,
+        ds: &Dataset,
+        input: &RerankInput,
+    ) -> Var {
+        let l = input.len();
+        let feats = tape.constant(list_feature_matrix(ds, input));
+        let mut h = input_proj.forward(tape, store, feats);
+        let pos_all = tape.param(store, pos_embed);
+        let pos = tape.slice_rows(pos_all, 0, l);
+        h = tape.add(h, pos);
+        for enc in encoders {
+            h = enc.forward(tape, store, h);
+        }
+        head.forward(tape, store, h)
+    }
+
+    fn scores(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let logits = Self::forward(
+            &self.input_proj,
+            self.pos_embed,
+            &self.encoders,
+            &self.head,
+            &mut tape,
+            &self.store,
+            ds,
+            input,
+        );
+        tape.value(logits).as_slice().to_vec()
+    }
+}
+
+impl ReRanker for Prm {
+    fn name(&self) -> &'static str {
+        "PRM"
+    }
+
+    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+        let input_proj = self.input_proj.clone();
+        let pos_embed = self.pos_embed;
+        let encoders = self.encoders.clone();
+        let head = self.head.clone();
+        fit_listwise(
+            &mut self.store,
+            ds,
+            samples,
+            self.config.epochs,
+            self.config.batch,
+            self.config.lr,
+            self.config.seed,
+            ListLoss::Bce,
+            |tape, store, ds, input| {
+                Self::forward(&input_proj, pos_embed, &encoders, &head, tape, store, ds, input)
+            },
+        );
+    }
+
+    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
+        perm_by_scores(&self.scores(ds, input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{click_samples, tiny_dataset, top_click_rate};
+    use crate::types::is_permutation;
+
+    #[test]
+    fn learns_to_put_attractive_items_first() {
+        let ds = tiny_dataset(12);
+        let samples = click_samples(&ds, 450, 8);
+        let mut model = Prm::new(&ds, PrmConfig {
+            epochs: 15,
+            ..PrmConfig::default()
+        });
+        model.fit(&ds, &samples);
+
+        let before = top_click_rate(&ds, &samples[..150], |inp| (0..inp.len()).collect());
+        let after = top_click_rate(&ds, &samples[..150], |inp| model.rerank(&ds, inp));
+        assert!(
+            after > before * 1.02,
+            "PRM should beat the initial order: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn rerank_is_a_permutation() {
+        let ds = tiny_dataset(4);
+        let samples = click_samples(&ds, 8, 2);
+        let mut model = Prm::new(&ds, PrmConfig {
+            epochs: 1,
+            ..PrmConfig::default()
+        });
+        model.fit(&ds, &samples);
+        let perm = model.rerank(&ds, &samples[0].input);
+        assert!(is_permutation(&perm, samples[0].input.len()));
+    }
+}

@@ -1,0 +1,257 @@
+//! SRGA — Scope-aware Re-ranking with Gated Attention (Qian et al.,
+//! WSDM 2022). Two attention scopes over the list — a *unidirectional*
+//! (causal) scope modeling top-down browsing and a *local* scope over
+//! neighbouring items — combined with a learned per-position gate.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rapid_autograd::{ParamStore, Tape, Var};
+use rapid_data::Dataset;
+use rapid_nn::{Activation, Linear, Mlp};
+use rapid_tensor::Matrix;
+
+use crate::common::{fit_listwise, item_feature_dim, list_feature_matrix, perm_by_scores, ListLoss};
+use crate::types::{ReRanker, RerankInput, TrainSample};
+
+/// SRGA hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SrgaConfig {
+    /// Model width.
+    pub hidden: usize,
+    /// Local scope radius (`|i − j| <= radius`).
+    pub local_radius: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Lists per optimizer step.
+    pub batch: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for SrgaConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            local_radius: 1,
+            epochs: 4,
+            lr: 3e-3,
+            batch: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained SRGA re-ranker.
+pub struct Srga {
+    config: SrgaConfig,
+    store: ParamStore,
+    proj: Linear,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    gate: Linear,
+    head: Mlp,
+}
+
+impl Srga {
+    /// Creates an untrained SRGA for the dataset's feature shape.
+    pub fn new(ds: &Dataset, config: SrgaConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let d = item_feature_dim(ds);
+        let h = config.hidden;
+        let mut store = ParamStore::new();
+        Self {
+            proj: Linear::new(&mut store, "srga.proj", d, h, &mut rng),
+            wq: Linear::new(&mut store, "srga.wq", h, h, &mut rng),
+            wk: Linear::new(&mut store, "srga.wk", h, h, &mut rng),
+            wv: Linear::new(&mut store, "srga.wv", h, h, &mut rng),
+            gate: Linear::new(&mut store, "srga.gate", 2 * h, h, &mut rng),
+            head: Mlp::new(
+                &mut store,
+                "srga.head",
+                &[h, h, 1],
+                Activation::Relu,
+                &mut rng,
+            ),
+            config,
+            store,
+        }
+    }
+
+    /// Additive attention mask: 0 where allowed, −1e4 where blocked.
+    fn mask(l: usize, allow: impl Fn(usize, usize) -> bool) -> Matrix {
+        let mut m = Matrix::zeros(l, l);
+        for i in 0..l {
+            for j in 0..l {
+                if !allow(i, j) {
+                    m.set(i, j, -1e4);
+                }
+            }
+        }
+        m
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn forward(
+        layers: &SrgaLayers,
+        radius: usize,
+        tape: &mut Tape,
+        store: &ParamStore,
+        ds: &Dataset,
+        input: &RerankInput,
+    ) -> Var {
+        let l = input.len();
+        let feats = tape.constant(list_feature_matrix(ds, input));
+        let x = layers.proj.forward(tape, store, feats);
+        let q = layers.wq.forward(tape, store, x);
+        let k = layers.wk.forward(tape, store, x);
+        let v = layers.wv.forward(tape, store, x);
+        let kt = tape.transpose(k);
+        let raw = tape.matmul(q, kt);
+        let h_dim = tape.value(x).cols();
+        let scaled = tape.scale(raw, 1.0 / (h_dim as f32).sqrt());
+
+        // Unidirectional scope: positions only attend to items the user
+        // has already passed (j <= i).
+        let causal_mask = tape.constant(Self::mask(l, |i, j| j <= i));
+        let causal_scores = tape.add(scaled, causal_mask);
+        let causal_attn = tape.softmax_rows(causal_scores);
+        let causal_out = tape.matmul(causal_attn, v);
+
+        // Local scope: neighbouring items within the radius.
+        let local_mask =
+            tape.constant(Self::mask(l, |i, j| i.abs_diff(j) <= radius));
+        let local_scores = tape.add(scaled, local_mask);
+        let local_attn = tape.softmax_rows(local_scores);
+        let local_out = tape.matmul(local_attn, v);
+
+        // Learned gate mixes the two scopes per position and channel.
+        let both = tape.concat_cols(&[causal_out, local_out]);
+        let gate_logits = layers.gate.forward(tape, store, both);
+        let g = tape.sigmoid(gate_logits);
+        let ones = tape.constant(Matrix::ones(l, h_dim));
+        let inv_g = tape.sub(ones, g);
+        let a = tape.mul(g, causal_out);
+        let b = tape.mul(inv_g, local_out);
+        let mixed = tape.add(a, b);
+
+        layers.head.forward(tape, store, mixed)
+    }
+
+    fn scores(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let logits = Self::forward(
+            &self.layers(),
+            self.config.local_radius,
+            &mut tape,
+            &self.store,
+            ds,
+            input,
+        );
+        tape.value(logits).as_slice().to_vec()
+    }
+
+    fn layers(&self) -> SrgaLayers {
+        SrgaLayers {
+            proj: self.proj.clone(),
+            wq: self.wq.clone(),
+            wk: self.wk.clone(),
+            wv: self.wv.clone(),
+            gate: self.gate.clone(),
+            head: self.head.clone(),
+        }
+    }
+}
+
+/// The cloneable layer handles of SRGA (ids into the param store).
+struct SrgaLayers {
+    proj: Linear,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    gate: Linear,
+    head: Mlp,
+}
+
+impl ReRanker for Srga {
+    fn name(&self) -> &'static str {
+        "SRGA"
+    }
+
+    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+        let layers = self.layers();
+        let radius = self.config.local_radius;
+        fit_listwise(
+            &mut self.store,
+            ds,
+            samples,
+            self.config.epochs,
+            self.config.batch,
+            self.config.lr,
+            self.config.seed,
+            ListLoss::Bce,
+            |tape, store, ds, input| Self::forward(&layers, radius, tape, store, ds, input),
+        );
+    }
+
+    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
+        perm_by_scores(&self.scores(ds, input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{click_samples, tiny_dataset, top_click_rate};
+    use crate::types::is_permutation;
+
+    #[test]
+    fn learns_to_put_attractive_items_first() {
+        let ds = tiny_dataset(14);
+        let samples = click_samples(&ds, 450, 10);
+        let mut model = Srga::new(&ds, SrgaConfig {
+            epochs: 15,
+            ..SrgaConfig::default()
+        });
+        model.fit(&ds, &samples);
+
+        let before = top_click_rate(&ds, &samples[..150], |inp| (0..inp.len()).collect());
+        let after = top_click_rate(&ds, &samples[..150], |inp| model.rerank(&ds, inp));
+        assert!(
+            after > before * 1.02,
+            "SRGA should beat the initial order: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn first_position_sees_only_itself_in_causal_scope() {
+        // With the causal mask, row 0 can attend only to itself, so its
+        // causal attention weight on itself is 1. We verify indirectly:
+        // the mask matrix blocks everything above the diagonal.
+        let m = Srga::mask(4, |i, j| j <= i);
+        for i in 0..4 {
+            for j in 0..4 {
+                if j > i {
+                    assert_eq!(m.get(i, j), -1e4);
+                } else {
+                    assert_eq!(m.get(i, j), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rerank_is_a_permutation() {
+        let ds = tiny_dataset(7);
+        let samples = click_samples(&ds, 6, 2);
+        let mut model = Srga::new(&ds, SrgaConfig {
+            epochs: 1,
+            ..SrgaConfig::default()
+        });
+        model.fit(&ds, &samples);
+        let perm = model.rerank(&ds, &samples[0].input);
+        assert!(is_permutation(&perm, samples[0].input.len()));
+    }
+}

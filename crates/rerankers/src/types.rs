@@ -1,0 +1,153 @@
+//! The [`ReRanker`] trait and its input types.
+
+use rapid_data::{Dataset, ItemId, UserId};
+
+/// One re-ranking instance: a user plus the **ordered** initial list `R`
+/// with the initial ranker's scores.
+#[derive(Debug, Clone)]
+pub struct RerankInput {
+    /// The requesting user.
+    pub user: UserId,
+    /// The initial list `R`, best-first.
+    pub items: Vec<ItemId>,
+    /// Initial-ranker scores aligned with `items`.
+    pub init_scores: Vec<f32>,
+}
+
+impl RerankInput {
+    /// List length `L`.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` for an empty list.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Initial scores squashed to `(0, 1)` — a relevance proxy for the
+    /// heuristic diversifiers, which expect probabilities.
+    pub fn relevance_probs(&self) -> Vec<f32> {
+        self.init_scores
+            .iter()
+            .map(|&s| 1.0 / (1.0 + (-s).exp()))
+            .collect()
+    }
+
+    /// Coverage vectors of the listed items, in list order.
+    pub fn coverages<'a>(&self, ds: &'a Dataset) -> Vec<&'a [f32]> {
+        self.items
+            .iter()
+            .map(|&v| ds.items[v].coverage.as_slice())
+            .collect()
+    }
+}
+
+/// A labeled training instance: the initial list plus the DCM click
+/// feedback observed on it.
+#[derive(Debug, Clone)]
+pub struct TrainSample {
+    /// The list shown.
+    pub input: RerankInput,
+    /// Click indicator per position of `input.items`.
+    pub clicks: Vec<bool>,
+}
+
+/// A re-ranking model: trains on click-labeled initial lists, then maps
+/// an initial list to a permutation.
+pub trait ReRanker {
+    /// Display name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Trains (or tunes) on labeled lists. Heuristic models may no-op.
+    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]);
+
+    /// Returns a permutation: `result[rank] = index into input.items`.
+    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize>;
+
+    /// Convenience: the re-ranked item ids, best-first.
+    fn rerank_items(&self, ds: &Dataset, input: &RerankInput) -> Vec<ItemId> {
+        self.rerank(ds, input)
+            .into_iter()
+            .map(|i| input.items[i])
+            .collect()
+    }
+}
+
+/// The `Init` row: returns the initial ranking unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct Identity;
+
+impl ReRanker for Identity {
+    fn name(&self) -> &'static str {
+        "Init"
+    }
+
+    fn fit(&mut self, _ds: &Dataset, _samples: &[TrainSample]) {}
+
+    fn rerank(&self, _ds: &Dataset, input: &RerankInput) -> Vec<usize> {
+        (0..input.len()).collect()
+    }
+}
+
+/// Validates that `perm` is a permutation of `0..n` (used by tests and
+/// debug assertions in the evaluation pipeline).
+pub fn is_permutation(perm: &[usize], n: usize) -> bool {
+    if perm.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_data::{generate, DataConfig, Flavor};
+
+    #[test]
+    fn identity_returns_input_order() {
+        let mut c = DataConfig::new(Flavor::Taobao);
+        c.num_users = 10;
+        c.num_items = 50;
+        c.ranker_train_interactions = 100;
+        c.rerank_train_requests = 2;
+        c.test_requests = 2;
+        let ds = generate(&c);
+        let l = ds.test[0].candidates.len();
+        let input = RerankInput {
+            user: 0,
+            items: ds.test[0].candidates.clone(),
+            init_scores: vec![0.0; l],
+        };
+        let perm = Identity.rerank(&ds, &input);
+        assert_eq!(perm, (0..l).collect::<Vec<_>>());
+        assert_eq!(Identity.rerank_items(&ds, &input), input.items);
+    }
+
+    #[test]
+    fn relevance_probs_are_sigmoid() {
+        let input = RerankInput {
+            user: 0,
+            items: vec![0, 1],
+            init_scores: vec![0.0, 100.0],
+        };
+        let p = input.relevance_probs();
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!(p[1] > 0.999);
+    }
+
+    #[test]
+    fn is_permutation_checks() {
+        assert!(is_permutation(&[2, 0, 1], 3));
+        assert!(!is_permutation(&[0, 0, 1], 3));
+        assert!(!is_permutation(&[0, 1], 3));
+        assert!(!is_permutation(&[0, 3, 1], 3));
+    }
+}

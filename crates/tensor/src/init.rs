@@ -1,0 +1,81 @@
+//! Random initialisation helpers for [`Matrix`].
+//!
+//! All constructors take an explicit RNG so callers control seeding; the
+//! whole workspace threads `StdRng::seed_from_u64` seeds through these.
+
+use crate::Matrix;
+use rand::Rng;
+
+impl Matrix {
+    /// Matrix with elements drawn uniformly from `[low, high)`.
+    pub fn rand_uniform(rows: usize, cols: usize, low: f32, high: f32, rng: &mut impl Rng) -> Self {
+        assert!(low <= high, "rand_uniform: low {low} > high {high}");
+        let data = (0..rows * cols).map(|_| rng.gen_range(low..high)).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Matrix with standard-normal elements scaled by `std` around `mean`
+    /// (Box–Muller, no external distribution crate needed here).
+    pub fn rand_normal(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut impl Rng) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| mean + std * sample_standard_normal(rng))
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Xavier/Glorot uniform initialisation for a `fan_in x fan_out`
+    /// weight matrix: `U(-b, b)` with `b = sqrt(6 / (fan_in + fan_out))`.
+    pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Self {
+        let b = xavier_bound(fan_in, fan_out);
+        Self::rand_uniform(fan_in, fan_out, -b, b, rng)
+    }
+}
+
+/// The Glorot bound `sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_bound(fan_in: usize, fan_out: usize) -> f32 {
+    (6.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+/// One standard normal sample via the Box–Muller transform.
+fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Matrix::rand_uniform(20, 20, -0.5, 0.5, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn normal_has_roughly_correct_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Matrix::rand_normal(100, 100, 1.0, 2.0, &mut rng);
+        let mean = m.mean();
+        let var = m.map(|v| (v - mean) * (v - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bound_matches_formula() {
+        assert!((xavier_bound(3, 3) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = Matrix::rand_uniform(4, 4, 0.0, 1.0, &mut StdRng::seed_from_u64(1));
+        let b = Matrix::rand_uniform(4, 4, 0.0, 1.0, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the matrix algebra: the identities that the
+//! autodiff engine's correctness silently depends on.
+
+#![cfg(test)]
+
+use crate::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a matrix with the given shape and bounded values.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    /// (AB)C = A(BC) within f32 tolerance.
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(approx_eq(&left, &right, 1e-3));
+    }
+
+    /// A·I = I·A = A.
+    #[test]
+    fn identity_is_neutral(a in matrix(4, 4)) {
+        let id = Matrix::identity(4);
+        prop_assert!(approx_eq(&a.matmul(&id), &a, 1e-6));
+        prop_assert!(approx_eq(&id.matmul(&a), &a, 1e-6));
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn transpose_reverses_products(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(approx_eq(&left, &right, 1e-4));
+    }
+
+    /// The fused transpose-products agree with the explicit forms.
+    #[test]
+    fn fused_transpose_matmuls_agree(a in matrix(3, 4), b in matrix(3, 5), c in matrix(5, 4)) {
+        prop_assert!(approx_eq(&a.matmul_at(&b), &a.transpose().matmul(&b), 1e-4));
+        prop_assert!(approx_eq(&a.matmul_bt(&c), &a.matmul(&c.transpose()), 1e-4));
+    }
+
+    /// Distributivity: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes_over_add(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(approx_eq(&left, &right, 1e-3));
+    }
+
+    /// Slicing a column concat recovers the parts exactly.
+    #[test]
+    fn concat_slice_round_trip(a in matrix(3, 2), b in matrix(3, 5)) {
+        let cat = a.concat_cols(&b);
+        prop_assert_eq!(cat.slice_cols(0, 2), a);
+        prop_assert_eq!(cat.slice_cols(2, 7), b);
+    }
+
+    /// Row sums + column sums both total the full sum.
+    #[test]
+    fn reductions_are_consistent(a in matrix(4, 3)) {
+        let total = a.sum();
+        prop_assert!((a.sum_rows().sum() - total).abs() < 1e-3);
+        prop_assert!((a.sum_cols().sum() - total).abs() < 1e-3);
+    }
+
+    /// Softmax rows are probability vectors preserving the argmax.
+    #[test]
+    fn softmax_preserves_argmax(a in matrix(2, 6)) {
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            let argmax_in = a.row(r)
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.total_cmp(y.1))
+                .map(|(i, _)| i);
+            let argmax_out = s.row(r)
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.total_cmp(y.1))
+                .map(|(i, _)| i);
+            prop_assert_eq!(argmax_in, argmax_out);
+        }
+    }
+
+    /// select_rows is consistent with per-row reads.
+    #[test]
+    fn select_rows_matches_row_reads(a in matrix(5, 3), idx in proptest::collection::vec(0usize..5, 1..8)) {
+        let sel = a.select_rows(&idx);
+        for (out_r, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(sel.row(out_r), a.row(src));
+        }
+    }
+}

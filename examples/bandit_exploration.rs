@@ -1,0 +1,39 @@
+//! The theory side (§V-A): run the LinUCB-style linear RAPID against a
+//! linear DCM environment and watch the regret grow like √n.
+//!
+//! ```bash
+//! cargo run --release --example bandit_exploration
+//! ```
+
+use rapid::bandit::{run_regret_experiment, EnvConfig};
+
+fn main() {
+    let n = 10_000;
+    println!("running the RAPID linear bandit for {n} rounds ...\n");
+    let curve = run_regret_experiment(EnvConfig::default(), n, 0.5, 10);
+
+    println!("{:>8} {:>14} {:>12}", "round", "cum. regret", "regret/√n");
+    for i in 0..curve.rounds.len() {
+        // A crude terminal sparkline of regret/√n.
+        let bar_len = (curve.regret_over_sqrt_n[i] * 30.0) as usize;
+        println!(
+            "{:>8} {:>14.2} {:>12.3} {}",
+            curve.rounds[i],
+            curve.cumulative_regret[i],
+            curve.regret_over_sqrt_n[i],
+            "#".repeat(bar_len.min(60))
+        );
+    }
+
+    let first = curve.regret_over_sqrt_n[0];
+    let last = *curve.regret_over_sqrt_n.last().unwrap();
+    println!(
+        "\nregret/√n: {first:.3} → {last:.3}. A flat/declining profile is the\n\
+         empirical signature of the paper's Õ(√n) bound (Theorem 5.1);\n\
+         a linear-regret learner would grow like √n here."
+    );
+    println!(
+        "γ-scaled regret (the exact quantity of Eq. 12): {:.2} — far inside the bound.",
+        curve.cumulative_scaled_regret.last().unwrap()
+    );
+}

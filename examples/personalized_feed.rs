@@ -1,0 +1,66 @@
+//! Personalized diversification in a feed-like scenario (the paper's
+//! motivating example, Fig. 1): the same re-ranker serves one user with
+//! broad tastes and one with focused tastes, and diversifies each list
+//! differently.
+//!
+//! ```bash
+//! cargo run --release --example personalized_feed
+//! ```
+
+use rapid::data::Flavor;
+use rapid::diversity::topic_coverage_at_k;
+use rapid::eval::{zoo, ExperimentConfig, Pipeline, Scale};
+use rapid::rerankers::ReRanker;
+
+fn main() {
+    // Feed recommendation = clicks driven by relevance AND diversity
+    // (the paper's λ = 0.5 setting).
+    let mut config = ExperimentConfig::new(Flavor::MovieLens, Scale::Quick).with_lambda(0.5);
+    config.data.num_users = 80;
+    config.data.rerank_train_requests = 400;
+    config.epochs = 12;
+
+    println!("preparing feed world (λ = 0.5) ...");
+    let pipeline = Pipeline::prepare(config);
+    let ds = pipeline.dataset();
+
+    println!("training RAPID-pro ...");
+    let mut rapid = zoo::rapid_pro(ds, 32, 5, 12, 42);
+    rapid.fit(ds, pipeline.train_samples());
+
+    // Split test requests by the requesting user's preference entropy.
+    let mut entropies: Vec<f32> = ds.users.iter().map(|u| u.pref_entropy()).collect();
+    entropies.sort_by(f32::total_cmp);
+    let median = entropies[entropies.len() / 2];
+
+    let mut stats = [(0.0f32, 0.0f32, 0usize); 2]; // (init div, rapid div, n)
+    for input in pipeline.test_inputs() {
+        let covs = input.coverages(ds);
+        let init_div = topic_coverage_at_k(&covs, 5);
+        let perm = rapid.rerank(ds, input);
+        let reordered: Vec<&[f32]> = perm.iter().map(|&p| covs[p]).collect();
+        let rapid_div = topic_coverage_at_k(&reordered, 5);
+        let bucket = usize::from(ds.users[input.user].pref_entropy() > median);
+        stats[bucket].0 += init_div;
+        stats[bucket].1 += rapid_div;
+        stats[bucket].2 += 1;
+    }
+
+    println!("\ntopic coverage of the top-5 (div@5), averaged per user group:\n");
+    for (label, (init, rapid_d, n)) in
+        ["focused users", "diverse users"].iter().zip(stats)
+    {
+        let n = n.max(1) as f32;
+        println!(
+            "  {label:<14} initial {:.2} → RAPID {:.2}  (Δ = {:+.2})",
+            init / n,
+            rapid_d / n,
+            (rapid_d - init) / n
+        );
+    }
+    println!(
+        "\nRAPID widens coverage more for diverse users than for focused\n\
+         ones — diversification proportional to each user's own interests\n\
+         (the paper's Fig. 1(c) behaviour)."
+    );
+}

@@ -1,0 +1,41 @@
+//! # RAPID — Personalized Diversification for Neural Re-ranking
+//!
+//! A from-scratch Rust reproduction of *"Personalized Diversification for
+//! Neural Re-ranking in Recommendation"* (Liu, Xi, et al., ICDE 2023).
+//!
+//! This umbrella crate re-exports the workspace's public API. See
+//! `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+//!
+//! The individual crates:
+//!
+//! * [`tensor`] — dense `f32` matrices.
+//! * [`autograd`] — tape-based reverse-mode autodiff, optimizers, losses.
+//! * [`nn`] — layers: linear/MLP, LSTM/Bi-LSTM, GRU, attention, transformer.
+//! * [`data`] — synthetic dataset generators (Taobao-like, MovieLens-like,
+//!   AppStore-like), behavior histories, feature construction.
+//! * [`click`] — dependent click model (DCM) simulation and estimation.
+//! * [`diversity`] — submodular topic coverage, marginal diversity, MMR,
+//!   DPP, SSD.
+//! * [`gbdt`] — gradient-boosted regression trees (LambdaMART substrate).
+//! * [`rankers`] — initial rankers: DIN, SVMRank, LambdaMART.
+//! * [`rerankers`] — all ten baseline re-rankers from the paper.
+//! * [`core`] — the RAPID model itself with both output heads and
+//!   ablation variants.
+//! * [`bandit`] — the linear-DCM bandit used for the regret analysis.
+//! * [`metrics`] — click/ndcg/div/satis/rev@k and significance tests.
+//! * [`eval`] — the end-to-end experiment pipeline.
+
+pub use rapid_autograd as autograd;
+pub use rapid_bandit as bandit;
+pub use rapid_click as click;
+pub use rapid_core as core;
+pub use rapid_data as data;
+pub use rapid_diversity as diversity;
+pub use rapid_eval as eval;
+pub use rapid_gbdt as gbdt;
+pub use rapid_metrics as metrics;
+pub use rapid_nn as nn;
+pub use rapid_rankers as rankers;
+pub use rapid_rerankers as rerankers;
+pub use rapid_tensor as tensor;

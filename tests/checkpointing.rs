@@ -1,0 +1,72 @@
+//! Checkpoint round-trip: a trained RAPID saved and restored into a
+//! freshly constructed model must reproduce its rankings exactly.
+
+use rapid::core::{Rapid, RapidConfig};
+use rapid::data::Flavor;
+use rapid::eval::{ExperimentConfig, Pipeline, Scale};
+use rapid::rerankers::ReRanker;
+
+fn pipeline() -> Pipeline {
+    let mut c = ExperimentConfig::new(Flavor::Taobao, Scale::Quick);
+    c.data.num_users = 30;
+    c.data.num_items = 150;
+    c.data.ranker_train_interactions = 600;
+    c.data.rerank_train_requests = 60;
+    c.data.test_requests = 15;
+    c.epochs = 3;
+    Pipeline::prepare(c)
+}
+
+#[test]
+fn trained_rapid_round_trips_through_a_checkpoint() {
+    let p = pipeline();
+    let ds = p.dataset();
+    let config = RapidConfig {
+        epochs: 3,
+        ..RapidConfig::probabilistic()
+    };
+
+    let mut trained = Rapid::new(ds, config.clone());
+    trained.fit(ds, p.train_samples());
+    let expected: Vec<Vec<usize>> = p.test_inputs().iter().map(|i| trained.rerank(ds, i)).collect();
+
+    let mut buf = Vec::new();
+    trained.save(&mut buf).expect("save");
+    assert!(!buf.is_empty());
+
+    // Fresh model with different init (same seed reconstructs the same
+    // init, so use the checkpoint to prove the load matters: perturb
+    // the fresh model's seed).
+    let mut fresh = Rapid::new(ds, RapidConfig { seed: 999, ..config });
+    let before: Vec<Vec<usize>> = p.test_inputs().iter().map(|i| fresh.rerank(ds, i)).collect();
+    assert_ne!(before, expected, "untrained model should differ");
+
+    fresh.load(&mut buf.as_slice()).expect("load");
+    let after: Vec<Vec<usize>> = p.test_inputs().iter().map(|i| fresh.rerank(ds, i)).collect();
+    assert_eq!(after, expected, "restored model must rank identically");
+}
+
+#[test]
+fn loading_into_a_mismatched_architecture_fails_cleanly() {
+    let p = pipeline();
+    let ds = p.dataset();
+    let trained = Rapid::new(ds, RapidConfig::probabilistic());
+    let mut buf = Vec::new();
+    trained.save(&mut buf).unwrap();
+
+    // Different hidden size → different parameter shapes.
+    let mut other = Rapid::new(ds, RapidConfig {
+        hidden: 16,
+        ..RapidConfig::probabilistic()
+    });
+    let err = other.load(&mut buf.as_slice()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // Deterministic head has no std MLP → missing parameters the other
+    // way around is also rejected.
+    let det = Rapid::new(ds, RapidConfig::deterministic());
+    let mut det_buf = Vec::new();
+    det.save(&mut det_buf).unwrap();
+    let mut pro = Rapid::new(ds, RapidConfig::probabilistic());
+    assert!(pro.load(&mut det_buf.as_slice()).is_err());
+}

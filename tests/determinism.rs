@@ -1,0 +1,59 @@
+//! Reproducibility guarantees: the entire stack is deterministic given
+//! a seed — dataset, initial ranker, feedback, training, re-ranking.
+
+use rapid::core::{Rapid, RapidConfig};
+use rapid::data::Flavor;
+use rapid::eval::{ExperimentConfig, Pipeline, Scale};
+use rapid::rerankers::ReRanker;
+
+fn config() -> ExperimentConfig {
+    let mut c = ExperimentConfig::new(Flavor::Taobao, Scale::Quick);
+    c.data.num_users = 30;
+    c.data.num_items = 150;
+    c.data.ranker_train_interactions = 800;
+    c.data.rerank_train_requests = 60;
+    c.data.test_requests = 20;
+    c.epochs = 3;
+    c
+}
+
+#[test]
+fn whole_pipeline_is_deterministic_given_seed() {
+    let run = || {
+        let pipeline = Pipeline::prepare(config());
+        let ds = pipeline.dataset();
+        let mut rapid = Rapid::new(ds, RapidConfig {
+            epochs: 3,
+            ..RapidConfig::probabilistic()
+        });
+        rapid.fit(ds, pipeline.train_samples());
+        pipeline
+            .test_inputs()
+            .iter()
+            .map(|i| rapid.rerank(ds, i))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_change_outcomes() {
+    let pipeline_a = Pipeline::prepare(config());
+    let mut cfg_b = config();
+    cfg_b.seed = 7;
+    cfg_b.data.seed = 7;
+    let pipeline_b = Pipeline::prepare(cfg_b);
+
+    let lists_a: Vec<_> = pipeline_a.test_inputs().iter().map(|i| i.items.clone()).collect();
+    let lists_b: Vec<_> = pipeline_b.test_inputs().iter().map(|i| i.items.clone()).collect();
+    assert_ne!(lists_a, lists_b);
+}
+
+#[test]
+fn training_sample_clicks_are_frozen() {
+    let p1 = Pipeline::prepare(config());
+    let p2 = Pipeline::prepare(config());
+    let c1: Vec<_> = p1.train_samples().iter().map(|s| s.clicks.clone()).collect();
+    let c2: Vec<_> = p2.train_samples().iter().map(|s| s.clicks.clone()).collect();
+    assert_eq!(c1, c2);
+}

@@ -1,0 +1,100 @@
+//! Integration tests for the theoretical claims (§V).
+
+use rapid::bandit::{run_regret_experiment, EnvConfig, LinearDcmEnv, RapidBandit};
+
+/// §V-A: the learner's estimate converges toward the environment's
+/// ground truth as rounds accumulate, measured by the improving
+/// satisfaction ratio against the oracle.
+#[test]
+fn bandit_satisfaction_approaches_oracle() {
+    let mut env = LinearDcmEnv::new(EnvConfig::default());
+    let q0 = env.config().rel_dim + env.config().beh_dim;
+    let k = env.config().k;
+    let mut bandit = RapidBandit::new(q0, 0.5);
+
+    let mut early_ratio = 0.0f64;
+    let mut late_ratio = 0.0f64;
+    let n = 3000;
+    for t in 0..n {
+        let round = env.next_round();
+        let (_, oracle_sat) = env.oracle(&round);
+        let (_, etas) = bandit.select(&env, &round, k);
+        let phis: Vec<f32> = etas.iter().map(|e| env.attraction(e)).collect();
+        let sat = env.satisfaction(&phis);
+        let ratio = f64::from(sat) / f64::from(oracle_sat).max(1e-9);
+        if t < n / 10 {
+            early_ratio += ratio;
+        } else if t >= n - n / 10 {
+            late_ratio += ratio;
+        }
+        let (clicks, observed) = env.simulate(&phis);
+        for ((eta, &c), &o) in etas.iter().zip(&clicks).zip(&observed) {
+            if o {
+                bandit.update(eta, c);
+            }
+        }
+    }
+    let early = early_ratio / (n / 10) as f64;
+    let late = late_ratio / (n / 10) as f64;
+    assert!(
+        late > early,
+        "satisfaction ratio should improve: early {early:.3}, late {late:.3}"
+    );
+    assert!(late > 0.95, "late ratio {late:.3} should be near-oracle");
+}
+
+/// §V-A: the empirical regret is consistent with the Õ(√n) bound —
+/// doubling the horizon grows regret by clearly less than 2x.
+#[test]
+fn regret_scales_like_sqrt_n() {
+    let half = run_regret_experiment(EnvConfig::default(), 2000, 0.5, 2);
+    let full = run_regret_experiment(EnvConfig::default(), 4000, 0.5, 2);
+    let r_half = *half.cumulative_regret.last().unwrap();
+    let r_full = *full.cumulative_regret.last().unwrap();
+    assert!(
+        r_full < r_half * 1.8,
+        "regret grew {r_half:.1} → {r_full:.1} over a 2x horizon — too fast for √n"
+    );
+}
+
+/// §V-B: inference cost is linear in the list length (the paper's
+/// O(c₀(L + mD)) complexity claim) — doubling L roughly doubles the
+/// graph size, not quadruples it.
+#[test]
+fn rapid_inference_graph_is_linear_in_list_length() {
+    use rapid::core::{Rapid, RapidConfig};
+    use rapid::data::{generate, DataConfig, Flavor};
+    use rapid::rerankers::{ReRanker, RerankInput};
+
+    let build = |list_len: usize| -> std::time::Duration {
+        let mut c = DataConfig::new(Flavor::Taobao);
+        c.num_users = 20;
+        c.num_items = 200;
+        c.list_len = list_len;
+        c.ranker_train_interactions = 50;
+        c.rerank_train_requests = 2;
+        c.test_requests = 2;
+        let ds = generate(&c);
+        let model = Rapid::new(&ds, RapidConfig::probabilistic());
+        let input = RerankInput {
+            user: ds.test[0].user,
+            items: ds.test[0].candidates.clone(),
+            init_scores: vec![0.0; list_len],
+        };
+        // Warm up, then time a few inferences.
+        let _ = model.rerank(&ds, &input);
+        let t0 = std::time::Instant::now();
+        for _ in 0..20 {
+            let _ = model.rerank(&ds, &input);
+        }
+        t0.elapsed()
+    };
+    let t20 = build(20);
+    let t40 = build(40);
+    // Linear would be ~2x; allow up to 3.5x for constant factors, which
+    // still rules out quadratic (4x+) scaling.
+    assert!(
+        t40 < t20 * 7 / 2,
+        "L=20: {t20:?}, L=40: {t40:?} — scaling looks super-linear"
+    );
+}
