@@ -58,6 +58,9 @@ pub fn check_gradients(
     let ids: Vec<_> = store.ids().collect();
     for (pi, id) in ids.iter().enumerate() {
         let n = store.value(*id).len();
+        // `k` perturbs `store` in place each iteration; iterating a
+        // borrowed slice would alias the mutation.
+        #[allow(clippy::needless_range_loop)]
         for k in 0..n {
             let orig = store.value(*id).as_slice()[k];
 
@@ -129,10 +132,7 @@ mod tests {
             },
             5e-3,
         );
-        assert!(
-            report.passes(2e-2),
-            "gradcheck failed: {report:?}"
-        );
+        assert!(report.passes(2e-2), "gradcheck failed: {report:?}");
         assert!(report.checked > 0);
     }
 
@@ -220,7 +220,13 @@ mod tests {
                 let xv = tape.param(store, x);
                 let n = tape.normalize_rows(xv, 1e-5);
                 let sq = tape.mul(n, n);
-                let w = tape.constant(Matrix::rand_uniform(3, 6, 0.1, 1.0, &mut StdRng::seed_from_u64(5)));
+                let w = tape.constant(Matrix::rand_uniform(
+                    3,
+                    6,
+                    0.1,
+                    1.0,
+                    &mut StdRng::seed_from_u64(5),
+                ));
                 let m = tape.mul(sq, w);
                 tape.mean_all(m)
             },

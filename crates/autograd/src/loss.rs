@@ -153,7 +153,10 @@ mod tests {
         let loss = tape.bce_with_logits(z, &y);
         let v = tape.value(loss).get(0, 0);
         assert!(v.is_finite());
-        assert!(v < 1e-6, "correct predictions should have ~zero loss, got {v}");
+        assert!(
+            v < 1e-6,
+            "correct predictions should have ~zero loss, got {v}"
+        );
     }
 
     #[test]

@@ -45,13 +45,23 @@ impl Tape {
         self.nodes.len()
     }
 
+    /// Drops all recorded nodes but keeps the arena's capacity, so one
+    /// tape can be reused across mini-batches without reallocating.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
     /// `true` when the tape has no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }
 
     fn push(&mut self, value: Matrix, op: Op, param: Option<ParamId>) -> Var {
-        debug_assert!(value.is_finite(), "tape node {:?} produced non-finite values", op);
+        debug_assert!(
+            value.is_finite(),
+            "tape node {:?} produced non-finite values",
+            op
+        );
         self.nodes.push(Node {
             value,
             grad: None,
@@ -598,6 +608,26 @@ mod tests {
         tape.backward(loss, &mut store);
         assert_eq!(store.grad(a).as_slice(), &[0.0, 0.0]);
         assert_eq!(store.grad(b).as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_resets_nodes() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::ones(1, 2));
+        let mut tape = Tape::with_capacity(8);
+        let wv = tape.param(&store, w);
+        let loss = tape.sum_all(wv);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(w).as_slice(), &[1.0, 1.0]);
+
+        tape.clear();
+        assert!(tape.is_empty());
+        // A second, identical pass over the cleared tape accumulates the
+        // same gradients again.
+        let wv = tape.param(&store, w);
+        let loss = tape.sum_all(wv);
+        tape.backward(loss, &mut store);
+        assert_eq!(store.grad(w).as_slice(), &[2.0, 2.0]);
     }
 
     #[test]

@@ -117,8 +117,7 @@ impl LinearDcmEnv {
         let l = self.config.pool_size;
         // Relevance features in [0, 1/√dim] so ωᵀη stays in [0, ~1].
         let scale = 1.0 / (self.config.rel_dim as f32).sqrt();
-        let rel_features =
-            Matrix::rand_uniform(l, self.config.rel_dim, 0.0, scale, &mut self.rng);
+        let rel_features = Matrix::rand_uniform(l, self.config.rel_dim, 0.0, scale, &mut self.rng);
         // One-hot-ish coverages with some soft items.
         let mut coverages = Matrix::zeros(l, self.config.num_topics);
         for i in 0..l {
@@ -277,7 +276,10 @@ mod tests {
         let rel = env.config().rel_dim;
         let before: f32 = eta_before[rel..].iter().sum();
         let after: f32 = eta_after[rel..].iter().sum();
-        assert!(after < before, "behavior block must shrink: {after} vs {before}");
+        assert!(
+            after < before,
+            "behavior block must shrink: {after} vs {before}"
+        );
         // Relevance block unchanged.
         assert_eq!(&eta_before[..rel], &eta_after[..rel]);
     }

@@ -58,7 +58,12 @@ impl RapidBandit {
     /// state through the selection (each pick changes the next
     /// candidates' `η`). Returns the chosen pool indices in rank order
     /// and their feature vectors.
-    pub fn select(&self, env: &LinearDcmEnv, round: &Round, k: usize) -> (Vec<usize>, Vec<Vec<f32>>) {
+    pub fn select(
+        &self,
+        env: &LinearDcmEnv,
+        round: &Round,
+        k: usize,
+    ) -> (Vec<usize>, Vec<Vec<f32>>) {
         let l = env.config().pool_size;
         let mut miss = vec![1.0f32; env.config().num_topics];
         let mut remaining: Vec<usize> = (0..l).collect();
@@ -155,6 +160,9 @@ mod tests {
             bandit.update(&eta, true);
         }
         let after = bandit.confidence_width(&eta);
-        assert!(after < before * 0.2, "width should shrink: {after} vs {before}");
+        assert!(
+            after < before * 0.2,
+            "width should shrink: {after} vs {before}"
+        );
     }
 }

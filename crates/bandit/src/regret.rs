@@ -61,8 +61,7 @@ pub fn run_regret_experiment(
         let sat = env.satisfaction(&phis);
 
         cumulative += (f64::from(oracle_sat) - f64::from(sat)).max(0.0);
-        cumulative_scaled +=
-            (f64::from(oracle_sat) - f64::from(sat) / f64::from(gamma)).max(0.0);
+        cumulative_scaled += (f64::from(oracle_sat) - f64::from(sat) / f64::from(gamma)).max(0.0);
 
         // DCM feedback: update on observed positions only.
         let (clicks, observed) = env.simulate(&phis);

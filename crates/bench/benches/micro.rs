@@ -53,10 +53,7 @@ fn bench_nn(c: &mut Criterion) {
 fn bench_diversity(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let covs: Vec<Vec<f32>> = (0..20)
-        .map(|_| {
-            Matrix::rand_uniform(1, 20, 0.0, 1.0, &mut rng)
-                .into_vec()
-        })
+        .map(|_| Matrix::rand_uniform(1, 20, 0.0, 1.0, &mut rng).into_vec())
         .collect();
     let refs: Vec<&[f32]> = covs.iter().map(|v| v.as_slice()).collect();
     let rel: Vec<f32> = (0..20).map(|i| 1.0 - 0.03 * i as f32).collect();
@@ -64,7 +61,9 @@ fn bench_diversity(c: &mut Criterion) {
     c.bench_function("coverage_vector L=20 m=20", |b| {
         b.iter(|| coverage_vector(&refs))
     });
-    c.bench_function("mmr_select L=20", |b| b.iter(|| mmr_select(&rel, &refs, 0.7)));
+    c.bench_function("mmr_select L=20", |b| {
+        b.iter(|| mmr_select(&rel, &refs, 0.7))
+    });
     c.bench_function("dpp greedy_map L=20 k=10", |b| {
         b.iter_batched(
             || DppKernel::from_relevance_and_coverage(&rel, &refs, 2.0),

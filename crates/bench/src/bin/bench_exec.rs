@@ -1,0 +1,239 @@
+//! Execution-layer baseline: times the prepared-feature pipeline and
+//! batch scoring of PRM, DESA, and RAPID-pro against the legacy
+//! per-`(ds, input)` path at quick scale, and writes `BENCH_exec.json`.
+//!
+//! The "before" numbers reconstruct what the pre-refactor code paid:
+//!
+//! * training rebuilt every list's feature matrix once per epoch (each
+//!   sample sits in exactly one mini-batch per epoch), so the legacy
+//!   train cost is the cached-train cost plus `epochs ×` one full cache
+//!   rebuild;
+//! * inference went through `rerank(ds, input)`, which assembles the
+//!   feature/coverage/novelty state per call — measured here directly
+//!   via the (still supported) legacy shim, sequentially.
+//!
+//! The "after" numbers are the refactored path: one shared
+//! `FeatureCache`, `fit_prepared` on cached lists, and `rerank_batch`
+//! across scoped worker threads. Both inference paths run for real and
+//! the binary asserts their permutations are identical. The recorded
+//! `worker_count` shows how much of the batch-inference gap is
+//! parallelism (on a single-core host it is 1, and the win comes from
+//! the eliminated rebuilds alone).
+
+use std::time::Instant;
+
+use rapid_bench::{ms, Cli};
+use rapid_core::{Rapid, RapidConfig};
+use rapid_data::Flavor;
+use rapid_eval::{ExperimentConfig, Pipeline};
+use rapid_exec::{worker_count, FeatureCache};
+use rapid_rerankers::{Desa, DesaConfig, Prm, PrmConfig, ReRanker};
+use serde::Serialize;
+
+fn lineup(pipeline: &Pipeline, hidden: usize, epochs: usize, seed: u64) -> Vec<Box<dyn ReRanker>> {
+    let ds = pipeline.dataset();
+    vec![
+        Box::new(Prm::new(
+            ds,
+            PrmConfig {
+                hidden,
+                epochs,
+                seed,
+                ..PrmConfig::default()
+            },
+        )),
+        Box::new(Desa::new(
+            ds,
+            DesaConfig {
+                hidden,
+                epochs,
+                seed,
+                ..DesaConfig::default()
+            },
+        )),
+        Box::new(Rapid::new(
+            ds,
+            RapidConfig {
+                hidden,
+                epochs,
+                seed,
+                ..RapidConfig::probabilistic()
+            },
+        )),
+    ]
+}
+
+#[derive(Serialize)]
+struct ModelRow {
+    name: String,
+    train_batches: usize,
+    train_cached_ms: f64,
+    /// `epochs ×` one full train-cache rebuild — the feature work the
+    /// old per-epoch path did on top of the same optimizer steps.
+    legacy_feature_rebuild_ms: f64,
+    train_legacy_ms: f64,
+    infer_legacy_seq_ms: f64,
+    infer_batch_ms: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    scale: String,
+    seed: u64,
+    worker_count: usize,
+    test_lists: usize,
+    train_lists: usize,
+    epochs: usize,
+    prepare_train_ms: f64,
+    prepare_test_ms: f64,
+    models: Vec<ModelRow>,
+    total_before_ms: f64,
+    total_after_ms: f64,
+    speedup: f64,
+    /// Full `Pipeline::evaluate` of the three-model lineup, one model at
+    /// a time (the pre-refactor harness shape).
+    multi_model_seq_ms: f64,
+    /// The same lineup through `Pipeline::evaluate_all`, which fans
+    /// whole models across scoped worker threads. On a single core this
+    /// matches the sequential number; with `min(worker_count, 3)` cores
+    /// it divides by the fan-out.
+    multi_model_par_ms: f64,
+    multi_model_speedup: f64,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Execution-layer bench (scale: {})\n", cli.scale_tag());
+
+    let mut config = ExperimentConfig::new(Flavor::MovieLens, cli.scale);
+    config.seed = cli.seed;
+    config.data.seed = cli.seed;
+    let epochs = config.epochs;
+    let hidden = config.hidden;
+    let pipeline = Pipeline::prepare(config);
+    let ds = pipeline.dataset();
+
+    // One-time preparation cost of the shared cache (rebuilt here so it
+    // can be timed; the pipeline already holds its own copy).
+    let t = Instant::now();
+    let train_cache = FeatureCache::from_samples(ds, pipeline.train_samples());
+    let prepare_train_ms = ms(t.elapsed());
+    let t = Instant::now();
+    let test_cache = FeatureCache::from_inputs(ds, pipeline.test_inputs());
+    let prepare_test_ms = ms(t.elapsed());
+
+    let mut models = lineup(&pipeline, hidden, epochs, cli.seed);
+
+    let mut rows = Vec::new();
+    let mut total_before = 0.0;
+    let mut total_after = 0.0;
+
+    for model in &mut models {
+        // After: train on the shared cache.
+        let t = Instant::now();
+        let report = model.fit_prepared(ds, &train_cache);
+        let train_cached_ms = ms(t.elapsed());
+
+        // Before: the same optimizer steps plus the per-epoch feature
+        // rebuild the old fit path performed.
+        let t = Instant::now();
+        for _ in 0..epochs.max(1) {
+            let rebuilt = FeatureCache::from_samples(ds, pipeline.train_samples());
+            std::hint::black_box(&rebuilt);
+        }
+        let legacy_feature_rebuild_ms = ms(t.elapsed());
+        let train_legacy_ms = train_cached_ms + legacy_feature_rebuild_ms;
+
+        // Before: sequential legacy shim, re-preparing each list.
+        let t = Instant::now();
+        let legacy_perms: Vec<Vec<usize>> = pipeline
+            .test_inputs()
+            .iter()
+            .map(|input| model.rerank(ds, input))
+            .collect();
+        let infer_legacy_seq_ms = ms(t.elapsed());
+
+        // After: batch scoring over the prepared cache.
+        let t = Instant::now();
+        let batch_perms = model.rerank_batch(ds, &test_cache);
+        let infer_batch_ms = ms(t.elapsed());
+
+        assert_eq!(
+            legacy_perms,
+            batch_perms,
+            "{}: prepared batch path must match the legacy per-list path",
+            model.name()
+        );
+
+        println!(
+            "{:<12} train {:>8.1} ms cached / {:>8.1} ms legacy | infer {:>7.1} ms batch / {:>7.1} ms legacy",
+            model.name(),
+            train_cached_ms,
+            train_legacy_ms,
+            infer_batch_ms,
+            infer_legacy_seq_ms
+        );
+
+        total_before += train_legacy_ms + infer_legacy_seq_ms;
+        total_after += train_cached_ms + infer_batch_ms;
+        rows.push(ModelRow {
+            name: model.name().to_string(),
+            train_batches: report.batches,
+            train_cached_ms,
+            legacy_feature_rebuild_ms,
+            train_legacy_ms,
+            infer_legacy_seq_ms,
+            infer_batch_ms,
+        });
+    }
+
+    // The shared cache is built once for the whole lineup; charge it to
+    // the "after" total.
+    total_after += prepare_train_ms + prepare_test_ms;
+
+    // Multi-model evaluation: the full train + score + metrics harness,
+    // sequentially vs fanned across worker threads (fresh models each
+    // time so both runs do identical work).
+    let mut seq_models = lineup(&pipeline, hidden, epochs, cli.seed);
+    let t = Instant::now();
+    for model in &mut seq_models {
+        std::hint::black_box(pipeline.evaluate(model.as_mut()));
+    }
+    let multi_model_seq_ms = ms(t.elapsed());
+
+    let mut par_models = lineup(&pipeline, hidden, epochs, cli.seed);
+    let t = Instant::now();
+    std::hint::black_box(pipeline.evaluate_all(&mut par_models));
+    let multi_model_par_ms = ms(t.elapsed());
+
+    let report = BenchReport {
+        scale: cli.scale_tag().to_string(),
+        seed: cli.seed,
+        worker_count: worker_count(),
+        test_lists: test_cache.len(),
+        train_lists: train_cache.len(),
+        epochs,
+        prepare_train_ms,
+        prepare_test_ms,
+        models: rows,
+        total_before_ms: total_before,
+        total_after_ms: total_after,
+        speedup: total_before / total_after.max(1e-9),
+        multi_model_seq_ms,
+        multi_model_par_ms,
+        multi_model_speedup: multi_model_seq_ms / multi_model_par_ms.max(1e-9),
+    };
+
+    println!(
+        "\nbefore {:.1} ms, after {:.1} ms, speedup {:.2}x ({} workers)",
+        report.total_before_ms, report.total_after_ms, report.speedup, report.worker_count
+    );
+    println!(
+        "multi-model eval: {:.1} ms sequential, {:.1} ms fanned, {:.2}x",
+        report.multi_model_seq_ms, report.multi_model_par_ms, report.multi_model_speedup
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("bench report serialises");
+    std::fs::write("BENCH_exec.json", json).expect("write BENCH_exec.json");
+    println!("wrote BENCH_exec.json");
+}

@@ -10,7 +10,10 @@ use rapid_eval::{zoo, ExperimentConfig, Pipeline, ResultTable};
 
 fn main() {
     let cli = Cli::parse();
-    println!("# Fig. 3 reproduction — ablations (scale: {})\n", cli.scale_tag());
+    println!(
+        "# Fig. 3 reproduction — ablations (scale: {})\n",
+        cli.scale_tag()
+    );
 
     for flavor in [Flavor::Taobao, Flavor::MovieLens, Flavor::AppStore] {
         let mut config = ExperimentConfig::new(flavor, cli.scale);
@@ -34,6 +37,9 @@ fn main() {
             );
             table.push(result);
         }
-        println!("{}", table.render(&format!("{} — ablations", flavor.name())));
+        println!(
+            "{}",
+            table.render(&format!("{} — ablations", flavor.name()))
+        );
     }
 }

@@ -8,7 +8,10 @@ use rapid_eval::{zoo, ExperimentConfig, Pipeline, ResultTable};
 
 fn main() {
     let cli = Cli::parse();
-    println!("# Fig. 4 reproduction — hidden size sweep (scale: {})\n", cli.scale_tag());
+    println!(
+        "# Fig. 4 reproduction — hidden size sweep (scale: {})\n",
+        cli.scale_tag()
+    );
 
     for flavor in [Flavor::Taobao, Flavor::MovieLens, Flavor::AppStore] {
         let mut config = ExperimentConfig::new(flavor, cli.scale);
@@ -32,6 +35,9 @@ fn main() {
             );
             table.push(result);
         }
-        println!("{}", table.render(&format!("{} — hidden size sweep", flavor.name())));
+        println!(
+            "{}",
+            table.render(&format!("{} — hidden size sweep", flavor.name()))
+        );
     }
 }

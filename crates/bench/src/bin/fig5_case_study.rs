@@ -12,7 +12,10 @@ use rapid_rerankers::ReRanker;
 
 fn main() {
     let cli = Cli::parse();
-    println!("# Fig. 5 reproduction — case study (scale: {})\n", cli.scale_tag());
+    println!(
+        "# Fig. 5 reproduction — case study (scale: {})\n",
+        cli.scale_tag()
+    );
 
     let mut config = ExperimentConfig::new(Flavor::MovieLens, cli.scale).with_lambda(0.5);
     config.seed = cli.seed;
@@ -32,15 +35,29 @@ fn main() {
     test_users.dedup();
     let diverse = *test_users
         .iter()
-        .max_by(|&&a, &&b| ds.users[a].pref_entropy().total_cmp(&ds.users[b].pref_entropy()))
+        .max_by(|&&a, &&b| {
+            ds.users[a]
+                .pref_entropy()
+                .total_cmp(&ds.users[b].pref_entropy())
+        })
         .expect("non-empty test set");
     let focused = *test_users
         .iter()
-        .min_by(|&&a, &&b| ds.users[a].pref_entropy().total_cmp(&ds.users[b].pref_entropy()))
+        .min_by(|&&a, &&b| {
+            ds.users[a]
+                .pref_entropy()
+                .total_cmp(&ds.users[b].pref_entropy())
+        })
         .expect("non-empty test set");
 
-    for (tag, user) in [("User 1 (diverse interests)", diverse), ("User 2 (focused interests)", focused)] {
-        println!("--- {tag} — preference entropy {:.2} ---", ds.users[user].pref_entropy());
+    for (tag, user) in [
+        ("User 1 (diverse interests)", diverse),
+        ("User 2 (focused interests)", focused),
+    ] {
+        println!(
+            "--- {tag} — preference entropy {:.2} ---",
+            ds.users[user].pref_entropy()
+        );
 
         // History genre distribution.
         let mut hist_mass = vec![0.0f32; ds.num_topics()];

@@ -14,7 +14,10 @@ fn main() {
         Scale::Quick => 8_000,
         Scale::Full => 40_000,
     };
-    println!("# Theorem 5.1 — empirical regret (scale: {}, n = {n})\n", cli.scale_tag());
+    println!(
+        "# Theorem 5.1 — empirical regret (scale: {}, n = {n})\n",
+        cli.scale_tag()
+    );
 
     let config = EnvConfig {
         seed: cli.seed,

@@ -13,8 +13,7 @@ fn main() {
 
     for lambda in [0.5f32, 0.9, 1.0] {
         for flavor in [Flavor::Taobao, Flavor::MovieLens] {
-            let config = ExperimentConfig::new(flavor, cli.scale)
-                .with_lambda(lambda);
+            let config = ExperimentConfig::new(flavor, cli.scale).with_lambda(lambda);
             let mut config = config;
             config.seed = cli.seed;
             config.data.seed = cli.seed;
@@ -28,8 +27,10 @@ fn main() {
             ])
             .with_significance_vs("PRM");
 
-            for mut model in zoo::full_lineup(pipeline.dataset(), hidden, epochs, cli.seed) {
-                let result = pipeline.evaluate(model.as_mut());
+            // The whole lineup shares the pipeline's prepared feature
+            // cache; models are fanned across scoped worker threads.
+            let mut lineup = zoo::full_lineup(pipeline.dataset(), hidden, epochs, cli.seed);
+            for result in pipeline.evaluate_all(&mut lineup) {
                 eprintln!(
                     "  [{} λ={lambda}] {} done in {:.1}s",
                     flavor.name(),

@@ -21,8 +21,7 @@ fn main() {
             let hidden = config.hidden;
 
             let pipeline = Pipeline::prepare(config);
-            let mut table =
-                ResultTable::new(&["click@10", "div@10"]).with_significance_vs("PRM");
+            let mut table = ResultTable::new(&["click@10", "div@10"]).with_significance_vs("PRM");
             for mut model in zoo::full_lineup(pipeline.dataset(), hidden, epochs, cli.seed) {
                 let result = pipeline.evaluate(model.as_mut());
                 eprintln!(

@@ -24,7 +24,10 @@ fn main() {
         let mut model = zoo::rapid_pro(pipeline.dataset(), hidden, d, epochs, cli.seed);
         let mut result = pipeline.evaluate(&mut model);
         result.name = format!("RAPID-{d}");
-        eprintln!("  RAPID-{d} done in {:.1}s", result.train_time.as_secs_f64());
+        eprintln!(
+            "  RAPID-{d} done in {:.1}s",
+            result.train_time.as_secs_f64()
+        );
         table.push(result);
     }
     println!(

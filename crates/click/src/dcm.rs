@@ -55,7 +55,10 @@ impl Dcm {
     pub fn attractions(&self, ds: &Dataset, user: UserId, list: &[ItemId]) -> Vec<f32> {
         let u = &ds.users[user];
         let m = ds.num_topics() as f32;
-        let covs: Vec<&[f32]> = list.iter().map(|&v| ds.items[v].coverage.as_slice()).collect();
+        let covs: Vec<&[f32]> = list
+            .iter()
+            .map(|&v| ds.items[v].coverage.as_slice())
+            .collect();
         let gains = sequential_gains(&covs);
         list.iter()
             .zip(&gains)
@@ -94,9 +97,9 @@ impl Dcm {
         let k = k.min(attractions.len()).min(self.terminations.len());
         let mut examine = 1.0f32;
         let mut total = 0.0f32;
-        for i in 0..k {
-            total += examine * attractions[i];
-            examine *= 1.0 - attractions[i] * self.terminations[i];
+        for (&phi, &eps) in attractions.iter().zip(&self.terminations).take(k) {
+            total += examine * phi;
+            examine *= 1.0 - phi * eps;
         }
         total
     }
@@ -106,8 +109,8 @@ impl Dcm {
     pub fn satisfaction(&self, attractions: &[f32], k: usize) -> f32 {
         let k = k.min(attractions.len()).min(self.terminations.len());
         let mut miss = 1.0f32;
-        for i in 0..k {
-            miss *= 1.0 - self.terminations[i] * attractions[i];
+        for (&phi, &eps) in attractions.iter().zip(&self.terminations).take(k) {
+            miss *= 1.0 - eps * phi;
         }
         1.0 - miss
     }
@@ -215,8 +218,8 @@ mod tests {
         for _ in 0..n {
             // Re-simulate manually to observe termination.
             let mut done = false;
-            for k in 0..3 {
-                if rng.gen::<f32>() < attractions[k] && rng.gen::<f32>() < dcm.terminations[k] {
+            for (&phi, &eps) in attractions.iter().zip(&dcm.terminations).take(3) {
+                if rng.gen::<f32>() < phi && rng.gen::<f32>() < eps {
                     done = true;
                     break;
                 }

@@ -201,8 +201,7 @@ mod tests {
         let num_items = 20;
         let list_len = 5;
         let mut rng = StdRng::seed_from_u64(17);
-        let true_attraction: Vec<f32> =
-            (0..num_items).map(|_| rng.gen_range(0.1..0.9)).collect();
+        let true_attraction: Vec<f32> = (0..num_items).map(|_| rng.gen_range(0.1..0.9)).collect();
         let dcm = Dcm::standard(list_len, 1.0);
 
         let mut logs = Vec::new();
@@ -227,13 +226,16 @@ mod tests {
         // expected; bound the max loosely and the mean tightly.
         let mut max_attr_err = 0.0f32;
         let mut mean_attr_err = 0.0f32;
-        for v in 0..num_items {
-            let err = (est.attraction[v] - true_attraction[v]).abs();
+        for (est_phi, true_phi) in est.attraction.iter().zip(&true_attraction) {
+            let err = (est_phi - true_phi).abs();
             max_attr_err = max_attr_err.max(err);
             mean_attr_err += err / num_items as f32;
         }
         assert!(max_attr_err < 0.10, "max attraction error {max_attr_err}");
-        assert!(mean_attr_err < 0.04, "mean attraction error {mean_attr_err}");
+        assert!(
+            mean_attr_err < 0.04,
+            "mean attraction error {mean_attr_err}"
+        );
 
         // Terminations: only the first K-1 positions are identifiable
         // from "last click strictly before the end" events.

@@ -18,11 +18,14 @@ use crate::config::BehaviorEncoder;
 pub struct DiversityEstimator {
     encoder: TopicEncoder,
     mlp_theta: Mlp,
-    behavior_len: usize,
     /// Per-user per-topic behavior sequences, sampled once at
     /// construction (topic assignment follows each item's coverage
     /// distribution, per the paper) so the model is deterministic.
     sequences: Vec<Vec<Vec<ItemId>>>,
+    /// Per-user time-major behavior input planes, materialised once at
+    /// construction so no forward pass re-gathers features from the
+    /// dataset.
+    planes: Vec<Vec<Matrix>>,
 }
 
 enum TopicEncoder {
@@ -75,17 +78,22 @@ impl DiversityEstimator {
         // Deterministic per-user topic assignment, seeded independently
         // of the weight init stream.
         let mut seq_rng = StdRng::seed_from_u64(rng.gen::<u64>() ^ 0x5eed_d1ce);
-        let sequences = ds
+        let sequences: Vec<Vec<Vec<ItemId>>> = ds
             .users
             .iter()
             .map(|u| topic_sequences(&u.history, &ds.items, m, behavior_len, &mut seq_rng))
+            .collect();
+        let planes = ds
+            .users
+            .iter()
+            .map(|u| Self::build_planes(ds, u.id, &sequences[u.id], behavior_len))
             .collect();
 
         Self {
             encoder: enc,
             mlp_theta,
-            behavior_len,
             sequences,
+            planes,
         }
     }
 
@@ -96,15 +104,22 @@ impl DiversityEstimator {
 
     /// Builds the time-major `(m, q_u + q_v)` input planes of a user's
     /// per-topic sequences, front-padded with zeros to `behavior_len`.
-    fn behavior_planes(&self, ds: &Dataset, user: UserId) -> Vec<Matrix> {
+    /// Called once per user at construction; forwards read the cached
+    /// planes.
+    fn build_planes(
+        ds: &Dataset,
+        user: UserId,
+        sequences: &[Vec<ItemId>],
+        behavior_len: usize,
+    ) -> Vec<Matrix> {
         let m = ds.num_topics();
         let step_dim = ds.users[0].features.len() + ds.items[0].features.len();
         let xu = &ds.users[user].features;
-        let d_len = self.behavior_len;
+        let d_len = behavior_len;
         let mut planes = Vec::with_capacity(d_len);
         for t in 0..d_len {
             let mut plane = Matrix::zeros(m, step_dim);
-            for (topic, seq) in self.sequences[user].iter().enumerate() {
+            for (topic, seq) in sequences.iter().enumerate() {
                 let take = seq.len().min(d_len);
                 let offset = d_len - take;
                 if t >= offset {
@@ -125,13 +140,13 @@ impl DiversityEstimator {
         &self,
         tape: &mut Tape,
         store: &ParamStore,
-        ds: &Dataset,
+        _ds: &Dataset,
         user: UserId,
     ) -> Var {
-        let planes = self.behavior_planes(ds, user);
+        let planes = &self.planes[user];
         let topic_reps = match &self.encoder {
             TopicEncoder::Lstm(lstm) => {
-                let steps: Vec<Var> = planes.into_iter().map(|p| tape.constant(p)).collect();
+                let steps: Vec<Var> = planes.iter().map(|p| tape.constant(p.clone())).collect();
                 let states = lstm.forward(tape, store, &steps);
                 *states.last().expect("behavior_len > 0") // (m, q_h)
             }
@@ -150,14 +165,19 @@ impl DiversityEstimator {
         let attended = self_attention(tape, topic_reps);
         // Flatten [a_1, …, a_m] into one row for MLP_θ (Eq. 3).
         let m = tape.value(attended).rows();
-        let rows: Vec<Var> = (0..m).map(|j| tape.slice_rows(attended, j, j + 1)).collect();
+        let rows: Vec<Var> = (0..m)
+            .map(|j| tape.slice_rows(attended, j, j + 1))
+            .collect();
         let flat = tape.concat_cols(&rows); // (1, m·q_h)
         self.mlp_theta.forward(tape, store, flat) // (1, m)
     }
 
     /// The constant `(L, m)` marginal-diversity matrix `d_R` (Eq. 5).
     pub fn marginal_diversity_matrix(ds: &Dataset, items: &[ItemId]) -> Matrix {
-        let covs: Vec<&[f32]> = items.iter().map(|&v| ds.items[v].coverage.as_slice()).collect();
+        let covs: Vec<&[f32]> = items
+            .iter()
+            .map(|&v| ds.items[v].coverage.as_slice())
+            .collect();
         let m = ds.num_topics();
         let mut data = Vec::with_capacity(items.len() * m);
         for i in 0..items.len() {
@@ -167,17 +187,19 @@ impl DiversityEstimator {
     }
 
     /// The personalized diversity gain `Δ_R = θ̂ ⊙ d_R` (Eq. 6) as an
-    /// `(L, m)` node.
+    /// `(L, m)` node. `novelty` is the precomputed `(L, m)` marginal
+    /// diversity matrix `d_R` (a `PreparedList` carries it; legacy
+    /// callers build it with [`Self::marginal_diversity_matrix`]).
     pub fn personalized_gain(
         &self,
         tape: &mut Tape,
         store: &ParamStore,
         ds: &Dataset,
         user: UserId,
-        items: &[ItemId],
+        novelty: &Matrix,
     ) -> Var {
         let theta = self.preference_distribution(tape, store, ds, user);
-        let d_r = tape.constant(Self::marginal_diversity_matrix(ds, items));
+        let d_r = tape.constant(novelty.clone());
         tape.mul_row_broadcast(d_r, theta)
     }
 }
@@ -226,7 +248,7 @@ mod tests {
         let items = &ds.test[0].candidates;
         let raw = DiversityEstimator::marginal_diversity_matrix(&ds, items);
         let mut tape = Tape::new();
-        let gain = est.personalized_gain(&mut tape, &store, &ds, 0, items);
+        let gain = est.personalized_gain(&mut tape, &store, &ds, 0, &raw);
         let g = tape.value(gain);
         assert_eq!(g.shape(), raw.shape());
         for (gv, rv) in g.as_slice().iter().zip(raw.as_slice()) {

@@ -7,7 +7,7 @@ use rapid_autograd::optim::{Adam, Optimizer};
 use rapid_autograd::{ParamStore, Tape, Var};
 use rapid_data::Dataset;
 use rapid_nn::{Activation, Mlp};
-use rapid_rerankers::{ReRanker, RerankInput, TrainSample};
+use rapid_rerankers::{FitReport, PreparedList, ReRanker, RerankInput};
 use rapid_tensor::Matrix;
 
 use crate::config::{OutputMode, RapidConfig};
@@ -108,24 +108,22 @@ impl Rapid {
         Some(tape.value(theta).as_slice().to_vec())
     }
 
-    /// Builds the fused head input `[H_R, Δ_R]` (Eq. 7/8 input).
+    /// Builds the fused head input `[H_R, Δ_R]` (Eq. 7/8 input). The
+    /// prepared feature matrix has the exact `[x_u, x_v, τ_v, s]` layout
+    /// of [`RelevanceEstimator::item_representations`], and the prepared
+    /// novelty matrix is `d_R` (Eq. 5), so nothing is re-gathered here.
     fn head_input(
         &self,
         tape: &mut Tape,
         store: &ParamStore,
         ds: &Dataset,
-        input: &RerankInput,
+        prep: &PreparedList,
     ) -> Var {
-        let reps = tape.constant(RelevanceEstimator::item_representations(
-            ds,
-            input.user,
-            &input.items,
-            &input.init_scores,
-        ));
+        let reps = tape.constant(prep.features.clone());
         let h_r = self.relevance.forward(tape, store, reps);
         match &self.diversity {
             Some(div) => {
-                let delta = div.personalized_gain(tape, store, ds, input.user, &input.items);
+                let delta = div.personalized_gain(tape, store, ds, prep.user(), &prep.novelty);
                 tape.concat_cols(&[h_r, delta])
             }
             None => h_r,
@@ -139,16 +137,16 @@ impl Rapid {
         tape: &mut Tape,
         store: &ParamStore,
         ds: &Dataset,
-        input: &RerankInput,
+        prep: &PreparedList,
         noise_rng: &mut StdRng,
     ) -> Var {
-        let fused = self.head_input(tape, store, ds, input);
+        let fused = self.head_input(tape, store, ds, prep);
         let mean = self.head_mean.forward(tape, store, fused);
         match &self.head_std {
             None => mean,
             Some(head_std) => {
                 let std = head_std.forward(tape, store, fused);
-                let xi = Matrix::rand_normal(input.len(), 1, 0.0, 1.0, noise_rng);
+                let xi = Matrix::rand_normal(prep.len(), 1, 0.0, 1.0, noise_rng);
                 let xi = tape.constant(xi);
                 let noise = tape.mul(xi, std);
                 tape.add(mean, noise)
@@ -173,9 +171,9 @@ impl Rapid {
     }
 
     /// Inference-time scores: logits (det) or the UCB `φ̂ + Σ̂` (Eq. 10).
-    pub fn scores(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
+    pub fn scores_prepared(&self, ds: &Dataset, prep: &PreparedList) -> Vec<f32> {
         let mut tape = Tape::new();
-        let fused = self.head_input(&mut tape, &self.store, ds, input);
+        let fused = self.head_input(&mut tape, &self.store, ds, prep);
         let mean = self.head_mean.forward(&mut tape, &self.store, fused);
         let out = match &self.head_std {
             None => mean,
@@ -186,6 +184,12 @@ impl Rapid {
         };
         tape.value(out).as_slice().to_vec()
     }
+
+    /// Legacy shim of [`Rapid::scores_prepared`] for `(ds, input)`
+    /// callers: prepares the list on the fly.
+    pub fn scores(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
+        self.scores_prepared(ds, &PreparedList::from_input(ds, input.clone()))
+    }
 }
 
 impl ReRanker for Rapid {
@@ -193,25 +197,28 @@ impl ReRanker for Rapid {
         self.config.variant_name()
     }
 
-    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+    fn fit_prepared(&mut self, ds: &Dataset, lists: &[PreparedList]) -> FitReport {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut noise_rng = StdRng::seed_from_u64(self.config.seed ^ 0xdead_beef);
         let mut optimizer = Adam::new(self.config.lr);
-        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut order: Vec<usize> = (0..lists.len()).collect();
+        let mut tape = Tape::new();
+        let mut batches = 0usize;
         use rand::seq::SliceRandom;
         for _ in 0..self.config.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(self.config.batch.max(1)) {
-                let mut tape = Tape::new();
+                tape.clear();
                 let mut losses = Vec::with_capacity(chunk.len());
                 for &i in chunk {
-                    let s = &samples[i];
+                    let prep = &lists[i];
                     let scores =
-                        self.train_scores(&mut tape, &self.store, ds, &s.input, &mut noise_rng);
+                        self.train_scores(&mut tape, &self.store, ds, prep, &mut noise_rng);
+                    let clicks = prep.labels();
                     let targets = Matrix::from_vec(
-                        s.clicks.len(),
+                        clicks.len(),
                         1,
-                        s.clicks.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect(),
+                        clicks.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect(),
                     );
                     losses.push(tape.bce_with_logits(scores, &targets));
                 }
@@ -220,12 +227,14 @@ impl ReRanker for Rapid {
                 tape.backward(total, &mut self.store);
                 self.store.clip_grad_norm(5.0);
                 optimizer.step_and_zero(&mut self.store);
+                batches += 1;
             }
         }
+        FitReport::new(batches)
     }
 
-    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
-        let scores = self.scores(ds, input);
+    fn rerank_prepared(&self, ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
+        let scores = self.scores_prepared(ds, prep);
         let mut order: Vec<usize> = (0..scores.len()).collect();
         order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         order
@@ -310,7 +319,13 @@ mod tests {
             RapidConfig::mean_behavior(),
             RapidConfig::transformer_relevance(),
         ] {
-            let mut model = Rapid::new(&ds, RapidConfig { epochs: 1, ..config });
+            let mut model = Rapid::new(
+                &ds,
+                RapidConfig {
+                    epochs: 1,
+                    ..config
+                },
+            );
             model.fit(&ds, &samples);
             let perm = model.rerank(&ds, &samples[0].input);
             assert!(
@@ -325,10 +340,13 @@ mod tests {
     fn learns_to_beat_the_initial_order() {
         let ds = tiny_dataset(22);
         let samples = click_samples(&ds, 450, 3);
-        let mut model = Rapid::new(&ds, RapidConfig {
-            epochs: 15,
-            ..RapidConfig::probabilistic()
-        });
+        let mut model = Rapid::new(
+            &ds,
+            RapidConfig {
+                epochs: 15,
+                ..RapidConfig::probabilistic()
+            },
+        );
         model.fit(&ds, &samples);
         let before = top_click_rate(&samples[..150], |inp| (0..inp.len()).collect());
         let after = top_click_rate(&samples[..150], |inp| model.rerank(&ds, inp));
@@ -347,10 +365,13 @@ mod tests {
         // meaningful relative to the (0,1) range.
         let ds = tiny_dataset(23);
         let samples = click_samples(&ds, 300, 5);
-        let mut model = Rapid::new(&ds, RapidConfig {
-            epochs: 10,
-            ..RapidConfig::probabilistic()
-        });
+        let mut model = Rapid::new(
+            &ds,
+            RapidConfig {
+                epochs: 10,
+                ..RapidConfig::probabilistic()
+            },
+        );
         model.fit(&ds, &samples);
 
         let thetas: Vec<Vec<f32>> = (0..ds.users.len())
@@ -380,10 +401,13 @@ mod tests {
         // what the initial lists already offered*.
         let ds = tiny_dataset(26);
         let samples = click_samples(&ds, 450, 6);
-        let mut model = Rapid::new(&ds, RapidConfig {
-            epochs: 12,
-            ..RapidConfig::probabilistic()
-        });
+        let mut model = Rapid::new(
+            &ds,
+            RapidConfig {
+                epochs: 12,
+                ..RapidConfig::probabilistic()
+            },
+        );
         model.fit(&ds, &samples);
 
         // Median split of the user population by preference entropy.
@@ -423,9 +447,10 @@ mod tests {
         let samples = click_samples(&ds, 4, 2);
         let model = Rapid::new(&ds, RapidConfig::probabilistic());
         let input = &samples[0].input;
+        let prep = PreparedList::from_input(&ds, input.clone());
 
         let mut tape = Tape::new();
-        let fused = model.head_input(&mut tape, &model.store, &ds, input);
+        let fused = model.head_input(&mut tape, &model.store, &ds, &prep);
         let mean = model.head_mean.forward(&mut tape, &model.store, fused);
         let mean_vals = tape.value(mean).as_slice().to_vec();
         let ucb = model.scores(&ds, input);

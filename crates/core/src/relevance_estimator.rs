@@ -16,6 +16,9 @@ pub struct RelevanceEstimator {
     out_dim: usize,
 }
 
+// One estimator holds exactly one variant for its whole life, so the
+// size gap between them never costs anything at scale.
+#[allow(clippy::large_enum_variant)]
 enum EncoderKind {
     BiLstm(BiLstm),
     Transformer {
@@ -161,12 +164,8 @@ mod tests {
             let est = RelevanceEstimator::new(&mut store, "rel", kind, d, 16, 30, &mut rng);
             assert_eq!(est.out_dim(), 32);
             let scores = vec![0.5; ds.test[0].candidates.len()];
-            let reps = RelevanceEstimator::item_representations(
-                &ds,
-                0,
-                &ds.test[0].candidates,
-                &scores,
-            );
+            let reps =
+                RelevanceEstimator::item_representations(&ds, 0, &ds.test[0].candidates, &scores);
             let mut tape = Tape::new();
             let r = tape.constant(reps);
             let out = est.forward(&mut tape, &store, r);
@@ -178,9 +177,7 @@ mod tests {
     #[test]
     fn representations_embed_user_item_coverage_and_score() {
         let ds = tiny();
-        let scores: Vec<f32> = (0..ds.test[0].candidates.len())
-            .map(|i| i as f32)
-            .collect();
+        let scores: Vec<f32> = (0..ds.test[0].candidates.len()).map(|i| i as f32).collect();
         let reps =
             RelevanceEstimator::item_representations(&ds, 2, &ds.test[0].candidates, &scores);
         let qu = ds.users[2].features.len();
@@ -195,6 +192,9 @@ mod tests {
         }
         // Coverage block.
         let v0 = ds.test[0].candidates[0];
-        assert_eq!(&reps.row(0)[qu + qv..qu + qv + m], &ds.items[v0].coverage[..]);
+        assert_eq!(
+            &reps.row(0)[qu + qv..qu + qv + m],
+            &ds.items[v0].coverage[..]
+        );
     }
 }

@@ -35,7 +35,13 @@ pub fn generate(config: &DataConfig) -> Dataset {
     sample_histories(config, &mut users, &items, &mut rng);
 
     let ranker_train = generate_ranker_interactions(config, &users, &items, &mut rng);
-    let rerank_train = generate_requests(config, config.rerank_train_requests, &users, &items, &mut rng);
+    let rerank_train = generate_requests(
+        config,
+        config.rerank_train_requests,
+        &users,
+        &items,
+        &mut rng,
+    );
     let test = generate_requests(config, config.test_requests, &users, &items, &mut rng);
 
     Dataset {
@@ -106,11 +112,7 @@ fn generate_users(config: &DataConfig, topic_proj: &Matrix, rng: &mut StdRng) ->
 }
 
 /// Draws items according to the flavor's coverage convention.
-fn generate_items(
-    config: &DataConfig,
-    topic_proj: &Matrix,
-    rng: &mut StdRng,
-) -> Vec<ItemProfile> {
+fn generate_items(config: &DataConfig, topic_proj: &Matrix, rng: &mut StdRng) -> Vec<ItemProfile> {
     let m = config.num_topics;
     let quality_dist = Beta::new(2.0f32, 2.0).expect("valid Beta");
 
@@ -283,11 +285,8 @@ fn generate_requests(
             let mut scored: Vec<(usize, f32)> = (0..pool)
                 .map(|_| {
                     let v = rng.gen_range(0..items.len());
-                    let a = attraction_from_parts(
-                        &users[u].pref,
-                        &items[v].coverage,
-                        items[v].quality,
-                    );
+                    let a =
+                        attraction_from_parts(&users[u].pref, &items[v].coverage, items[v].quality);
                     (v, a + 0.5 * gaussian(rng))
                 })
                 .collect();

@@ -51,10 +51,7 @@ impl Gmm {
     pub fn fit(data: &Matrix, config: &GmmConfig, rng: &mut impl Rng) -> Self {
         let (n, d) = data.shape();
         let k = config.components;
-        assert!(
-            n >= k,
-            "Gmm::fit: {n} points cannot support {k} components"
-        );
+        assert!(n >= k, "Gmm::fit: {n} points cannot support {k} components");
 
         // Init means: k distinct random rows.
         let mut chosen: Vec<usize> = Vec::with_capacity(k);
@@ -87,8 +84,8 @@ impl Gmm {
         }
         let mut variances = Matrix::zeros(k, d);
         for comp in 0..k {
-            for c in 0..d {
-                variances.set(comp, c, global_var[c]);
+            for (c, gv) in global_var.iter().enumerate() {
+                variances.set(comp, c, *gv);
             }
         }
 
@@ -119,9 +116,8 @@ impl Gmm {
         for r in 0..n {
             let x = data.row(r);
             let mut logp = vec![0.0f64; k];
-            for comp in 0..k {
-                logp[comp] =
-                    f64::from(self.weights[comp].max(1e-20).ln()) + self.log_density(comp, x);
+            for (comp, lp) in logp.iter_mut().enumerate() {
+                *lp = f64::from(self.weights[comp].max(1e-20).ln()) + self.log_density(comp, x);
             }
             let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let mut sum = 0.0f64;
@@ -130,8 +126,8 @@ impl Gmm {
                 sum += *lp;
             }
             total_ll += max + sum.ln();
-            for comp in 0..k {
-                resp.set(r, comp, (logp[comp] / sum) as f32);
+            for (comp, lp) in logp.iter().enumerate() {
+                resp.set(r, comp, (lp / sum) as f32);
             }
         }
         (resp, total_ll / n as f64)
@@ -182,8 +178,8 @@ impl Gmm {
     pub fn responsibilities(&self, x: &[f32]) -> Vec<f32> {
         let k = self.weights.len();
         let mut logp = vec![0.0f64; k];
-        for comp in 0..k {
-            logp[comp] = f64::from(self.weights[comp].max(1e-20).ln()) + self.log_density(comp, x);
+        for (comp, lp) in logp.iter_mut().enumerate() {
+            *lp = f64::from(self.weights[comp].max(1e-20).ln()) + self.log_density(comp, x);
         }
         let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0f64;
@@ -247,7 +243,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 198, "only {correct}/200 points clustered correctly");
+        assert!(
+            correct >= 198,
+            "only {correct}/200 points clustered correctly"
+        );
         // Weights near 0.5 each.
         assert!((gmm.weights()[0] - 0.5).abs() < 0.05);
     }

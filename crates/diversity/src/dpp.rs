@@ -206,9 +206,8 @@ mod tests {
         let refs: Vec<&[f32]> = covs.iter().map(|v| v.as_slice()).collect();
         let k = DppKernel::from_relevance_and_coverage(&rel, &refs, 2.0);
 
-        let det2 = |i: usize, j: usize| -> f32 {
-            k.get(i, i) * k.get(j, j) - k.get(i, j) * k.get(j, i)
-        };
+        let det2 =
+            |i: usize, j: usize| -> f32 { k.get(i, i) * k.get(j, j) - k.get(i, j) * k.get(j, i) };
         // Greedy's guarantee is an approximation, but on this easy case
         // it should match the best pair.
         let sel = greedy_map(&k, 2);

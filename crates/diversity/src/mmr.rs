@@ -75,11 +75,7 @@ mod tests {
         // less relevant item from topic 1: with diversity pressure the
         // topic-1 item must move up to rank 2.
         let rel = [0.9, 0.85, 0.6];
-        let covs = [
-            vec![1.0f32, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ];
+        let covs = [vec![1.0f32, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
         let refs: Vec<&[f32]> = covs.iter().map(|v| v.as_slice()).collect();
         let order = mmr_select(&rel, &refs, 0.4);
         assert_eq!(order[0], 0);

@@ -114,11 +114,7 @@ mod tests {
     #[test]
     fn ssd_promotes_orthogonal_item() {
         let rel = [0.9, 0.85, 0.5];
-        let vecs = [
-            vec![1.0f32, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ];
+        let vecs = [vec![1.0f32, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
         let refs: Vec<&[f32]> = vecs.iter().map(|v| v.as_slice()).collect();
         let order = ssd_select(&rel, &refs, 1.0, 3);
         assert_eq!(order[0], 0);

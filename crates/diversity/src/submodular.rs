@@ -112,7 +112,11 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn check_monotone_submodular(f: &dyn SubmodularCoverage, sets: &[Vec<Vec<f32>>], extra: &[f32]) {
+    fn check_monotone_submodular(
+        f: &dyn SubmodularCoverage,
+        sets: &[Vec<Vec<f32>>],
+        extra: &[f32],
+    ) {
         for base in sets {
             let refs: Vec<&[f32]> = base.iter().map(|v| v.as_slice()).collect();
             let before = f.coverage(&refs);
@@ -175,7 +179,7 @@ mod tests {
 
     #[test]
     fn all_functions_are_monotone_on_fixed_cases() {
-        let sets = vec![
+        let sets = [
             vec![vec![0.2f32, 0.8], vec![0.5, 0.5]],
             vec![vec![1.0f32, 0.0]],
             vec![],

@@ -11,7 +11,7 @@ use rapid_data::{generate, Dataset};
 use rapid_gbdt::LambdaMartParams;
 use rapid_metrics::{click_at_k, ndcg_at_k, rev_at_k, topic_coverage_at_k};
 use rapid_rankers::{Din, DinConfig, InitialRanker, LambdaMartRanker, SvmRank, SvmRankConfig};
-use rapid_rerankers::{ReRanker, RerankInput, TrainSample};
+use rapid_rerankers::{FeatureCache, ReRanker, RerankInput, TrainSample};
 
 use crate::config::{EvalProtocol, ExperimentConfig, RankerKind};
 
@@ -25,9 +25,13 @@ pub struct ModelResult {
     pub per_request: BTreeMap<String, Vec<f32>>,
     /// Total training wall-clock.
     pub train_time: std::time::Duration,
-    /// Mean training time per optimizer batch (16 lists), estimated
-    /// from the total.
+    /// Optimizer batches the model actually ran (0 for heuristics that
+    /// only grid-tune), reported by `fit_prepared`.
+    pub train_batches: usize,
+    /// Mean training time per optimizer batch, from the actual count.
     pub train_per_batch: std::time::Duration,
+    /// Number of test lists scored.
+    pub test_lists: usize,
     /// Mean inference time per batch of 16 test lists.
     pub test_per_batch: std::time::Duration,
 }
@@ -54,6 +58,10 @@ pub struct Pipeline {
     /// aligned with `test_inputs` (clicks observed on the initial
     /// list).
     logged_clicks: Vec<Vec<bool>>,
+    /// Feature matrices, coverage rows, and novelty matrices for every
+    /// train/test list, materialised once so each model's fit and
+    /// inference skip per-epoch feature assembly.
+    cache: FeatureCache,
 }
 
 impl Pipeline {
@@ -69,9 +77,7 @@ impl Pipeline {
         // the re-rankers. We mirror that by giving the ranker a third
         // of the interaction log and a single pass over it.
         let mut ranker_ds = ds.clone();
-        ranker_ds
-            .ranker_train
-            .truncate(ds.ranker_train.len() / 3);
+        ranker_ds.ranker_train.truncate(ds.ranker_train.len() / 3);
         let ranker: Box<dyn InitialRanker> = match config.ranker {
             RankerKind::Din => Box::new(Din::fit(
                 &ranker_ds,
@@ -106,8 +112,10 @@ impl Pipeline {
             .iter()
             .map(|req| {
                 let items = ranker.rank(&ds, req);
-                let init_scores: Vec<f32> =
-                    items.iter().map(|&v| ranker.score(&ds, req.user, v)).collect();
+                let init_scores: Vec<f32> = items
+                    .iter()
+                    .map(|&v| ranker.score(&ds, req.user, v))
+                    .collect();
                 let input = RerankInput {
                     user: req.user,
                     items,
@@ -121,13 +129,15 @@ impl Pipeline {
 
         // Test inputs (initial rankings) and, for the logged protocol,
         // one frozen click rollout per request.
-        let mut log_rng = StdRng::seed_from_u64(config.seed ^ 0x1066_ed);
+        let mut log_rng = StdRng::seed_from_u64(config.seed ^ 0x0010_66ed);
         let mut test_inputs = Vec::with_capacity(ds.test.len());
         let mut logged_clicks = Vec::with_capacity(ds.test.len());
         for req in &ds.test {
             let items = ranker.rank(&ds, req);
-            let init_scores: Vec<f32> =
-                items.iter().map(|&v| ranker.score(&ds, req.user, v)).collect();
+            let init_scores: Vec<f32> = items
+                .iter()
+                .map(|&v| ranker.score(&ds, req.user, v))
+                .collect();
             let input = RerankInput {
                 user: req.user,
                 items,
@@ -138,6 +148,8 @@ impl Pipeline {
             test_inputs.push(input);
         }
 
+        let cache = FeatureCache::build(&ds, &train_samples, &test_inputs);
+
         Self {
             config,
             ds,
@@ -145,6 +157,7 @@ impl Pipeline {
             train_samples,
             test_inputs,
             logged_clicks,
+            cache,
         }
     }
 
@@ -168,34 +181,30 @@ impl Pipeline {
         &self.test_inputs
     }
 
+    /// The prepared train/test feature cache.
+    pub fn cache(&self) -> &FeatureCache {
+        &self.cache
+    }
+
     /// Trains `model` on the pipeline's feedback and evaluates it on the
     /// test inputs under the configured protocol.
     pub fn evaluate(&self, model: &mut dyn ReRanker) -> ModelResult {
         let t0 = Instant::now();
-        model.fit(&self.ds, &self.train_samples);
+        let report = model.fit_prepared(&self.ds, &self.cache.train);
         let train_time = t0.elapsed();
-        let batches = self.train_samples.len().div_ceil(16).max(1) * self.config.epochs.max(1);
-        let train_per_batch = train_time / batches as u32;
+        let train_per_batch = train_time / report.batches.max(1) as u32;
 
         let mut per_request: BTreeMap<String, Vec<f32>> = BTreeMap::new();
         let mut push = |key: &str, v: f32| per_request.entry(key.to_string()).or_default().push(v);
 
         let mut ndcg_rng = StdRng::seed_from_u64(self.config.seed ^ 0x0dcc);
         let t1 = Instant::now();
-        let perms: Vec<Vec<usize>> = self
-            .test_inputs
-            .iter()
-            .map(|input| model.rerank(&self.ds, input))
-            .collect();
+        let perms: Vec<Vec<usize>> = model.rerank_batch(&self.ds, &self.cache.test);
         let infer_time = t1.elapsed();
-        let test_batches = self.test_inputs.len().div_ceil(16).max(1);
+        let test_batches = self.cache.test.len().div_ceil(16).max(1);
         let test_per_batch = infer_time / test_batches as u32;
 
-        for ((input, perm), logged) in self
-            .test_inputs
-            .iter()
-            .zip(&perms)
-            .zip(&self.logged_clicks)
+        for ((input, perm), logged) in self.test_inputs.iter().zip(&perms).zip(&self.logged_clicks)
         {
             debug_assert!(rapid_rerankers::is_permutation(perm, input.len()));
             let items: Vec<usize> = perm.iter().map(|&i| input.items[i]).collect();
@@ -228,8 +237,7 @@ impl Pipeline {
                     // Labels travel with items (standard offline
                     // re-ranking evaluation).
                     let clicks: Vec<bool> = perm.iter().map(|&i| logged[i]).collect();
-                    let bids: Vec<f32> =
-                        items.iter().map(|&v| self.ds.items[v].bid).collect();
+                    let bids: Vec<f32> = items.iter().map(|&v| self.ds.items[v].bid).collect();
                     push("click@5", click_at_k(&clicks, 5));
                     push("click@10", click_at_k(&clicks, 10));
                     push("ndcg@5", ndcg_at_k(&clicks, 5));
@@ -244,9 +252,19 @@ impl Pipeline {
             name: model.name().to_string(),
             per_request,
             train_time,
+            train_batches: report.batches,
             train_per_batch,
+            test_lists: self.cache.test.len(),
             test_per_batch,
         }
+    }
+
+    /// Evaluates several models, fanning them across scoped worker
+    /// threads (one model per thread, output order preserved). Each
+    /// model still trains sequentially; the parallelism is across
+    /// models, which is how the bench bins sweep a lineup.
+    pub fn evaluate_all(&self, models: &mut [Box<dyn ReRanker>]) -> Vec<ModelResult> {
+        rapid_exec::par_map_mut(models, |m| self.evaluate(m.as_mut()))
     }
 }
 
@@ -273,7 +291,9 @@ mod tests {
         let p = Pipeline::prepare(quick(Flavor::MovieLens));
         let mut init = Identity;
         let r = p.evaluate(&mut init);
-        for key in ["click@5", "click@10", "ndcg@5", "ndcg@10", "div@5", "div@10", "satis@5", "satis@10"] {
+        for key in [
+            "click@5", "click@10", "ndcg@5", "ndcg@10", "div@5", "div@10", "satis@5", "satis@10",
+        ] {
             let v = r.per_request.get(key).unwrap();
             assert_eq!(v.len(), 30, "{key}");
             assert!(v.iter().all(|x| x.is_finite()), "{key}");
@@ -287,7 +307,9 @@ mod tests {
         let p = Pipeline::prepare(quick(Flavor::AppStore));
         let mut init = Identity;
         let r = p.evaluate(&mut init);
-        for key in ["click@5", "click@10", "ndcg@5", "ndcg@10", "div@5", "div@10", "rev@5", "rev@10"] {
+        for key in [
+            "click@5", "click@10", "ndcg@5", "ndcg@10", "div@5", "div@10", "rev@5", "rev@10",
+        ] {
             assert!(r.per_request.contains_key(key), "{key} missing");
         }
         assert!(r.mean("rev@10") >= r.mean("rev@5"));

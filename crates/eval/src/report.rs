@@ -89,7 +89,9 @@ mod tests {
             name: name.to_string(),
             per_request,
             train_time: Duration::from_millis(1500),
+            train_batches: 150,
             train_per_batch: Duration::from_millis(10),
+            test_lists: 3,
             test_per_batch: Duration::from_micros(2500),
         }
     }

@@ -58,7 +58,13 @@ impl ResultTable {
             .max()
             .unwrap_or(4)
             .max(10);
-        let col_w = self.metrics.iter().map(|m| m.len()).max().unwrap_or(8).max(9);
+        let col_w = self
+            .metrics
+            .iter()
+            .map(|m| m.len())
+            .max()
+            .unwrap_or(8)
+            .max(9);
 
         let mut out = String::new();
         out.push_str(&format!("== {title} ==\n"));
@@ -110,7 +116,9 @@ mod tests {
             name: name.to_string(),
             per_request,
             train_time: Duration::ZERO,
+            train_batches: 0,
             train_per_batch: Duration::ZERO,
+            test_lists: 0,
             test_per_batch: Duration::ZERO,
         }
     }

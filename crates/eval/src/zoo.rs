@@ -16,74 +16,85 @@ use rapid_rerankers::{
 /// `hidden` and `epochs` apply uniformly to the neural models so the
 /// comparison is fair (the paper grid-searches these; the bench
 /// binaries pin the best grid point per scale).
-pub fn full_lineup(ds: &Dataset, hidden: usize, epochs: usize, seed: u64) -> Vec<Box<dyn ReRanker>> {
-    let mut models: Vec<Box<dyn ReRanker>> = Vec::new();
-    models.push(Box::new(Identity));
-    models.push(Box::new(Dlcm::new(
-        ds,
-        DlcmConfig {
-            hidden,
-            epochs,
-            seed,
-            ..DlcmConfig::default()
-        },
-    )));
-    models.push(Box::new(Prm::new(
-        ds,
-        PrmConfig {
-            hidden,
-            epochs,
-            seed,
-            ..PrmConfig::default()
-        },
-    )));
-    models.push(Box::new(SetRank::new(
-        ds,
-        SetRankConfig {
-            hidden,
-            epochs,
-            seed,
-            ..SetRankConfig::default()
-        },
-    )));
-    models.push(Box::new(Srga::new(
-        ds,
-        SrgaConfig {
-            hidden,
-            epochs,
-            seed,
-            ..SrgaConfig::default()
-        },
-    )));
-    models.push(Box::new(MmrReranker::default()));
-    models.push(Box::new(DppReranker::default()));
-    models.push(Box::new(Desa::new(
-        ds,
-        DesaConfig {
-            hidden,
-            epochs,
-            seed,
-            ..DesaConfig::default()
-        },
-    )));
-    models.push(Box::new(SsdReranker::default()));
-    models.push(Box::new(AdpMmr::default()));
-    models.push(Box::new(PdGan::new(
-        ds,
-        PdGanConfig {
-            hidden: hidden / 2,
-            epochs,
-            seed,
-            ..PdGanConfig::default()
-        },
-    )));
-    models.push(Box::new(rapid_det(ds, hidden, 5, epochs, seed)));
-    models.push(Box::new(rapid_pro(ds, hidden, 5, epochs, seed)));
-    models
+pub fn full_lineup(
+    ds: &Dataset,
+    hidden: usize,
+    epochs: usize,
+    seed: u64,
+) -> Vec<Box<dyn ReRanker>> {
+    vec![
+        Box::new(Identity),
+        Box::new(Dlcm::new(
+            ds,
+            DlcmConfig {
+                hidden,
+                epochs,
+                seed,
+                ..DlcmConfig::default()
+            },
+        )),
+        Box::new(Prm::new(
+            ds,
+            PrmConfig {
+                hidden,
+                epochs,
+                seed,
+                ..PrmConfig::default()
+            },
+        )),
+        Box::new(SetRank::new(
+            ds,
+            SetRankConfig {
+                hidden,
+                epochs,
+                seed,
+                ..SetRankConfig::default()
+            },
+        )),
+        Box::new(Srga::new(
+            ds,
+            SrgaConfig {
+                hidden,
+                epochs,
+                seed,
+                ..SrgaConfig::default()
+            },
+        )),
+        Box::new(MmrReranker::default()),
+        Box::new(DppReranker::default()),
+        Box::new(Desa::new(
+            ds,
+            DesaConfig {
+                hidden,
+                epochs,
+                seed,
+                ..DesaConfig::default()
+            },
+        )),
+        Box::new(SsdReranker::default()),
+        Box::new(AdpMmr::default()),
+        Box::new(PdGan::new(
+            ds,
+            PdGanConfig {
+                hidden: hidden / 2,
+                epochs,
+                seed,
+                ..PdGanConfig::default()
+            },
+        )),
+        Box::new(rapid_det(ds, hidden, 5, epochs, seed)),
+        Box::new(rapid_pro(ds, hidden, 5, epochs, seed)),
+    ]
 }
 
 /// RAPID with the deterministic head (Eq. 7).
-pub fn rapid_det(ds: &Dataset, hidden: usize, behavior_len: usize, epochs: usize, seed: u64) -> Rapid {
+pub fn rapid_det(
+    ds: &Dataset,
+    hidden: usize,
+    behavior_len: usize,
+    epochs: usize,
+    seed: u64,
+) -> Rapid {
     Rapid::new(
         ds,
         RapidConfig {
@@ -97,7 +108,13 @@ pub fn rapid_det(ds: &Dataset, hidden: usize, behavior_len: usize, epochs: usize
 }
 
 /// RAPID with the probabilistic/UCB head (Eq. 8–10).
-pub fn rapid_pro(ds: &Dataset, hidden: usize, behavior_len: usize, epochs: usize, seed: u64) -> Rapid {
+pub fn rapid_pro(
+    ds: &Dataset,
+    hidden: usize,
+    behavior_len: usize,
+    epochs: usize,
+    seed: u64,
+) -> Rapid {
     Rapid::new(
         ds,
         RapidConfig {
@@ -111,7 +128,12 @@ pub fn rapid_pro(ds: &Dataset, hidden: usize, behavior_len: usize, epochs: usize
 }
 
 /// The ablation line-up of Fig. 3: full RAPID plus the four variants.
-pub fn ablation_lineup(ds: &Dataset, hidden: usize, epochs: usize, seed: u64) -> Vec<Box<dyn ReRanker>> {
+pub fn ablation_lineup(
+    ds: &Dataset,
+    hidden: usize,
+    epochs: usize,
+    seed: u64,
+) -> Vec<Box<dyn ReRanker>> {
     let mk = |base: RapidConfig| -> Box<dyn ReRanker> {
         Box::new(Rapid::new(
             ds,
@@ -154,8 +176,19 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "Init", "DLCM", "PRM", "SetRank", "SRGA", "MMR", "DPP", "DESA", "SSD",
-                "adpMMR", "PD-GAN", "RAPID-det", "RAPID-pro"
+                "Init",
+                "DLCM",
+                "PRM",
+                "SetRank",
+                "SRGA",
+                "MMR",
+                "DPP",
+                "DESA",
+                "SSD",
+                "adpMMR",
+                "PD-GAN",
+                "RAPID-det",
+                "RAPID-pro"
             ]
         );
 
@@ -165,7 +198,13 @@ mod tests {
             .collect();
         assert_eq!(
             ablation,
-            vec!["RAPID-pro", "RAPID-RNN", "RAPID-mean", "RAPID-det", "RAPID-trans"]
+            vec![
+                "RAPID-pro",
+                "RAPID-RNN",
+                "RAPID-mean",
+                "RAPID-det",
+                "RAPID-trans"
+            ]
         );
     }
 }

@@ -1,0 +1,54 @@
+//! Raw re-ranking inputs, shared by every model layer.
+
+use rapid_data::{Dataset, ItemId, UserId};
+
+/// One re-ranking instance: a user plus the **ordered** initial list `R`
+/// with the initial ranker's scores.
+#[derive(Debug, Clone)]
+pub struct RerankInput {
+    /// The requesting user.
+    pub user: UserId,
+    /// The initial list `R`, best-first.
+    pub items: Vec<ItemId>,
+    /// Initial-ranker scores aligned with `items`.
+    pub init_scores: Vec<f32>,
+}
+
+impl RerankInput {
+    /// List length `L`.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` for an empty list.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Initial scores squashed to `(0, 1)` — a relevance proxy for the
+    /// heuristic diversifiers, which expect probabilities.
+    pub fn relevance_probs(&self) -> Vec<f32> {
+        self.init_scores
+            .iter()
+            .map(|&s| 1.0 / (1.0 + (-s).exp()))
+            .collect()
+    }
+
+    /// Coverage vectors of the listed items, in list order.
+    pub fn coverages<'a>(&self, ds: &'a Dataset) -> Vec<&'a [f32]> {
+        self.items
+            .iter()
+            .map(|&v| ds.items[v].coverage.as_slice())
+            .collect()
+    }
+}
+
+/// A labeled training instance: the initial list plus the DCM click
+/// feedback observed on it.
+#[derive(Debug, Clone)]
+pub struct TrainSample {
+    /// The list shown.
+    pub input: RerankInput,
+    /// Click indicator per position of `input.items`.
+    pub clicks: Vec<bool>,
+}

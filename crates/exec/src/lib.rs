@@ -1,0 +1,30 @@
+//! The execution layer: prepared per-list inputs and dependency-free
+//! parallelism for the train/infer hot path.
+//!
+//! Re-ranking sits on the request hot path of a production recommender,
+//! so feature assembly must happen once, not on every forward pass of
+//! every epoch. This crate provides:
+//!
+//! * [`RerankInput`] / [`TrainSample`] — the raw per-request inputs
+//!   (moved here from `rapid-rerankers`, which re-exports them).
+//! * [`PreparedList`] — one list with everything a model needs
+//!   materialised up front: the `(L, d)` feature matrix, the items'
+//!   topic-coverage rows, the `(L, m)` marginal-diversity (novelty)
+//!   matrix, and the sigmoid relevance proxy.
+//! * [`FeatureCache`] — all train/test lists of an experiment prepared
+//!   in one pass, so epochs iterate over cached matrices.
+//! * [`par_map`] / [`par_map_mut`] — a scoped-thread parallel map
+//!   (`std::thread::scope`, no external dependencies) with
+//!   deterministic output ordering; worker count comes from
+//!   [`worker_count`], overridable via the `RAPID_WORKERS` environment
+//!   variable.
+
+mod input;
+mod parallel;
+mod prepared;
+
+pub use input::{RerankInput, TrainSample};
+pub use parallel::{par_map, par_map_mut, worker_count};
+pub use prepared::{
+    item_feature_dim, item_features, list_feature_matrix, FeatureCache, PreparedList,
+};

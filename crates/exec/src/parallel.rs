@@ -1,0 +1,111 @@
+//! Dependency-free data parallelism on scoped threads.
+//!
+//! Work is split into one contiguous chunk per worker and the per-chunk
+//! results are re-joined in chunk order, so the output order always
+//! matches the input order regardless of thread scheduling — parallel
+//! execution stays bit-compatible with the sequential path.
+
+/// Number of workers the parallel maps use: the `RAPID_WORKERS`
+/// environment variable when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("RAPID_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to [`worker_count`] scoped threads.
+///
+/// Output ordering is deterministic (`out[i] == f(&items[i])`); with one
+/// worker (or one item) no threads are spawned at all.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = worker_count().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("par_map worker panicked"));
+        }
+    });
+    out
+}
+
+/// Like [`par_map`] but with mutable access to each item (used to fan
+/// independent model `fit`/`evaluate` calls across cores).
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let workers = worker_count().min(items.len());
+    if workers <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|c| s.spawn(move || c.iter_mut().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("par_map_mut worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_every_item_in_order() {
+        let mut items: Vec<usize> = (0..257).collect();
+        let out = par_map_mut(&mut items, |x| {
+            *x += 1;
+            *x
+        });
+        assert_eq!(out, (1..258).collect::<Vec<_>>());
+        assert_eq!(items, (1..258).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Prepared per-list inputs: everything the models gather from the
+//! `Dataset` on a forward pass, materialised once.
+
+use rapid_data::{Dataset, ItemId, UserId};
+use rapid_diversity::marginal_diversity;
+use rapid_tensor::Matrix;
+
+use crate::input::{RerankInput, TrainSample};
+use crate::parallel::par_map;
+
+/// Per-item input features of the neural re-rankers:
+/// `[x_u, x_v, τ_v, init_score]` — user features, item features, topic
+/// coverage, and the initial ranker's score.
+pub fn item_features(ds: &Dataset, user: UserId, item: ItemId, init_score: f32) -> Vec<f32> {
+    let xu = &ds.users[user].features;
+    let xv = &ds.items[item].features;
+    let tau = &ds.items[item].coverage;
+    let mut f = Vec::with_capacity(xu.len() + xv.len() + tau.len() + 1);
+    f.extend_from_slice(xu);
+    f.extend_from_slice(xv);
+    f.extend_from_slice(tau);
+    f.push(init_score);
+    f
+}
+
+/// Feature dimension produced by [`item_features`] for this dataset.
+pub fn item_feature_dim(ds: &Dataset) -> usize {
+    ds.users[0].features.len() + ds.items[0].features.len() + ds.num_topics() + 1
+}
+
+/// The `(L, d)` feature matrix of one initial list.
+pub fn list_feature_matrix(ds: &Dataset, input: &RerankInput) -> Matrix {
+    let d = item_feature_dim(ds);
+    let mut data = Vec::with_capacity(input.len() * d);
+    for (i, &v) in input.items.iter().enumerate() {
+        data.extend(item_features(ds, input.user, v, input.init_scores[i]));
+    }
+    Matrix::from_vec(input.len(), d, data)
+}
+
+/// One re-ranking list with every model input gathered up front, so
+/// training epochs and inference iterate over cached matrices instead of
+/// re-assembling them from the `Dataset` per forward pass.
+#[derive(Debug, Clone)]
+pub struct PreparedList {
+    /// The raw request (user, ordered items, initial scores).
+    pub input: RerankInput,
+    /// Click labels, present for training lists.
+    pub clicks: Option<Vec<bool>>,
+    /// The `(L, d)` neural feature matrix `[x_u, x_v, τ_v, init_score]`.
+    pub features: Matrix,
+    /// Topic-coverage row per listed item (owned copies, list order).
+    pub coverage: Vec<Vec<f32>>,
+    /// The `(L, m)` marginal-diversity (novelty) matrix of the list.
+    pub novelty: Matrix,
+    /// Sigmoid-squashed initial scores (the heuristics' relevance proxy).
+    pub relevance: Vec<f32>,
+}
+
+impl PreparedList {
+    /// Prepares one unlabeled list (inference path).
+    pub fn from_input(ds: &Dataset, input: RerankInput) -> Self {
+        let features = list_feature_matrix(ds, &input);
+        let coverage: Vec<Vec<f32>> = input
+            .items
+            .iter()
+            .map(|&v| ds.items[v].coverage.clone())
+            .collect();
+        let m = ds.num_topics();
+        let cov_refs: Vec<&[f32]> = coverage.iter().map(|c| c.as_slice()).collect();
+        let mut nov = Vec::with_capacity(input.len() * m);
+        for i in 0..input.len() {
+            nov.extend(marginal_diversity(&cov_refs, i));
+        }
+        let novelty = Matrix::from_vec(input.len(), m, nov);
+        let relevance = input.relevance_probs();
+        Self {
+            input,
+            clicks: None,
+            features,
+            coverage,
+            novelty,
+            relevance,
+        }
+    }
+
+    /// Prepares one click-labeled list (training path).
+    pub fn from_sample(ds: &Dataset, sample: &TrainSample) -> Self {
+        let mut p = Self::from_input(ds, sample.input.clone());
+        p.clicks = Some(sample.clicks.clone());
+        p
+    }
+
+    /// List length `L`.
+    pub fn len(&self) -> usize {
+        self.input.len()
+    }
+
+    /// `true` for an empty list.
+    pub fn is_empty(&self) -> bool {
+        self.input.is_empty()
+    }
+
+    /// The requesting user.
+    pub fn user(&self) -> UserId {
+        self.input.user
+    }
+
+    /// Coverage rows as borrowed slices (what the diversity kernels eat).
+    pub fn coverage_slices(&self) -> Vec<&[f32]> {
+        self.coverage.iter().map(|c| c.as_slice()).collect()
+    }
+
+    /// The click labels; panics on an inference-only list.
+    pub fn labels(&self) -> &[bool] {
+        self.clicks
+            .as_deref()
+            .expect("PreparedList::labels on an unlabeled list")
+    }
+
+    /// The feature matrix with the init-score column zeroed (the input of
+    /// ranking-stage models that must not see the initial ranker).
+    pub fn features_without_score(&self) -> Matrix {
+        let mut f = self.features.clone();
+        let last = f.cols() - 1;
+        for r in 0..f.rows() {
+            f.set(r, last, 0.0);
+        }
+        f
+    }
+}
+
+/// All lists of an experiment, prepared once (in parallel) and reused by
+/// every model's training epochs and test-time scoring.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureCache {
+    /// Click-labeled training lists.
+    pub train: Vec<PreparedList>,
+    /// Unlabeled test lists.
+    pub test: Vec<PreparedList>,
+}
+
+impl FeatureCache {
+    /// Materialises every train/test list up front.
+    pub fn build(ds: &Dataset, train: &[TrainSample], test: &[RerankInput]) -> Self {
+        Self {
+            train: par_map(train, |s| PreparedList::from_sample(ds, s)),
+            test: par_map(test, |i| PreparedList::from_input(ds, i.clone())),
+        }
+    }
+
+    /// Prepares training lists only.
+    pub fn from_samples(ds: &Dataset, train: &[TrainSample]) -> Vec<PreparedList> {
+        par_map(train, |s| PreparedList::from_sample(ds, s))
+    }
+
+    /// Prepares inference lists only.
+    pub fn from_inputs(ds: &Dataset, inputs: &[RerankInput]) -> Vec<PreparedList> {
+        par_map(inputs, |i| PreparedList::from_input(ds, i.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_data::{generate, DataConfig, Flavor};
+
+    fn tiny() -> Dataset {
+        let mut c = DataConfig::new(Flavor::Taobao);
+        c.num_users = 10;
+        c.num_items = 60;
+        c.ranker_train_interactions = 100;
+        c.rerank_train_requests = 4;
+        c.test_requests = 3;
+        generate(&c)
+    }
+
+    fn input(ds: &Dataset, idx: usize) -> RerankInput {
+        RerankInput {
+            user: ds.test[idx].user,
+            items: ds.test[idx].candidates.clone(),
+            init_scores: (0..ds.test[idx].candidates.len())
+                .map(|i| 1.0 - i as f32 * 0.1)
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn prepared_matches_on_demand_assembly() {
+        let ds = tiny();
+        let inp = input(&ds, 0);
+        let p = PreparedList::from_input(&ds, inp.clone());
+        assert_eq!(
+            p.features.as_slice(),
+            list_feature_matrix(&ds, &inp).as_slice()
+        );
+        assert_eq!(p.relevance, inp.relevance_probs());
+        assert_eq!(p.coverage_slices(), inp.coverages(&ds));
+        assert_eq!(p.novelty.shape(), (inp.len(), ds.num_topics()));
+    }
+
+    #[test]
+    fn features_without_score_zeroes_only_the_last_column() {
+        let ds = tiny();
+        let p = PreparedList::from_input(&ds, input(&ds, 1));
+        let f = p.features_without_score();
+        let last = f.cols() - 1;
+        for r in 0..f.rows() {
+            assert_eq!(f.get(r, last), 0.0);
+            assert_eq!(&f.row(r)[..last], &p.features.row(r)[..last]);
+        }
+    }
+
+    #[test]
+    fn cache_prepares_all_lists_with_labels_on_train_only() {
+        let ds = tiny();
+        let samples: Vec<TrainSample> = (0..3)
+            .map(|i| {
+                let inp = input(&ds, i % ds.test.len());
+                let clicks = vec![false; inp.len()];
+                TrainSample { input: inp, clicks }
+            })
+            .collect();
+        let inputs: Vec<RerankInput> = (0..2).map(|i| input(&ds, i)).collect();
+        let cache = FeatureCache::build(&ds, &samples, &inputs);
+        assert_eq!(cache.train.len(), 3);
+        assert_eq!(cache.test.len(), 2);
+        assert!(cache.train.iter().all(|p| p.clicks.is_some()));
+        assert!(cache.test.iter().all(|p| p.clicks.is_none()));
+    }
+}

@@ -43,11 +43,7 @@ impl Gbdt {
         let mut preds = vec![base; targets.len()];
         let mut trees = Vec::with_capacity(params.num_trees);
         for _ in 0..params.num_trees {
-            let residuals: Vec<f32> = targets
-                .iter()
-                .zip(&preds)
-                .map(|(t, p)| t - p)
-                .collect();
+            let residuals: Vec<f32> = targets.iter().zip(&preds).map(|(t, p)| t - p).collect();
             let tree = RegressionTree::fit(features, &residuals, &params.tree);
             for (p, row) in preds.iter_mut().zip(features) {
                 *p += params.learning_rate * tree.predict(row);
@@ -63,13 +59,7 @@ impl Gbdt {
 
     /// Predicts one feature row.
     pub fn predict(&self, row: &[f32]) -> f32 {
-        self.base
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(row))
-                    .sum::<f32>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f32>()
     }
 
     /// Number of trees in the ensemble.

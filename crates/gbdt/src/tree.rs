@@ -57,8 +57,16 @@ impl RegressionTree {
         params: &TreeParams,
     ) -> Self {
         assert!(!features.is_empty(), "RegressionTree: empty training set");
-        assert_eq!(features.len(), targets.len(), "RegressionTree: row/target mismatch");
-        assert_eq!(features.len(), hessians.len(), "RegressionTree: row/hessian mismatch");
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "RegressionTree: row/target mismatch"
+        );
+        assert_eq!(
+            features.len(),
+            hessians.len(),
+            "RegressionTree: row/hessian mismatch"
+        );
         let mut tree = Self { nodes: Vec::new() };
         let indices: Vec<usize> = (0..features.len()).collect();
         tree.grow(features, targets, hessians, indices, 0, params);
@@ -170,6 +178,9 @@ fn best_split(
     let mut best_gain = 1e-6f32;
 
     let mut order: Vec<usize> = indices.to_vec();
+    // `f` indexes a column across the per-sample feature rows, not a
+    // single slice — a range loop is the natural shape here.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..num_features {
         order.sort_by(|&a, &b| features[a][f].total_cmp(&features[b][f]));
         let mut gl = 0.0f32;
@@ -191,8 +202,7 @@ fn best_split(
             }
             let gr = g_total - gl;
             let hr = h_total - hl;
-            let gain =
-                gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - base;
+            let gain = gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - base;
             if gain > best_gain {
                 best_gain = gain;
                 best = Some((f, 0.5 * (v + v_next)));

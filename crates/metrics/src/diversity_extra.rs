@@ -169,7 +169,10 @@ mod tests {
         let dup: Vec<&[f32]> = vec![&a, &a];
         assert!(ild_at_k(&dup, 2) < 1e-6, "identical items → ILD 0");
         let distinct: Vec<&[f32]> = vec![&a, &b];
-        assert!((ild_at_k(&distinct, 2) - 1.0).abs() < 1e-6, "orthogonal → ILD 1");
+        assert!(
+            (ild_at_k(&distinct, 2) - 1.0).abs() < 1e-6,
+            "orthogonal → ILD 1"
+        );
         assert_eq!(ild_at_k(&distinct, 1), 0.0, "single item has no pairs");
     }
 

@@ -103,8 +103,7 @@ pub fn welch_t_test(a: &[f32], b: &[f32]) -> Option<TTestResult> {
         return None;
     }
     let t = (ma - mb) / (va + vb).sqrt();
-    let df = (va + vb) * (va + vb)
-        / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    let df = (va + vb) * (va + vb) / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
     Some(TTestResult {
         t,
         df,
@@ -128,8 +127,7 @@ fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
     if x >= 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a

@@ -83,10 +83,7 @@ impl GruCell {
         let cand = tape.tanh(cand_pre);
 
         // h' = (1 − z) ⊙ h_prev + z ⊙ cand
-        let one = tape.constant(Matrix::ones(
-            tape.value(z).rows(),
-            tape.value(z).cols(),
-        ));
+        let one = tape.constant(Matrix::ones(tape.value(z).rows(), tape.value(z).cols()));
         let one_minus_z = tape.sub(one, z);
         let keep = tape.mul(one_minus_z, h_prev);
         let update = tape.mul(z, cand);

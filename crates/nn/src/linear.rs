@@ -23,7 +23,10 @@ impl Linear {
         out_dim: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let w = store.add(format!("{prefix}.w"), Matrix::xavier_uniform(in_dim, out_dim, rng));
+        let w = store.add(
+            format!("{prefix}.w"),
+            Matrix::xavier_uniform(in_dim, out_dim, rng),
+        );
         let b = store.add(format!("{prefix}.b"), Matrix::zeros(1, out_dim));
         Self {
             w,

@@ -119,9 +119,15 @@ impl Din {
         let q_v = self.item_dim;
         let t_len = self.config.hist_len;
 
-        let xu_rows: Vec<&[f32]> = pairs.iter().map(|&(u, _)| &ds.users[u].features[..]).collect();
+        let xu_rows: Vec<&[f32]> = pairs
+            .iter()
+            .map(|&(u, _)| &ds.users[u].features[..])
+            .collect();
         let xu = tape.constant(matrix_from_rows(&xu_rows));
-        let xv_rows: Vec<&[f32]> = pairs.iter().map(|&(_, v)| &ds.items[v].features[..]).collect();
+        let xv_rows: Vec<&[f32]> = pairs
+            .iter()
+            .map(|&(_, v)| &ds.items[v].features[..])
+            .collect();
         let xv = tape.constant(matrix_from_rows(&xv_rows));
 
         // Front-padded history feature planes: H_t is (B, q_v).
@@ -137,9 +143,7 @@ impl Din {
                 let offset = t_len - take;
                 if t >= offset {
                     let item = hist[hist.len() - take + (t - offset)];
-                    plane
-                        .row_mut(row)
-                        .copy_from_slice(&ds.items[item].features);
+                    plane.row_mut(row).copy_from_slice(&ds.items[item].features);
                 }
             }
             hist_values.push(plane);
@@ -189,8 +193,7 @@ impl Din {
     /// Scores all candidates of a request in a single batch (one forward
     /// pass instead of `L`).
     pub fn score_request(&self, ds: &Dataset, req: &Request) -> Vec<f32> {
-        let pairs: Vec<(UserId, ItemId)> =
-            req.candidates.iter().map(|&v| (req.user, v)).collect();
+        let pairs: Vec<(UserId, ItemId)> = req.candidates.iter().map(|&v| (req.user, v)).collect();
         let mut tape = Tape::new();
         let logits = self.forward_batch(&mut tape, ds, &pairs);
         tape.value(logits).as_slice().to_vec()
@@ -210,8 +213,7 @@ impl InitialRanker for Din {
 
     fn rank(&self, ds: &Dataset, req: &Request) -> Vec<ItemId> {
         let scores = self.score_request(ds, req);
-        let mut order: Vec<(ItemId, f32)> =
-            req.candidates.iter().copied().zip(scores).collect();
+        let mut order: Vec<(ItemId, f32)> = req.candidates.iter().copied().zip(scores).collect();
         order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         order.into_iter().map(|(v, _)| v).collect()
     }

@@ -1,58 +1,34 @@
-//! Shared feature assembly, mini-batch iteration, and hyper-parameter
-//! tuning used by the re-rankers.
+//! Shared mini-batch iteration, the listwise training loop, and
+//! hyper-parameter tuning used by the re-rankers.
+//!
+//! Feature assembly ([`item_features`], [`list_feature_matrix`]) lives
+//! in `rapid-exec` — re-exported here for compatibility — so features
+//! are built once per list ([`crate::PreparedList`]) instead of per
+//! epoch.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rapid_data::{Dataset, ItemId, UserId};
 use rapid_tensor::Matrix;
 
-use crate::types::{RerankInput, TrainSample};
+pub use rapid_exec::{item_feature_dim, item_features, list_feature_matrix};
 
-/// Per-item input features of the neural re-rankers:
-/// `[x_u, x_v, τ_v, init_score]` — user features, item features, topic
-/// coverage, and the initial ranker's score.
-pub fn item_features(ds: &Dataset, user: UserId, item: ItemId, init_score: f32) -> Vec<f32> {
-    let xu = &ds.users[user].features;
-    let xv = &ds.items[item].features;
-    let tau = &ds.items[item].coverage;
-    let mut f = Vec::with_capacity(xu.len() + xv.len() + tau.len() + 1);
-    f.extend_from_slice(xu);
-    f.extend_from_slice(xv);
-    f.extend_from_slice(tau);
-    f.push(init_score);
-    f
-}
+use crate::types::{FitReport, PreparedList};
 
-/// Feature dimension produced by [`item_features`] for this dataset.
-pub fn item_feature_dim(ds: &Dataset) -> usize {
-    ds.users[0].features.len() + ds.items[0].features.len() + ds.num_topics() + 1
-}
-
-/// The `(L, d)` feature matrix of one initial list.
-pub fn list_feature_matrix(ds: &Dataset, input: &RerankInput) -> Matrix {
-    let d = item_feature_dim(ds);
-    let mut data = Vec::with_capacity(input.len() * d);
-    for (i, &v) in input.items.iter().enumerate() {
-        data.extend(item_features(ds, input.user, v, input.init_scores[i]));
-    }
-    Matrix::from_vec(input.len(), d, data)
-}
-
-/// Shuffled mini-batch iteration over training samples, shared by every
-/// neural re-ranker's `fit`.
-pub fn for_each_batch<'a>(
-    samples: &'a [TrainSample],
+/// Shuffled mini-batch iteration, shared by every neural re-ranker's
+/// `fit`. Generic so it serves both prepared lists and raw samples.
+pub fn for_each_batch<'a, T>(
+    items: &'a [T],
     epochs: usize,
     batch: usize,
     rng: &mut StdRng,
-    mut f: impl FnMut(&[&'a TrainSample]),
+    mut f: impl FnMut(&[&'a T]),
 ) {
-    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut order: Vec<usize> = (0..items.len()).collect();
     for _ in 0..epochs {
         order.shuffle(rng);
         for chunk in order.chunks(batch.max(1)) {
-            let batch_refs: Vec<&TrainSample> = chunk.iter().map(|&i| &samples[i]).collect();
+            let batch_refs: Vec<&T> = chunk.iter().map(|&i| &items[i]).collect();
             f(&batch_refs);
         }
     }
@@ -69,13 +45,17 @@ pub enum ListLoss {
 }
 
 /// Shared training loop of every neural re-ranker: shuffled mini-batches
-/// of lists, one summed-loss graph per batch, Adam, gradient clipping.
+/// of prepared lists, one summed-loss graph per batch, Adam, gradient
+/// clipping. A single tape is reused across batches (cleared, capacity
+/// kept) so the arena is allocated once per fit instead of once per
+/// step.
 ///
-/// `forward` builds the `(L, 1)` score/logit column for one list.
+/// `forward` builds the `(L, 1)` score/logit column for one prepared
+/// list. Returns the number of optimizer steps actually taken.
+#[allow(clippy::too_many_arguments)]
 pub fn fit_listwise(
     store: &mut rapid_autograd::ParamStore,
-    ds: &Dataset,
-    samples: &[TrainSample],
+    lists: &[PreparedList],
     epochs: usize,
     batch: usize,
     lr: f32,
@@ -84,19 +64,24 @@ pub fn fit_listwise(
     mut forward: impl FnMut(
         &mut rapid_autograd::Tape,
         &rapid_autograd::ParamStore,
-        &Dataset,
-        &RerankInput,
+        &PreparedList,
     ) -> rapid_autograd::Var,
-) {
+) -> FitReport {
     use rapid_autograd::optim::{Adam, Optimizer};
     let mut rng = StdRng::seed_from_u64(seed);
     let mut optimizer = Adam::new(lr);
-    for_each_batch(samples, epochs, batch, &mut rng, |chunk| {
-        let mut tape = rapid_autograd::Tape::new();
+    let mut tape = rapid_autograd::Tape::new();
+    let mut batches = 0usize;
+    for_each_batch(lists, epochs, batch, &mut rng, |chunk| {
+        tape.clear();
         let mut losses = Vec::with_capacity(chunk.len());
-        for s in chunk {
-            let logits = forward(&mut tape, store, ds, &s.input);
-            let labels: Vec<f32> = s.clicks.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect();
+        for prep in chunk {
+            let logits = forward(&mut tape, store, prep);
+            let labels: Vec<f32> = prep
+                .labels()
+                .iter()
+                .map(|&c| if c { 1.0 } else { 0.0 })
+                .collect();
             let loss = match loss_kind {
                 ListLoss::Bce => {
                     let targets = Matrix::from_vec(labels.len(), 1, labels);
@@ -111,7 +96,9 @@ pub fn fit_listwise(
         tape.backward(total, store);
         store.clip_grad_norm(5.0);
         optimizer.step_and_zero(store);
+        batches += 1;
     });
+    FitReport::new(batches)
 }
 
 /// Scores one list with a forward function and returns the permutation
@@ -144,17 +131,15 @@ pub fn tune_parameter(grid: &[f32], mut objective: impl FnMut(f32) -> f32) -> f3
 /// `click@k` under the standard offline re-ranking protocol (labels
 /// attach to items and move with them). Shared by the heuristic tuners.
 pub fn offline_clicks_at_k(perm: &[usize], clicks: &[bool], k: usize) -> f32 {
-    perm.iter()
-        .take(k)
-        .filter(|&&i| clicks[i])
-        .count() as f32
+    perm.iter().take(k).filter(|&&i| clicks[i]).count() as f32
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::{RerankInput, TrainSample};
     use rand::SeedableRng;
-    use rapid_data::{generate, DataConfig, Flavor};
+    use rapid_data::{generate, DataConfig, Dataset, Flavor};
 
     fn tiny() -> Dataset {
         let mut c = DataConfig::new(Flavor::Taobao);

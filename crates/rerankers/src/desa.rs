@@ -13,12 +13,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rapid_autograd::{ParamStore, Tape, Var};
 use rapid_data::Dataset;
-use rapid_diversity::marginal_diversity;
 use rapid_nn::{self_attention, Activation, Linear, Mlp, TransformerEncoderLayer};
-use rapid_tensor::Matrix;
 
-use crate::common::{fit_listwise, item_feature_dim, list_feature_matrix, perm_by_scores, ListLoss};
-use crate::types::{ReRanker, RerankInput, TrainSample};
+use crate::common::{fit_listwise, item_feature_dim, perm_by_scores, ListLoss};
+use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// DESA hyper-parameters.
 #[derive(Debug, Clone)]
@@ -91,32 +89,20 @@ impl Desa {
         }
     }
 
-    /// `(L, m)` matrix of marginal-diversity (novelty) vectors.
-    fn novelty_matrix(ds: &Dataset, input: &RerankInput) -> Matrix {
-        let covs = input.coverages(ds);
-        let m = ds.num_topics();
-        let mut data = Vec::with_capacity(input.len() * m);
-        for i in 0..input.len() {
-            data.extend(marginal_diversity(&covs, i));
-        }
-        Matrix::from_vec(input.len(), m, data)
-    }
-
     fn forward(
         layers: &DesaLayers,
         tape: &mut Tape,
         store: &ParamStore,
-        ds: &Dataset,
-        input: &RerankInput,
+        prep: &PreparedList,
     ) -> Var {
         // Relevance channel.
-        let feats = tape.constant(list_feature_matrix(ds, input));
+        let feats = tape.constant(prep.features.clone());
         let rel = layers.rel_proj.forward(tape, store, feats);
         let rel = layers.rel_encoder.forward(tape, store, rel);
 
         // Diversity channel: projected novelty vectors mixed by
         // (unparameterized) self-attention.
-        let novelty = tape.constant(Self::novelty_matrix(ds, input));
+        let novelty = tape.constant(prep.novelty.clone());
         let div = layers.div_proj.forward(tape, store, novelty);
         let div = self_attention(tape, div);
 
@@ -124,9 +110,9 @@ impl Desa {
         layers.head.forward(tape, store, both)
     }
 
-    fn scores(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
+    fn scores(&self, prep: &PreparedList) -> Vec<f32> {
         let mut tape = Tape::new();
-        let logits = Self::forward(&self.layers(), &mut tape, &self.store, ds, input);
+        let logits = Self::forward(&self.layers(), &mut tape, &self.store, prep);
         tape.value(logits).as_slice().to_vec()
     }
 
@@ -152,23 +138,22 @@ impl ReRanker for Desa {
         "DESA"
     }
 
-    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+    fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
         let layers = self.layers();
         fit_listwise(
             &mut self.store,
-            ds,
-            samples,
+            lists,
             self.config.epochs,
             self.config.batch,
             self.config.lr,
             self.config.seed,
             ListLoss::Pairwise,
-            |tape, store, ds, input| Self::forward(&layers, tape, store, ds, input),
-        );
+            |tape, store, prep| Self::forward(&layers, tape, store, prep),
+        )
     }
 
-    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
-        perm_by_scores(&self.scores(ds, input))
+    fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
+        perm_by_scores(&self.scores(prep))
     }
 }
 
@@ -182,10 +167,13 @@ mod tests {
     fn learns_to_put_attractive_items_first() {
         let ds = tiny_dataset(15);
         let samples = click_samples(&ds, 450, 11);
-        let mut model = Desa::new(&ds, DesaConfig {
-            epochs: 15,
-            ..DesaConfig::default()
-        });
+        let mut model = Desa::new(
+            &ds,
+            DesaConfig {
+                epochs: 15,
+                ..DesaConfig::default()
+            },
+        );
         model.fit(&ds, &samples);
 
         let before = top_click_rate(&ds, &samples[..150], |inp| (0..inp.len()).collect());
@@ -200,19 +188,29 @@ mod tests {
     fn novelty_matrix_has_topic_width() {
         let ds = tiny_dataset(8);
         let samples = click_samples(&ds, 2, 1);
-        let m = Desa::novelty_matrix(&ds, &samples[0].input);
-        assert_eq!(m.shape(), (samples[0].input.len(), ds.num_topics()));
-        assert!(m.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let prep = PreparedList::from_sample(&ds, &samples[0]);
+        assert_eq!(
+            prep.novelty.shape(),
+            (samples[0].input.len(), ds.num_topics())
+        );
+        assert!(prep
+            .novelty
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
     fn rerank_is_a_permutation() {
         let ds = tiny_dataset(9);
         let samples = click_samples(&ds, 6, 2);
-        let mut model = Desa::new(&ds, DesaConfig {
-            epochs: 1,
-            ..DesaConfig::default()
-        });
+        let mut model = Desa::new(
+            &ds,
+            DesaConfig {
+                epochs: 1,
+                ..DesaConfig::default()
+            },
+        );
         model.fit(&ds, &samples);
         let perm = model.rerank(&ds, &samples[0].input);
         assert!(is_permutation(&perm, samples[0].input.len()));

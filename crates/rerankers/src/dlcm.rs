@@ -10,8 +10,8 @@ use rapid_autograd::{ParamStore, Tape, Var};
 use rapid_data::Dataset;
 use rapid_nn::{Activation, Gru, Mlp};
 
-use crate::common::{fit_listwise, item_feature_dim, list_feature_matrix, perm_by_scores, ListLoss};
-use crate::types::{ReRanker, RerankInput, TrainSample};
+use crate::common::{fit_listwise, item_feature_dim, perm_by_scores, ListLoss};
+use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// DLCM hyper-parameters.
 #[derive(Debug, Clone)]
@@ -75,11 +75,10 @@ impl Dlcm {
         head: &Mlp,
         tape: &mut Tape,
         store: &ParamStore,
-        ds: &Dataset,
-        input: &RerankInput,
+        prep: &PreparedList,
     ) -> Var {
-        let feats = tape.constant(list_feature_matrix(ds, input));
-        let l = input.len();
+        let feats = tape.constant(prep.features.clone());
+        let l = prep.len();
         let steps: Vec<Var> = (0..l).map(|i| tape.slice_rows(feats, i, i + 1)).collect();
         let states = gru.forward(tape, store, &steps);
         let last = *states.last().expect("non-empty list");
@@ -91,9 +90,9 @@ impl Dlcm {
         head.forward(tape, store, stacked) // (L, 1)
     }
 
-    fn scores(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
+    fn scores(&self, prep: &PreparedList) -> Vec<f32> {
         let mut tape = Tape::new();
-        let logits = Self::forward(&self.gru, &self.head, &mut tape, &self.store, ds, input);
+        let logits = Self::forward(&self.gru, &self.head, &mut tape, &self.store, prep);
         tape.value(logits).as_slice().to_vec()
     }
 }
@@ -103,24 +102,23 @@ impl ReRanker for Dlcm {
         "DLCM"
     }
 
-    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+    fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
         let gru = self.gru.clone();
         let head = self.head.clone();
         fit_listwise(
             &mut self.store,
-            ds,
-            samples,
+            lists,
             self.config.epochs,
             self.config.batch,
             self.config.lr,
             self.config.seed,
             ListLoss::Bce,
-            |tape, store, ds, input| Self::forward(&gru, &head, tape, store, ds, input),
-        );
+            |tape, store, prep| Self::forward(&gru, &head, tape, store, prep),
+        )
     }
 
-    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
-        perm_by_scores(&self.scores(ds, input))
+    fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
+        perm_by_scores(&self.scores(prep))
     }
 }
 
@@ -134,10 +132,13 @@ mod tests {
     fn learns_to_put_attractive_items_first() {
         let ds = tiny_dataset(11);
         let samples = click_samples(&ds, 450, 7);
-        let mut model = Dlcm::new(&ds, DlcmConfig {
-            epochs: 15,
-            ..DlcmConfig::default()
-        });
+        let mut model = Dlcm::new(
+            &ds,
+            DlcmConfig {
+                epochs: 15,
+                ..DlcmConfig::default()
+            },
+        );
         model.fit(&ds, &samples);
 
         let before = top_click_rate(&ds, &samples[..150], |inp| (0..inp.len()).collect());
@@ -152,10 +153,13 @@ mod tests {
     fn rerank_is_a_permutation() {
         let ds = tiny_dataset(3);
         let samples = click_samples(&ds, 10, 1);
-        let mut model = Dlcm::new(&ds, DlcmConfig {
-            epochs: 1,
-            ..DlcmConfig::default()
-        });
+        let mut model = Dlcm::new(
+            &ds,
+            DlcmConfig {
+                epochs: 1,
+                ..DlcmConfig::default()
+            },
+        );
         model.fit(&ds, &samples);
         let perm = model.rerank(&ds, &samples[0].input);
         assert!(is_permutation(&perm, samples[0].input.len()));

@@ -9,10 +9,8 @@ use rapid_diversity::{greedy_map, DppKernel};
 use rapid_nn::{Activation, Mlp};
 use rapid_tensor::Matrix;
 
-use crate::common::{
-    for_each_batch, item_feature_dim, list_feature_matrix, offline_clicks_at_k, tune_parameter,
-};
-use crate::types::{ReRanker, RerankInput, TrainSample};
+use crate::common::{for_each_batch, item_feature_dim, offline_clicks_at_k, tune_parameter};
+use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// DPP greedy-MAP re-ranker: quality from the initial ranker's scores,
 /// similarity from coverage cosine. The quality sharpness `θ` is
@@ -35,11 +33,10 @@ impl DppReranker {
         self.theta
     }
 
-    fn select(&self, ds: &Dataset, input: &RerankInput, theta: f32) -> Vec<usize> {
-        let rel = input.relevance_probs();
-        let covs = input.coverages(ds);
-        let kernel = DppKernel::from_relevance_and_coverage(&rel, &covs, theta);
-        complete_selection(greedy_map(&kernel, input.len()), &rel)
+    fn select(&self, prep: &PreparedList, theta: f32) -> Vec<usize> {
+        let kernel =
+            DppKernel::from_relevance_and_coverage(&prep.relevance, &prep.coverage_slices(), theta);
+        complete_selection(greedy_map(&kernel, prep.len()), &prep.relevance)
     }
 }
 
@@ -48,24 +45,25 @@ impl ReRanker for DppReranker {
         "DPP"
     }
 
-    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
-        if samples.is_empty() {
-            return;
+    fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
+        if lists.is_empty() {
+            return FitReport::default();
         }
-        let k = samples[0].input.len().min(10);
+        let k = lists[0].len().min(10);
         self.theta = tune_parameter(&[8.0, 4.0, 2.0, 1.0, 0.5], |theta| {
-            samples
+            lists
                 .iter()
-                .map(|s| {
-                    let perm = self.select(ds, &s.input, theta);
-                    offline_clicks_at_k(&perm, &s.clicks, k)
+                .map(|prep| {
+                    let perm = self.select(prep, theta);
+                    offline_clicks_at_k(&perm, prep.labels(), k)
                 })
                 .sum()
         });
+        FitReport::default()
     }
 
-    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
-        self.select(ds, input, self.theta)
+    fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
+        self.select(prep, self.theta)
     }
 }
 
@@ -134,25 +132,13 @@ impl PdGan {
 
     /// Per-item learned quality (sigmoid of the MLP logit). The input
     /// deliberately omits the initial ranker's score (ranking-stage
-    /// model).
-    fn qualities(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
-        let feats = Self::features(ds, input);
+    /// model) — the score column of the prepared features is zeroed.
+    fn qualities(&self, prep: &PreparedList) -> Vec<f32> {
         let mut tape = Tape::new();
-        let x = tape.constant(feats);
+        let x = tape.constant(prep.features_without_score());
         let logits = self.mlp.forward(&mut tape, &self.store, x);
         let probs = tape.sigmoid(logits);
         tape.value(probs).as_slice().to_vec()
-    }
-
-    /// Item features without the initial score channel (zeroed so the
-    /// feature width matches `item_feature_dim`).
-    fn features(ds: &Dataset, input: &RerankInput) -> rapid_tensor::Matrix {
-        let mut feats = list_feature_matrix(ds, input);
-        let last = feats.cols() - 1;
-        for r in 0..feats.rows() {
-            feats.set(r, last, 0.0);
-        }
-        feats
     }
 
     /// The paper's crude personalization signal: the share of topics the
@@ -177,7 +163,7 @@ impl ReRanker for PdGan {
         "PD-GAN"
     }
 
-    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+    fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut optimizer = Adam::new(self.config.lr);
         let (epochs, batch) = (self.config.epochs, self.config.batch);
@@ -185,17 +171,19 @@ impl ReRanker for PdGan {
         // context by design).
         let mlp = self.mlp.clone();
         let store = &mut self.store;
-        for_each_batch(samples, epochs, batch, &mut rng, |chunk| {
-            let mut tape = Tape::new();
+        let mut tape = Tape::new();
+        let mut batches = 0usize;
+        for_each_batch(lists, epochs, batch, &mut rng, |chunk| {
+            tape.clear();
             let mut losses = Vec::with_capacity(chunk.len());
-            for s in chunk {
-                let feats = PdGan::features(ds, &s.input);
-                let x = tape.constant(feats);
+            for prep in chunk {
+                let x = tape.constant(prep.features_without_score());
                 let logits = mlp.forward(&mut tape, store, x);
+                let clicks = prep.labels();
                 let targets = Matrix::from_vec(
-                    s.clicks.len(),
+                    clicks.len(),
                     1,
-                    s.clicks.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect(),
+                    clicks.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect(),
                 );
                 losses.push(tape.bce_with_logits(logits, &targets));
             }
@@ -203,15 +191,17 @@ impl ReRanker for PdGan {
             let loss = tape.mean_all(total);
             tape.backward(loss, store);
             optimizer.step_and_zero(store);
+            batches += 1;
         });
+        FitReport::new(batches)
     }
 
-    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
-        let quality = self.qualities(ds, input);
-        let covs = input.coverages(ds);
-        let theta = self.user_theta(ds, input.user);
-        let kernel = DppKernel::from_relevance_and_coverage(&quality, &covs, theta);
-        complete_selection(greedy_map(&kernel, input.len()), &quality)
+    fn rerank_prepared(&self, ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
+        let quality = self.qualities(prep);
+        let theta = self.user_theta(ds, prep.user());
+        let kernel =
+            DppKernel::from_relevance_and_coverage(&quality, &prep.coverage_slices(), theta);
+        complete_selection(greedy_map(&kernel, prep.len()), &quality)
     }
 }
 
@@ -219,8 +209,9 @@ impl ReRanker for PdGan {
 /// leftovers by decreasing relevance so the output is a permutation.
 fn complete_selection(mut selected: Vec<usize>, relevance: &[f32]) -> Vec<usize> {
     if selected.len() < relevance.len() {
-        let mut rest: Vec<usize> =
-            (0..relevance.len()).filter(|i| !selected.contains(i)).collect();
+        let mut rest: Vec<usize> = (0..relevance.len())
+            .filter(|i| !selected.contains(i))
+            .collect();
         rest.sort_by(|&a, &b| relevance[b].total_cmp(&relevance[a]));
         selected.extend(rest);
     }
@@ -230,7 +221,7 @@ fn complete_selection(mut selected: Vec<usize>, relevance: &[f32]) -> Vec<usize>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::is_permutation;
+    use crate::types::{is_permutation, RerankInput, TrainSample};
     use rapid_data::{generate, DataConfig, Flavor};
 
     fn tiny() -> Dataset {
@@ -284,10 +275,13 @@ mod tests {
     #[test]
     fn pdgan_trains_and_outputs_permutations() {
         let ds = tiny();
-        let mut model = PdGan::new(&ds, PdGanConfig {
-            epochs: 1,
-            ..PdGanConfig::default()
-        });
+        let mut model = PdGan::new(
+            &ds,
+            PdGanConfig {
+                epochs: 1,
+                ..PdGanConfig::default()
+            },
+        );
         let samples: Vec<TrainSample> = (0..5)
             .map(|i| {
                 let inp = input(&ds, i % ds.test.len());

@@ -39,8 +39,6 @@
 
 mod common;
 mod desa;
-#[cfg(test)]
-pub(crate) mod test_support;
 mod dlcm;
 mod dpp;
 mod mmr;
@@ -48,9 +46,11 @@ mod prm;
 mod setrank;
 mod srga;
 mod ssd;
+#[cfg(test)]
+pub(crate) mod test_support;
 mod types;
 
-pub use common::{item_features, list_feature_matrix, tune_parameter};
+pub use common::{item_feature_dim, item_features, list_feature_matrix, tune_parameter};
 pub use desa::{Desa, DesaConfig};
 pub use dlcm::{Dlcm, DlcmConfig};
 pub use dpp::{DppReranker, PdGan, PdGanConfig};
@@ -59,4 +59,7 @@ pub use prm::{Prm, PrmConfig};
 pub use setrank::{SetRank, SetRankConfig};
 pub use srga::{Srga, SrgaConfig};
 pub use ssd::SsdReranker;
-pub use types::{is_permutation, Identity, ReRanker, RerankInput, TrainSample};
+pub use types::{
+    is_permutation, FeatureCache, FitReport, Identity, PreparedList, ReRanker, RerankInput,
+    TrainSample,
+};

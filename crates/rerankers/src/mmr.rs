@@ -4,7 +4,7 @@ use rapid_data::Dataset;
 use rapid_diversity::{history_entropy_propensity, mmr_select};
 
 use crate::common::{offline_clicks_at_k, tune_parameter};
-use crate::types::{ReRanker, RerankInput, TrainSample};
+use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// Maximal Marginal Relevance re-ranker. The relevance term is the
 /// initial ranker's squashed score; the similarity term is the coverage
@@ -32,28 +32,25 @@ impl ReRanker for MmrReranker {
         "MMR"
     }
 
-    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
-        if samples.is_empty() {
-            return;
+    fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
+        if lists.is_empty() {
+            return FitReport::default();
         }
-        let k = samples[0].input.len().min(10);
+        let k = lists[0].len().min(10);
         self.lambda = tune_parameter(&[1.0, 0.9, 0.8, 0.7, 0.5, 0.3], |lambda| {
-            samples
+            lists
                 .iter()
-                .map(|s| {
-                    let rel = s.input.relevance_probs();
-                    let covs = s.input.coverages(ds);
-                    let perm = mmr_select(&rel, &covs, lambda);
-                    offline_clicks_at_k(&perm, &s.clicks, k)
+                .map(|prep| {
+                    let perm = mmr_select(&prep.relevance, &prep.coverage_slices(), lambda);
+                    offline_clicks_at_k(&perm, prep.labels(), k)
                 })
                 .sum()
         });
+        FitReport::default()
     }
 
-    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
-        let rel = input.relevance_probs();
-        let covs = input.coverages(ds);
-        mmr_select(&rel, &covs, self.lambda)
+    fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
+        mmr_select(&prep.relevance, &prep.coverage_slices(), self.lambda)
     }
 }
 
@@ -91,34 +88,37 @@ impl ReRanker for AdpMmr {
         "adpMMR"
     }
 
-    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
-        if samples.is_empty() {
-            return;
+    fn fit_prepared(&mut self, ds: &Dataset, lists: &[PreparedList]) -> FitReport {
+        if lists.is_empty() {
+            return FitReport::default();
         }
-        let k = samples[0].input.len().min(10);
+        let k = lists[0].len().min(10);
         self.strength = tune_parameter(&[0.1, 0.2, 0.4, 0.6, 0.8], |strength| {
             let probe = AdpMmr { strength };
-            samples
+            lists
                 .iter()
-                .map(|s| {
-                    let perm = probe.rerank(ds, &s.input);
-                    offline_clicks_at_k(&perm, &s.clicks, k)
+                .map(|prep| {
+                    let perm = probe.rerank_prepared(ds, prep);
+                    offline_clicks_at_k(&perm, prep.labels(), k)
                 })
                 .sum()
         });
+        FitReport::default()
     }
 
-    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
-        let rel = input.relevance_probs();
-        let covs = input.coverages(ds);
-        mmr_select(&rel, &covs, self.user_lambda(ds, input.user))
+    fn rerank_prepared(&self, ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
+        mmr_select(
+            &prep.relevance,
+            &prep.coverage_slices(),
+            self.user_lambda(ds, prep.user()),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::is_permutation;
+    use crate::types::{is_permutation, RerankInput, TrainSample};
     use rapid_data::{generate, DataConfig, Flavor};
 
     fn tiny() -> Dataset {

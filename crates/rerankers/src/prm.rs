@@ -9,8 +9,8 @@ use rapid_data::Dataset;
 use rapid_nn::{Activation, Linear, Mlp, TransformerEncoderLayer};
 use rapid_tensor::Matrix;
 
-use crate::common::{fit_listwise, item_feature_dim, list_feature_matrix, perm_by_scores, ListLoss};
-use crate::types::{ReRanker, RerankInput, TrainSample};
+use crate::common::{fit_listwise, item_feature_dim, perm_by_scores, ListLoss};
+use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// PRM hyper-parameters.
 #[derive(Debug, Clone)]
@@ -98,7 +98,6 @@ impl Prm {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn forward(
         input_proj: &Linear,
         pos_embed: ParamId,
@@ -106,11 +105,10 @@ impl Prm {
         head: &Mlp,
         tape: &mut Tape,
         store: &ParamStore,
-        ds: &Dataset,
-        input: &RerankInput,
+        prep: &PreparedList,
     ) -> Var {
-        let l = input.len();
-        let feats = tape.constant(list_feature_matrix(ds, input));
+        let l = prep.len();
+        let feats = tape.constant(prep.features.clone());
         let mut h = input_proj.forward(tape, store, feats);
         let pos_all = tape.param(store, pos_embed);
         let pos = tape.slice_rows(pos_all, 0, l);
@@ -121,7 +119,7 @@ impl Prm {
         head.forward(tape, store, h)
     }
 
-    fn scores(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
+    fn scores(&self, prep: &PreparedList) -> Vec<f32> {
         let mut tape = Tape::new();
         let logits = Self::forward(
             &self.input_proj,
@@ -130,8 +128,7 @@ impl Prm {
             &self.head,
             &mut tape,
             &self.store,
-            ds,
-            input,
+            prep,
         );
         tape.value(logits).as_slice().to_vec()
     }
@@ -142,28 +139,27 @@ impl ReRanker for Prm {
         "PRM"
     }
 
-    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+    fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
         let input_proj = self.input_proj.clone();
         let pos_embed = self.pos_embed;
         let encoders = self.encoders.clone();
         let head = self.head.clone();
         fit_listwise(
             &mut self.store,
-            ds,
-            samples,
+            lists,
             self.config.epochs,
             self.config.batch,
             self.config.lr,
             self.config.seed,
             ListLoss::Bce,
-            |tape, store, ds, input| {
-                Self::forward(&input_proj, pos_embed, &encoders, &head, tape, store, ds, input)
+            |tape, store, prep| {
+                Self::forward(&input_proj, pos_embed, &encoders, &head, tape, store, prep)
             },
-        );
+        )
     }
 
-    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
-        perm_by_scores(&self.scores(ds, input))
+    fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
+        perm_by_scores(&self.scores(prep))
     }
 }
 
@@ -177,10 +173,13 @@ mod tests {
     fn learns_to_put_attractive_items_first() {
         let ds = tiny_dataset(12);
         let samples = click_samples(&ds, 450, 8);
-        let mut model = Prm::new(&ds, PrmConfig {
-            epochs: 15,
-            ..PrmConfig::default()
-        });
+        let mut model = Prm::new(
+            &ds,
+            PrmConfig {
+                epochs: 15,
+                ..PrmConfig::default()
+            },
+        );
         model.fit(&ds, &samples);
 
         let before = top_click_rate(&ds, &samples[..150], |inp| (0..inp.len()).collect());
@@ -195,10 +194,13 @@ mod tests {
     fn rerank_is_a_permutation() {
         let ds = tiny_dataset(4);
         let samples = click_samples(&ds, 8, 2);
-        let mut model = Prm::new(&ds, PrmConfig {
-            epochs: 1,
-            ..PrmConfig::default()
-        });
+        let mut model = Prm::new(
+            &ds,
+            PrmConfig {
+                epochs: 1,
+                ..PrmConfig::default()
+            },
+        );
         model.fit(&ds, &samples);
         let perm = model.rerank(&ds, &samples[0].input);
         assert!(is_permutation(&perm, samples[0].input.len()));

@@ -9,8 +9,8 @@ use rapid_autograd::{ParamStore, Tape, Var};
 use rapid_data::Dataset;
 use rapid_nn::{Activation, InducedSetAttention, Linear, Mlp};
 
-use crate::common::{fit_listwise, item_feature_dim, list_feature_matrix, perm_by_scores, ListLoss};
-use crate::types::{ReRanker, RerankInput, TrainSample};
+use crate::common::{fit_listwise, item_feature_dim, perm_by_scores, ListLoss};
+use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// SetRank hyper-parameters.
 #[derive(Debug, Clone)]
@@ -98,10 +98,9 @@ impl SetRank {
         head: &Mlp,
         tape: &mut Tape,
         store: &ParamStore,
-        ds: &Dataset,
-        input: &RerankInput,
+        prep: &PreparedList,
     ) -> Var {
-        let feats = tape.constant(list_feature_matrix(ds, input));
+        let feats = tape.constant(prep.features.clone());
         let mut h = input_proj.forward(tape, store, feats);
         for block in blocks {
             h = block.forward(tape, store, h);
@@ -109,7 +108,7 @@ impl SetRank {
         head.forward(tape, store, h)
     }
 
-    fn scores(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
+    fn scores(&self, prep: &PreparedList) -> Vec<f32> {
         let mut tape = Tape::new();
         let logits = Self::forward(
             &self.input_proj,
@@ -117,8 +116,7 @@ impl SetRank {
             &self.head,
             &mut tape,
             &self.store,
-            ds,
-            input,
+            prep,
         );
         tape.value(logits).as_slice().to_vec()
     }
@@ -129,27 +127,24 @@ impl ReRanker for SetRank {
         "SetRank"
     }
 
-    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+    fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
         let input_proj = self.input_proj.clone();
         let blocks = self.blocks.clone();
         let head = self.head.clone();
         fit_listwise(
             &mut self.store,
-            ds,
-            samples,
+            lists,
             self.config.epochs,
             self.config.batch,
             self.config.lr,
             self.config.seed,
             ListLoss::Bce,
-            |tape, store, ds, input| {
-                Self::forward(&input_proj, &blocks, &head, tape, store, ds, input)
-            },
-        );
+            |tape, store, prep| Self::forward(&input_proj, &blocks, &head, tape, store, prep),
+        )
     }
 
-    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
-        perm_by_scores(&self.scores(ds, input))
+    fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
+        perm_by_scores(&self.scores(prep))
     }
 }
 
@@ -163,10 +158,13 @@ mod tests {
     fn learns_to_put_attractive_items_first() {
         let ds = tiny_dataset(13);
         let samples = click_samples(&ds, 450, 9);
-        let mut model = SetRank::new(&ds, SetRankConfig {
-            epochs: 15,
-            ..SetRankConfig::default()
-        });
+        let mut model = SetRank::new(
+            &ds,
+            SetRankConfig {
+                epochs: 15,
+                ..SetRankConfig::default()
+            },
+        );
         model.fit(&ds, &samples);
 
         let before = top_click_rate(&ds, &samples[..150], |inp| (0..inp.len()).collect());
@@ -185,15 +183,15 @@ mod tests {
         let samples = click_samples(&ds, 4, 3);
         let model = SetRank::new(&ds, SetRankConfig::default());
         let input = &samples[0].input;
-        let base = model.scores(&ds, input);
+        let base = model.scores(&PreparedList::from_input(&ds, input.clone()));
 
         let perm: Vec<usize> = (0..input.len()).rev().collect();
-        let shuffled = RerankInput {
+        let shuffled = crate::types::RerankInput {
             user: input.user,
             items: perm.iter().map(|&i| input.items[i]).collect(),
             init_scores: perm.iter().map(|&i| input.init_scores[i]).collect(),
         };
-        let shuffled_scores = model.scores(&ds, &shuffled);
+        let shuffled_scores = model.scores(&PreparedList::from_input(&ds, shuffled));
         for (out_pos, &src) in perm.iter().enumerate() {
             assert!(
                 (shuffled_scores[out_pos] - base[src]).abs() < 1e-4,
@@ -208,10 +206,13 @@ mod tests {
     fn rerank_is_a_permutation() {
         let ds = tiny_dataset(6);
         let samples = click_samples(&ds, 6, 2);
-        let mut model = SetRank::new(&ds, SetRankConfig {
-            epochs: 1,
-            ..SetRankConfig::default()
-        });
+        let mut model = SetRank::new(
+            &ds,
+            SetRankConfig {
+                epochs: 1,
+                ..SetRankConfig::default()
+            },
+        );
         model.fit(&ds, &samples);
         let perm = model.rerank(&ds, &samples[0].input);
         assert!(is_permutation(&perm, samples[0].input.len()));

@@ -10,8 +10,8 @@ use rapid_data::Dataset;
 use rapid_nn::{Activation, Linear, Mlp};
 use rapid_tensor::Matrix;
 
-use crate::common::{fit_listwise, item_feature_dim, list_feature_matrix, perm_by_scores, ListLoss};
-use crate::types::{ReRanker, RerankInput, TrainSample};
+use crate::common::{fit_listwise, item_feature_dim, perm_by_scores, ListLoss};
+use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// SRGA hyper-parameters.
 #[derive(Debug, Clone)]
@@ -93,17 +93,15 @@ impl Srga {
         m
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn forward(
         layers: &SrgaLayers,
         radius: usize,
         tape: &mut Tape,
         store: &ParamStore,
-        ds: &Dataset,
-        input: &RerankInput,
+        prep: &PreparedList,
     ) -> Var {
-        let l = input.len();
-        let feats = tape.constant(list_feature_matrix(ds, input));
+        let l = prep.len();
+        let feats = tape.constant(prep.features.clone());
         let x = layers.proj.forward(tape, store, feats);
         let q = layers.wq.forward(tape, store, x);
         let k = layers.wk.forward(tape, store, x);
@@ -121,8 +119,7 @@ impl Srga {
         let causal_out = tape.matmul(causal_attn, v);
 
         // Local scope: neighbouring items within the radius.
-        let local_mask =
-            tape.constant(Self::mask(l, |i, j| i.abs_diff(j) <= radius));
+        let local_mask = tape.constant(Self::mask(l, |i, j| i.abs_diff(j) <= radius));
         let local_scores = tape.add(scaled, local_mask);
         let local_attn = tape.softmax_rows(local_scores);
         let local_out = tape.matmul(local_attn, v);
@@ -140,15 +137,14 @@ impl Srga {
         layers.head.forward(tape, store, mixed)
     }
 
-    fn scores(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
+    fn scores(&self, prep: &PreparedList) -> Vec<f32> {
         let mut tape = Tape::new();
         let logits = Self::forward(
             &self.layers(),
             self.config.local_radius,
             &mut tape,
             &self.store,
-            ds,
-            input,
+            prep,
         );
         tape.value(logits).as_slice().to_vec()
     }
@@ -180,24 +176,23 @@ impl ReRanker for Srga {
         "SRGA"
     }
 
-    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+    fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
         let layers = self.layers();
         let radius = self.config.local_radius;
         fit_listwise(
             &mut self.store,
-            ds,
-            samples,
+            lists,
             self.config.epochs,
             self.config.batch,
             self.config.lr,
             self.config.seed,
             ListLoss::Bce,
-            |tape, store, ds, input| Self::forward(&layers, radius, tape, store, ds, input),
-        );
+            |tape, store, prep| Self::forward(&layers, radius, tape, store, prep),
+        )
     }
 
-    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
-        perm_by_scores(&self.scores(ds, input))
+    fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
+        perm_by_scores(&self.scores(prep))
     }
 }
 
@@ -211,10 +206,13 @@ mod tests {
     fn learns_to_put_attractive_items_first() {
         let ds = tiny_dataset(14);
         let samples = click_samples(&ds, 450, 10);
-        let mut model = Srga::new(&ds, SrgaConfig {
-            epochs: 15,
-            ..SrgaConfig::default()
-        });
+        let mut model = Srga::new(
+            &ds,
+            SrgaConfig {
+                epochs: 15,
+                ..SrgaConfig::default()
+            },
+        );
         model.fit(&ds, &samples);
 
         let before = top_click_rate(&ds, &samples[..150], |inp| (0..inp.len()).collect());
@@ -246,10 +244,13 @@ mod tests {
     fn rerank_is_a_permutation() {
         let ds = tiny_dataset(7);
         let samples = click_samples(&ds, 6, 2);
-        let mut model = Srga::new(&ds, SrgaConfig {
-            epochs: 1,
-            ..SrgaConfig::default()
-        });
+        let mut model = Srga::new(
+            &ds,
+            SrgaConfig {
+                epochs: 1,
+                ..SrgaConfig::default()
+            },
+        );
         model.fit(&ds, &samples);
         let perm = model.rerank(&ds, &samples[0].input);
         assert!(is_permutation(&perm, samples[0].input.len()));

@@ -4,7 +4,7 @@ use rapid_data::Dataset;
 use rapid_diversity::ssd_select;
 
 use crate::common::{offline_clicks_at_k, tune_parameter};
-use crate::types::{ReRanker, RerankInput, TrainSample};
+use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// SSD (Huang et al., KDD 2021): greedy selection by relevance plus the
 /// orthogonal volume a candidate adds to a sliding window of previous
@@ -36,36 +36,38 @@ impl ReRanker for SsdReranker {
         "SSD"
     }
 
-    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
-        if samples.is_empty() {
-            return;
+    fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
+        if lists.is_empty() {
+            return FitReport::default();
         }
-        let k = samples[0].input.len().min(10);
+        let k = lists[0].len().min(10);
         let window = self.window;
         self.gamma = tune_parameter(&[0.05, 0.1, 0.3, 0.6, 1.0], |gamma| {
-            samples
+            lists
                 .iter()
-                .map(|s| {
-                    let rel = s.input.relevance_probs();
-                    let covs = s.input.coverages(ds);
-                    let perm = ssd_select(&rel, &covs, gamma, window);
-                    offline_clicks_at_k(&perm, &s.clicks, k)
+                .map(|prep| {
+                    let perm = ssd_select(&prep.relevance, &prep.coverage_slices(), gamma, window);
+                    offline_clicks_at_k(&perm, prep.labels(), k)
                 })
                 .sum()
         });
+        FitReport::default()
     }
 
-    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
-        let rel = input.relevance_probs();
-        let covs = input.coverages(ds);
-        ssd_select(&rel, &covs, self.gamma, self.window)
+    fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
+        ssd_select(
+            &prep.relevance,
+            &prep.coverage_slices(),
+            self.gamma,
+            self.window,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::is_permutation;
+    use crate::types::{is_permutation, RerankInput, TrainSample};
     use rapid_data::{generate, DataConfig, Flavor};
 
     #[test]

@@ -1,69 +1,68 @@
 //! The [`ReRanker`] trait and its input types.
+//!
+//! The input types ([`RerankInput`], [`TrainSample`]) and the prepared
+//! execution types ([`PreparedList`], [`FeatureCache`]) live in
+//! `rapid-exec`; they are re-exported here so model code and downstream
+//! crates keep a single import path.
 
-use rapid_data::{Dataset, ItemId, UserId};
+use rapid_data::{Dataset, ItemId};
+pub use rapid_exec::{FeatureCache, PreparedList, RerankInput, TrainSample};
 
-/// One re-ranking instance: a user plus the **ordered** initial list `R`
-/// with the initial ranker's scores.
-#[derive(Debug, Clone)]
-pub struct RerankInput {
-    /// The requesting user.
-    pub user: UserId,
-    /// The initial list `R`, best-first.
-    pub items: Vec<ItemId>,
-    /// Initial-ranker scores aligned with `items`.
-    pub init_scores: Vec<f32>,
+/// What a training run actually did, so timing harnesses can report
+/// honest per-batch numbers instead of estimating them from the
+/// experiment config.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FitReport {
+    /// Optimizer steps taken (0 for heuristics that only grid-tune).
+    pub batches: usize,
 }
 
-impl RerankInput {
-    /// List length `L`.
-    pub fn len(&self) -> usize {
-        self.items.len()
+impl FitReport {
+    /// A report for `batches` optimizer steps.
+    pub fn new(batches: usize) -> Self {
+        Self { batches }
     }
-
-    /// `true` for an empty list.
-    pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
-    }
-
-    /// Initial scores squashed to `(0, 1)` — a relevance proxy for the
-    /// heuristic diversifiers, which expect probabilities.
-    pub fn relevance_probs(&self) -> Vec<f32> {
-        self.init_scores
-            .iter()
-            .map(|&s| 1.0 / (1.0 + (-s).exp()))
-            .collect()
-    }
-
-    /// Coverage vectors of the listed items, in list order.
-    pub fn coverages<'a>(&self, ds: &'a Dataset) -> Vec<&'a [f32]> {
-        self.items
-            .iter()
-            .map(|&v| ds.items[v].coverage.as_slice())
-            .collect()
-    }
-}
-
-/// A labeled training instance: the initial list plus the DCM click
-/// feedback observed on it.
-#[derive(Debug, Clone)]
-pub struct TrainSample {
-    /// The list shown.
-    pub input: RerankInput,
-    /// Click indicator per position of `input.items`.
-    pub clicks: Vec<bool>,
 }
 
 /// A re-ranking model: trains on click-labeled initial lists, then maps
 /// an initial list to a permutation.
-pub trait ReRanker {
+///
+/// The primary entry points work on [`PreparedList`]s — feature matrices
+/// and coverage rows materialised once — so training epochs and batch
+/// inference never re-gather inputs from the [`Dataset`]. The legacy
+/// `(ds, input)` methods are thin shims that prepare on the fly.
+///
+/// `Send + Sync` is required so batches of lists (and whole models) can
+/// be fanned across scoped threads.
+pub trait ReRanker: Send + Sync {
     /// Display name used in result tables.
     fn name(&self) -> &'static str;
 
-    /// Trains (or tunes) on labeled lists. Heuristic models may no-op.
-    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]);
+    /// Trains (or tunes) on prepared, click-labeled lists. Heuristic
+    /// models may no-op. Returns what the run actually did.
+    fn fit_prepared(&mut self, ds: &Dataset, lists: &[PreparedList]) -> FitReport;
 
-    /// Returns a permutation: `result[rank] = index into input.items`.
-    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize>;
+    /// Returns a permutation of one prepared list:
+    /// `result[rank] = index into the list`.
+    fn rerank_prepared(&self, ds: &Dataset, prep: &PreparedList) -> Vec<usize>;
+
+    /// Legacy shim: prepares the samples, then trains on them.
+    fn fit(&mut self, ds: &Dataset, samples: &[TrainSample]) {
+        let lists = FeatureCache::from_samples(ds, samples);
+        self.fit_prepared(ds, &lists);
+    }
+
+    /// Legacy shim: prepares one list, then re-ranks it.
+    fn rerank(&self, ds: &Dataset, input: &RerankInput) -> Vec<usize> {
+        self.rerank_prepared(ds, &PreparedList::from_input(ds, input.clone()))
+    }
+
+    /// Re-ranks a batch of prepared lists on scoped threads. The output
+    /// order matches the input order, and each list's permutation is
+    /// identical to a sequential [`ReRanker::rerank_prepared`] call.
+    fn rerank_batch(&self, ds: &Dataset, lists: &[PreparedList]) -> Vec<Vec<usize>> {
+        rapid_exec::par_map(lists, |p| self.rerank_prepared(ds, p))
+    }
 
     /// Convenience: the re-ranked item ids, best-first.
     fn rerank_items(&self, ds: &Dataset, input: &RerankInput) -> Vec<ItemId> {
@@ -83,10 +82,12 @@ impl ReRanker for Identity {
         "Init"
     }
 
-    fn fit(&mut self, _ds: &Dataset, _samples: &[TrainSample]) {}
+    fn fit_prepared(&mut self, _ds: &Dataset, _lists: &[PreparedList]) -> FitReport {
+        FitReport::default()
+    }
 
-    fn rerank(&self, _ds: &Dataset, input: &RerankInput) -> Vec<usize> {
-        (0..input.len()).collect()
+    fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
+        (0..prep.len()).collect()
     }
 }
 
@@ -129,6 +130,37 @@ mod tests {
         let perm = Identity.rerank(&ds, &input);
         assert_eq!(perm, (0..l).collect::<Vec<_>>());
         assert_eq!(Identity.rerank_items(&ds, &input), input.items);
+    }
+
+    #[test]
+    fn rerank_batch_matches_sequential_calls() {
+        let mut c = DataConfig::new(Flavor::Taobao);
+        c.num_users = 10;
+        c.num_items = 50;
+        c.ranker_train_interactions = 100;
+        c.rerank_train_requests = 2;
+        c.test_requests = 4;
+        let ds = generate(&c);
+        let lists: Vec<PreparedList> = ds
+            .test
+            .iter()
+            .map(|req| {
+                PreparedList::from_input(
+                    &ds,
+                    RerankInput {
+                        user: req.user,
+                        items: req.candidates.clone(),
+                        init_scores: vec![0.0; req.candidates.len()],
+                    },
+                )
+            })
+            .collect();
+        let batch = Identity.rerank_batch(&ds, &lists);
+        let sequential: Vec<Vec<usize>> = lists
+            .iter()
+            .map(|p| Identity.rerank_prepared(&ds, p))
+            .collect();
+        assert_eq!(batch, sequential);
     }
 
     #[test]

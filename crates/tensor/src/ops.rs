@@ -98,13 +98,13 @@ impl Matrix {
         for i in 0..n {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
-            for j in 0..m {
+            for (j, out_cell) in out_row.iter_mut().enumerate() {
                 let b_row = other.row(j);
                 let mut acc = 0.0;
                 for (a, b) in a_row.iter().zip(b_row) {
                     acc += a * b;
                 }
-                out_row[j] = acc;
+                *out_cell = acc;
             }
         }
         out

@@ -47,9 +47,7 @@ fn main() {
     }
 
     println!("\ntopic coverage of the top-5 (div@5), averaged per user group:\n");
-    for (label, (init, rapid_d, n)) in
-        ["focused users", "diverse users"].iter().zip(stats)
-    {
+    for (label, (init, rapid_d, n)) in ["focused users", "diverse users"].iter().zip(stats) {
         let n = n.max(1) as f32;
         println!(
             "  {label:<14} initial {:.2} → RAPID {:.2}  (Δ = {:+.2})",

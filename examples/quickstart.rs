@@ -36,10 +36,13 @@ fn main() {
 
     // 3. Train RAPID end-to-end (probabilistic head, Eq. 8-10).
     println!("training RAPID-pro ...");
-    let mut rapid = Rapid::new(ds, RapidConfig {
-        epochs: 10,
-        ..RapidConfig::probabilistic()
-    });
+    let mut rapid = Rapid::new(
+        ds,
+        RapidConfig {
+            epochs: 10,
+            ..RapidConfig::probabilistic()
+        },
+    );
     rapid.fit(ds, pipeline.train_samples());
     println!("trained {} parameters", rapid.num_weights());
 

@@ -18,6 +18,9 @@
 //! * [`diversity`] — submodular topic coverage, marginal diversity, MMR,
 //!   DPP, SSD.
 //! * [`gbdt`] — gradient-boosted regression trees (LambdaMART substrate).
+//! * [`exec`] — execution layer: prepared feature pipeline
+//!   ([`exec::PreparedList`], [`exec::FeatureCache`]) and scoped-thread
+//!   parallel maps.
 //! * [`rankers`] — initial rankers: DIN, SVMRank, LambdaMART.
 //! * [`rerankers`] — all ten baseline re-rankers from the paper.
 //! * [`core`] — the RAPID model itself with both output heads and
@@ -33,6 +36,7 @@ pub use rapid_core as core;
 pub use rapid_data as data;
 pub use rapid_diversity as diversity;
 pub use rapid_eval as eval;
+pub use rapid_exec as exec;
 pub use rapid_gbdt as gbdt;
 pub use rapid_metrics as metrics;
 pub use rapid_nn as nn;

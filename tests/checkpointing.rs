@@ -28,7 +28,11 @@ fn trained_rapid_round_trips_through_a_checkpoint() {
 
     let mut trained = Rapid::new(ds, config.clone());
     trained.fit(ds, p.train_samples());
-    let expected: Vec<Vec<usize>> = p.test_inputs().iter().map(|i| trained.rerank(ds, i)).collect();
+    let expected: Vec<Vec<usize>> = p
+        .test_inputs()
+        .iter()
+        .map(|i| trained.rerank(ds, i))
+        .collect();
 
     let mut buf = Vec::new();
     trained.save(&mut buf).expect("save");
@@ -37,12 +41,26 @@ fn trained_rapid_round_trips_through_a_checkpoint() {
     // Fresh model with different init (same seed reconstructs the same
     // init, so use the checkpoint to prove the load matters: perturb
     // the fresh model's seed).
-    let mut fresh = Rapid::new(ds, RapidConfig { seed: 999, ..config });
-    let before: Vec<Vec<usize>> = p.test_inputs().iter().map(|i| fresh.rerank(ds, i)).collect();
+    let mut fresh = Rapid::new(
+        ds,
+        RapidConfig {
+            seed: 999,
+            ..config
+        },
+    );
+    let before: Vec<Vec<usize>> = p
+        .test_inputs()
+        .iter()
+        .map(|i| fresh.rerank(ds, i))
+        .collect();
     assert_ne!(before, expected, "untrained model should differ");
 
     fresh.load(&mut buf.as_slice()).expect("load");
-    let after: Vec<Vec<usize>> = p.test_inputs().iter().map(|i| fresh.rerank(ds, i)).collect();
+    let after: Vec<Vec<usize>> = p
+        .test_inputs()
+        .iter()
+        .map(|i| fresh.rerank(ds, i))
+        .collect();
     assert_eq!(after, expected, "restored model must rank identically");
 }
 
@@ -55,10 +73,13 @@ fn loading_into_a_mismatched_architecture_fails_cleanly() {
     trained.save(&mut buf).unwrap();
 
     // Different hidden size → different parameter shapes.
-    let mut other = Rapid::new(ds, RapidConfig {
-        hidden: 16,
-        ..RapidConfig::probabilistic()
-    });
+    let mut other = Rapid::new(
+        ds,
+        RapidConfig {
+            hidden: 16,
+            ..RapidConfig::probabilistic()
+        },
+    );
     let err = other.load(&mut buf.as_slice()).unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
 

@@ -22,10 +22,13 @@ fn whole_pipeline_is_deterministic_given_seed() {
     let run = || {
         let pipeline = Pipeline::prepare(config());
         let ds = pipeline.dataset();
-        let mut rapid = Rapid::new(ds, RapidConfig {
-            epochs: 3,
-            ..RapidConfig::probabilistic()
-        });
+        let mut rapid = Rapid::new(
+            ds,
+            RapidConfig {
+                epochs: 3,
+                ..RapidConfig::probabilistic()
+            },
+        );
         rapid.fit(ds, pipeline.train_samples());
         pipeline
             .test_inputs()
@@ -44,8 +47,16 @@ fn different_seeds_change_outcomes() {
     cfg_b.data.seed = 7;
     let pipeline_b = Pipeline::prepare(cfg_b);
 
-    let lists_a: Vec<_> = pipeline_a.test_inputs().iter().map(|i| i.items.clone()).collect();
-    let lists_b: Vec<_> = pipeline_b.test_inputs().iter().map(|i| i.items.clone()).collect();
+    let lists_a: Vec<_> = pipeline_a
+        .test_inputs()
+        .iter()
+        .map(|i| i.items.clone())
+        .collect();
+    let lists_b: Vec<_> = pipeline_b
+        .test_inputs()
+        .iter()
+        .map(|i| i.items.clone())
+        .collect();
     assert_ne!(lists_a, lists_b);
 }
 
@@ -53,7 +64,15 @@ fn different_seeds_change_outcomes() {
 fn training_sample_clicks_are_frozen() {
     let p1 = Pipeline::prepare(config());
     let p2 = Pipeline::prepare(config());
-    let c1: Vec<_> = p1.train_samples().iter().map(|s| s.clicks.clone()).collect();
-    let c2: Vec<_> = p2.train_samples().iter().map(|s| s.clicks.clone()).collect();
+    let c1: Vec<_> = p1
+        .train_samples()
+        .iter()
+        .map(|s| s.clicks.clone())
+        .collect();
+    let c2: Vec<_> = p2
+        .train_samples()
+        .iter()
+        .map(|s| s.clicks.clone())
+        .collect();
     assert_eq!(c1, c2);
 }

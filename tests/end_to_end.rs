@@ -4,7 +4,7 @@
 
 use rapid::data::Flavor;
 use rapid::eval::{zoo, ExperimentConfig, Pipeline, RankerKind, ResultTable, Scale};
-use rapid::rerankers::{DppReranker, Identity, MmrReranker, ReRanker};
+use rapid::rerankers::{DppReranker, Identity, MmrReranker};
 
 fn small(flavor: Flavor) -> ExperimentConfig {
     let mut c = ExperimentConfig::new(flavor, Scale::Quick);

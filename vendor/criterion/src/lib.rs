@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`: runs each benchmark for the
+//! configured sample count and prints the mean wall-clock time per
+//! iteration. No statistics, plots, or baselines — just enough for
+//! `cargo bench` to build and produce comparable numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API parity; the
+/// stand-in always re-runs setup per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints the mean per-iteration duration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+            timed_iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.timed_iters > 0 {
+            b.elapsed.as_nanos() as f64 / b.timed_iters as f64
+        } else {
+            0.0
+        };
+        println!("{id:<44} {}", format_ns(mean_ns));
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.timed_iters += self.iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.timed_iters += 1;
+        }
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// measured work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:>10.1} ns")
+    }
+}
+
+/// Declares a benchmark group; supports both the `name/config/targets`
+/// form and the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group_a(c: &mut Criterion) {
+        let mut count = 0u64;
+        c.bench_function("count", |b| b.iter(|| count += 1));
+        assert!(count >= 1);
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = group_a
+    }
+
+    #[test]
+    fn bencher_runs_and_times() {
+        benches();
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 2u32, |x| calls += x, BatchSize::SmallInput)
+        });
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn formatting_picks_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+        assert!(format_ns(2e9).contains(" s"));
+    }
+}

@@ -1,0 +1,56 @@
+//! Slice helpers: shuffling and random choice.
+
+use crate::Rng;
+
+/// Random operations on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, `None` when empty.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements in random order (all of them when the
+    /// slice is shorter).
+    fn choose_multiple<R: Rng>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: Rng>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(amount.min(self.len()));
+        idx.into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}

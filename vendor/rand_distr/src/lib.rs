@@ -1,0 +1,321 @@
+//! Offline stand-in for `rand_distr`: the continuous distributions this
+//! workspace samples (Normal, LogNormal, Gamma, Beta, Dirichlet), built
+//! on the vendored `rand`'s [`Distribution`] trait.
+//!
+//! Algorithms: Box–Muller for the normal, Marsaglia–Tsang for the gamma
+//! (with the `alpha < 1` boost), gamma ratios for beta and Dirichlet.
+//! All samplers draw only from the passed-in generator, so results are
+//! deterministic given a seed. Each distribution has a single generic
+//! impl over [`Float`] so constructors infer `f32`/`f64` from their
+//! arguments, as upstream does.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Error type for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The float types distributions are generic over.
+pub trait Float: Copy + PartialOrd {
+    /// Widens to `f64` (exact for both supported types).
+    fn to_f64(self) -> f64;
+    /// Narrows from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Whether the value is finite.
+    fn is_finite(self) -> bool;
+    /// Additive identity.
+    fn zero() -> Self;
+}
+
+impl Float for f32 {
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    fn zero() -> Self {
+        0.0
+    }
+}
+
+impl Float for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    fn zero() -> Self {
+        0.0
+    }
+}
+
+fn unit_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Uniform in (0, 1): rejects exact zero so logs are finite.
+    loop {
+        let u: f64 = rng.gen();
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = unit_open(rng);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Standard normal distribution (mean 0, stddev 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl<F: Float> Distribution<F> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(standard_normal(rng))
+    }
+}
+
+/// Normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates the distribution; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, ParamError> {
+        if !std_dev.is_finite() || std_dev < F::zero() {
+            return Err(ParamError("std_dev must be finite and >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * standard_normal(rng))
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal<F> {
+    mu: F,
+    sigma: F,
+}
+
+impl<F: Float> LogNormal<F> {
+    /// Creates the distribution; `sigma` must be finite and
+    /// non-negative.
+    pub fn new(mu: F, sigma: F) -> Result<Self, ParamError> {
+        if !sigma.is_finite() || sigma < F::zero() {
+            return Err(ParamError("sigma must be finite and >= 0"));
+        }
+        Ok(Self { mu, sigma })
+    }
+}
+
+impl<F: Float> Distribution<F> for LogNormal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64((self.mu.to_f64() + self.sigma.to_f64() * standard_normal(rng)).exp())
+    }
+}
+
+fn gamma_sample<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> f64 {
+    // Marsaglia–Tsang; for alpha < 1, sample Gamma(alpha+1) and scale
+    // by U^(1/alpha).
+    if alpha < 1.0 {
+        let boost = unit_open(rng).powf(1.0 / alpha);
+        return gamma_sample(rng, alpha + 1.0) * boost;
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = unit_open(rng);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Gamma distribution with shape `alpha` and scale `theta`.
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma<F> {
+    alpha: F,
+    theta: F,
+}
+
+impl<F: Float> Gamma<F> {
+    /// Creates the distribution; both parameters must be positive.
+    pub fn new(alpha: F, theta: F) -> Result<Self, ParamError> {
+        if !(alpha > F::zero()) || !(theta > F::zero()) {
+            return Err(ParamError("gamma parameters must be positive"));
+        }
+        Ok(Self { alpha, theta })
+    }
+}
+
+impl<F: Float> Distribution<F> for Gamma<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(gamma_sample(rng, self.alpha.to_f64()) * self.theta.to_f64())
+    }
+}
+
+/// Beta distribution on `(0, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Beta<F> {
+    a: F,
+    b: F,
+}
+
+impl<F: Float> Beta<F> {
+    /// Creates the distribution; both shapes must be positive.
+    pub fn new(a: F, b: F) -> Result<Self, ParamError> {
+        if !(a > F::zero()) || !(b > F::zero()) {
+            return Err(ParamError("beta parameters must be positive"));
+        }
+        Ok(Self { a, b })
+    }
+}
+
+impl<F: Float> Distribution<F> for Beta<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        let x = gamma_sample(rng, self.a.to_f64());
+        let y = gamma_sample(rng, self.b.to_f64());
+        F::from_f64(x / (x + y))
+    }
+}
+
+/// Dirichlet distribution; samples are probability vectors.
+#[derive(Debug, Clone)]
+pub struct Dirichlet<F> {
+    alpha: Vec<F>,
+}
+
+impl<F: Float> Dirichlet<F> {
+    /// Creates the distribution from a full concentration vector.
+    pub fn new(alpha: &[F]) -> Result<Self, ParamError> {
+        if alpha.len() < 2 || alpha.iter().any(|&a| !(a > F::zero())) {
+            return Err(ParamError("dirichlet needs >= 2 positive alphas"));
+        }
+        Ok(Self {
+            alpha: alpha.to_vec(),
+        })
+    }
+
+    /// Creates the symmetric Dirichlet `Dir(alpha, …, alpha)` of
+    /// dimension `size`.
+    pub fn new_with_size(alpha: F, size: usize) -> Result<Self, ParamError> {
+        Self::new(&vec![alpha; size])
+    }
+}
+
+impl<F: Float> Distribution<Vec<F>> for Dirichlet<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<F> {
+        let draws: Vec<f64> = self
+            .alpha
+            .iter()
+            .map(|&a| gamma_sample(rng, a.to_f64()).max(f64::MIN_POSITIVE))
+            .collect();
+        let total: f64 = draws.iter().sum();
+        draws.iter().map(|&g| F::from_f64(g / total)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(2.0f64, 3.0).unwrap();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape_times_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (alpha, theta) in [(0.5f64, 1.0), (2.0, 2.0), (7.5, 0.5)] {
+            let d = Gamma::new(alpha, theta).unwrap();
+            let n = 20_000;
+            let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            let expect = alpha * theta;
+            assert!(
+                (mean - expect).abs() < 0.1 * expect.max(1.0),
+                "alpha {alpha}: {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_tracks_concentration() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let focused = Dirichlet::new_with_size(0.15f32, 5).unwrap();
+        let diverse = Dirichlet::new_with_size(5.0f32, 5).unwrap();
+        let mut max_focused = 0.0;
+        let mut max_diverse = 0.0;
+        for _ in 0..200 {
+            let f: Vec<f32> = focused.sample(&mut rng);
+            let d: Vec<f32> = diverse.sample(&mut rng);
+            assert!((f.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            assert!((d.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            max_focused += f.iter().cloned().fold(0.0f32, f32::max) / 200.0;
+            max_diverse += d.iter().cloned().fold(0.0f32, f32::max) / 200.0;
+        }
+        // Low concentration puts most mass on one topic.
+        assert!(
+            max_focused > max_diverse + 0.2,
+            "{max_focused} vs {max_diverse}"
+        );
+    }
+
+    #[test]
+    fn beta_stays_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Beta::new(2.0f32, 5.0).unwrap();
+        for _ in 0..1000 {
+            let x: f32 = d.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Gamma::new(0.0f64, 1.0).is_err());
+        assert!(Beta::new(1.0f32, 0.0).is_err());
+        assert!(Dirichlet::new_with_size(0.0f32, 3).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for `serde_derive`: hand-rolled `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` without syn/quote (unavailable in the
+//! air-gapped build).
+//!
+//! Supports exactly the shapes this workspace derives on:
+//! - non-generic structs with named fields, and
+//! - non-generic enums whose variants are all units (serialized as the
+//!   variant-name string, serde's default external representation).
+//!
+//! Anything else panics at expansion time with a clear message, which is
+//! preferable to silently producing a wrong wire format.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize` via the vendored value model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` via the vendored value model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(v.field(\"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match v.as_str()? {{\n\
+                             {arms}\n\
+                             other => Err(::serde::DeError::custom(format!(\n\
+                                 \"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            // Outer attribute: `#` followed by a bracketed group.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut iter, "struct name");
+                let body = expect_brace(&mut iter, &name);
+                return Shape::Struct {
+                    name,
+                    fields: parse_named_fields(body),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut iter, "enum name");
+                let body = expect_brace(&mut iter, &name);
+                return Shape::Enum {
+                    name,
+                    variants: parse_unit_variants(body),
+                };
+            }
+            Some(other) => panic!("serde stand-in derive: unexpected token `{other}`"),
+            None => panic!("serde stand-in derive: no struct or enum found"),
+        }
+    }
+}
+
+fn expect_ident(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    what: &str,
+) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn expect_brace(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    name: &str,
+) -> TokenStream {
+    for tt in iter.by_ref() {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => return g.stream(),
+            TokenTree::Punct(p) if p.as_char() == '<' => panic!(
+                "serde stand-in derive: generic type `{name}` is not supported"
+            ),
+            _ => {}
+        }
+    }
+    panic!("serde stand-in derive: `{name}` has no braced body (tuple/unit shapes unsupported)")
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        match iter.next() {
+            None => return fields,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!(
+                        "serde stand-in derive: expected `:` after field `{id}`, found {other:?}"
+                    ),
+                }
+                // Skip the type: commas nested in angle brackets (e.g.
+                // `BTreeMap<String, f32>`) do not end the field.
+                let mut angle_depth = 0i32;
+                for tt in iter.by_ref() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            Some(other) => {
+                panic!("serde stand-in derive: unexpected token `{other}` in struct body")
+            }
+        }
+    }
+}
+
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        match iter.next() {
+            None => return variants,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                match iter.next() {
+                    None => return variants,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(TokenTree::Group(_)) => panic!(
+                        "serde stand-in derive: variant `{id}` carries data; \
+                         only unit variants are supported"
+                    ),
+                    other => panic!(
+                        "serde stand-in derive: unexpected token {other:?} after variant `{id}`"
+                    ),
+                }
+            }
+            Some(other) => {
+                panic!("serde stand-in derive: unexpected token `{other}` in enum body")
+            }
+        }
+    }
+}
