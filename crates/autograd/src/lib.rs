@@ -20,6 +20,19 @@
 //! * [`gradcheck`] — central-difference verification used by the tests
 //!   of this crate and of `rapid-nn`.
 //!
+//! # Tape reuse and epoch safety
+//!
+//! Training loops reuse one tape across batches via [`Tape::clear`],
+//! which keeps the arena's capacity but invalidates every [`Var`]
+//! handed out before the clear. Each `clear` bumps the tape's *epoch*
+//! ([`Tape::epoch`]); in debug builds every `Var` carries the epoch it
+//! was recorded in and `value`/`grad`/`backward` assert the epochs
+//! match, so a stale handle panics with both epochs instead of silently
+//! reading whatever node refilled its slot. Release builds carry no
+//! epoch field — a `Var` stays a plain index. Whole-graph structural
+//! validation (shape consistency, dangling parents) lives in the
+//! `rapid-check` crate's `TapeCheck` extension trait.
+//!
 //! # Example
 //!
 //! ```

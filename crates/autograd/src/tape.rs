@@ -6,8 +6,45 @@ use crate::params::{ParamId, ParamStore};
 use rapid_tensor::Matrix;
 
 /// Index of a node on a [`Tape`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Var(pub(crate) usize);
+///
+/// A `Var` is only meaningful for the tape *generation* it was recorded
+/// in: [`Tape::clear`] bumps the tape's epoch, and in debug builds every
+/// `Var` carries the epoch it was created in so that using a stale handle
+/// against a cleared-and-refilled tape fails immediately at the use site
+/// (instead of silently indexing into an unrelated node). Release builds
+/// carry no epoch field — a `Var` is a plain index and the checks
+/// compile away entirely.
+#[derive(Debug, Clone, Copy)]
+pub struct Var {
+    pub(crate) idx: usize,
+    /// Tape generation this handle was recorded in (debug builds only).
+    #[cfg(debug_assertions)]
+    pub(crate) epoch: u64,
+}
+
+impl Var {
+    /// Position of this node on its tape (used by diagnostics and the
+    /// `rapid-check` graph validator).
+    pub fn index(self) -> usize {
+        self.idx
+    }
+}
+
+// Identity is the node index alone: two handles to the same node compare
+// equal regardless of build mode, and `Hash` stays consistent with `Eq`.
+impl PartialEq for Var {
+    fn eq(&self, other: &Self) -> bool {
+        self.idx == other.idx
+    }
+}
+
+impl Eq for Var {}
+
+impl std::hash::Hash for Var {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.idx.hash(state);
+    }
+}
 
 struct Node {
     value: Matrix,
@@ -25,18 +62,22 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Generation counter, bumped by [`Tape::clear`]. Stamped into
+    /// `Var`s in debug builds to catch use-after-clear.
+    epoch: u64,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
     }
 
     /// Creates a tape with room for `cap` nodes.
     pub fn with_capacity(cap: usize) -> Self {
         Self {
             nodes: Vec::with_capacity(cap),
+            epoch: 0,
         }
     }
 
@@ -47,13 +88,48 @@ impl Tape {
 
     /// Drops all recorded nodes but keeps the arena's capacity, so one
     /// tape can be reused across mini-batches without reallocating.
+    ///
+    /// Clearing bumps the tape's epoch: `Var`s recorded before the clear
+    /// are stale, and (in debug builds) any use of one afterwards panics
+    /// immediately instead of reading whatever node later occupies the
+    /// same index.
     pub fn clear(&mut self) {
         self.nodes.clear();
+        self.epoch += 1;
+    }
+
+    /// The current generation; starts at 0 and increments on every
+    /// [`Tape::clear`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// `true` when the tape has no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Builds a handle to node `idx` stamped with the current epoch.
+    fn mk_var(&self, idx: usize) -> Var {
+        Var {
+            idx,
+            #[cfg(debug_assertions)]
+            epoch: self.epoch,
+        }
+    }
+
+    /// Debug-build guard: `v` must belong to the current tape epoch.
+    #[inline]
+    fn check_var(&self, v: Var) {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            v.epoch, self.epoch,
+            "stale Var (node {}): recorded in tape epoch {} but the tape \
+             is now at epoch {} — Tape::clear() was called; re-record the \
+             graph instead of reusing old handles",
+            v.idx, v.epoch, self.epoch
+        );
+        let _ = v;
     }
 
     fn push(&mut self, value: Matrix, op: Op, param: Option<ParamId>) -> Var {
@@ -68,21 +144,68 @@ impl Tape {
             op,
             param,
         });
-        Var(self.nodes.len() - 1)
+        self.mk_var(self.nodes.len() - 1)
     }
 
     /// Value of a node.
     pub fn value(&self, v: Var) -> &Matrix {
-        &self.nodes[v.0].value
+        self.check_var(v);
+        &self.nodes[v.idx].value
     }
 
     /// Gradient of a node after [`Tape::backward`]; zero matrix if the
     /// node did not participate in the loss.
     pub fn grad(&self, v: Var) -> Matrix {
-        let n = &self.nodes[v.0];
+        self.check_var(v);
+        let n = &self.nodes[v.idx];
         n.grad
             .clone()
             .unwrap_or_else(|| Matrix::zeros(n.value.rows(), n.value.cols()))
+    }
+
+    // -----------------------------------------------------------------
+    // Graph introspection (used by the `rapid-check` static analyzer)
+    // -----------------------------------------------------------------
+
+    /// Op tag of node `i`. Panics if `i` is out of range.
+    pub fn node_op(&self, i: usize) -> &Op {
+        &self.nodes[i].op
+    }
+
+    /// Recorded value shape of node `i`. Panics if `i` is out of range.
+    pub fn node_shape(&self, i: usize) -> (usize, usize) {
+        self.nodes[i].value.shape()
+    }
+
+    /// Parameter binding of node `i` (`Some` only for parameter leaves).
+    /// Panics if `i` is out of range.
+    pub fn node_param(&self, i: usize) -> Option<ParamId> {
+        self.nodes[i].param
+    }
+
+    /// Handle to node `idx` at the current epoch, without range checking.
+    /// Intended for graph tooling and tests that need to reference nodes
+    /// by index (e.g. to build deliberately malformed graphs).
+    #[doc(hidden)]
+    pub fn var_at(&self, idx: usize) -> Var {
+        self.mk_var(idx)
+    }
+
+    /// Appends a node with an arbitrary `(value, op)` pair, bypassing
+    /// the forward computation entirely. The value is **not** validated
+    /// against the op, so the resulting graph may be inconsistent —
+    /// that is the point: `rapid-check`'s tests use this to construct
+    /// malformed graphs that `Tape::check` must reject. Never use it in
+    /// model code.
+    #[doc(hidden)]
+    pub fn push_unchecked(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            param: None,
+        });
+        self.mk_var(self.nodes.len() - 1)
     }
 
     // -----------------------------------------------------------------
@@ -287,14 +410,15 @@ impl Tape {
     /// # Panics
     /// Panics if `root` is not a `1x1` scalar node.
     pub fn backward(&mut self, root: Var, store: &mut ParamStore) {
+        self.check_var(root);
         assert_eq!(
-            self.nodes[root.0].value.shape(),
+            self.nodes[root.idx].value.shape(),
             (1, 1),
             "backward: root must be a scalar (1x1) node"
         );
-        self.nodes[root.0].grad = Some(Matrix::ones(1, 1));
+        self.nodes[root.idx].grad = Some(Matrix::ones(1, 1));
 
-        for i in (0..=root.0).rev() {
+        for i in (0..=root.idx).rev() {
             let Some(up) = self.nodes[i].grad.clone() else {
                 continue;
             };
@@ -312,7 +436,7 @@ impl Tape {
     }
 
     fn accumulate(&mut self, v: Var, g: Matrix) {
-        let node = &mut self.nodes[v.0];
+        let node = &mut self.nodes[v.idx];
         debug_assert_eq!(
             node.value.shape(),
             g.shape(),
@@ -331,8 +455,8 @@ impl Tape {
         match op {
             Op::Leaf => {}
             Op::MatMul(a, b) => {
-                let ga = up.matmul_bt(&self.nodes[b.0].value);
-                let gb = self.nodes[a.0].value.matmul_at(up);
+                let ga = up.matmul_bt(&self.nodes[b.idx].value);
+                let gb = self.nodes[a.idx].value.matmul_at(up);
                 self.accumulate(*a, ga);
                 self.accumulate(*b, gb);
             }
@@ -348,8 +472,8 @@ impl Tape {
                 self.accumulate(*b, up.scale(-1.0));
             }
             Op::Mul(a, b) => {
-                let ga = up.mul(&self.nodes[b.0].value);
-                let gb = up.mul(&self.nodes[a.0].value);
+                let ga = up.mul(&self.nodes[b.idx].value);
+                let gb = up.mul(&self.nodes[a.idx].value);
                 self.accumulate(*a, ga);
                 self.accumulate(*b, gb);
             }
@@ -364,14 +488,14 @@ impl Tape {
                 self.accumulate(*bias, up.sum_cols());
             }
             Op::MulRowBroadcast(a, w) => {
-                let ga = up.mul_row_broadcast(&self.nodes[w.0].value);
-                let gw = up.mul(&self.nodes[a.0].value).sum_cols();
+                let ga = up.mul_row_broadcast(&self.nodes[w.idx].value);
+                let gw = up.mul(&self.nodes[a.idx].value).sum_cols();
                 self.accumulate(*a, ga);
                 self.accumulate(*w, gw);
             }
             Op::MulColBroadcast(a, w) => {
-                let x = &self.nodes[a.0].value;
-                let col = &self.nodes[w.0].value;
+                let x = &self.nodes[a.idx].value;
+                let col = &self.nodes[w.idx].value;
                 let mut ga = up.clone();
                 for r in 0..ga.rows() {
                     let s = col.get(r, 0);
@@ -394,12 +518,12 @@ impl Tape {
                 self.accumulate(*a, g);
             }
             Op::Relu(a) => {
-                let x = &self.nodes[a.0].value;
+                let x = &self.nodes[a.idx].value;
                 let g = up.zip_map(x, |u, xi| if xi > 0.0 { u } else { 0.0 });
                 self.accumulate(*a, g);
             }
             Op::Softplus(a) => {
-                let x = &self.nodes[a.0].value;
+                let x = &self.nodes[a.idx].value;
                 let g = up.mul(&x.sigmoid());
                 self.accumulate(*a, g);
             }
@@ -419,7 +543,7 @@ impl Tape {
             }
             Op::NormalizeRows(a, eps) => {
                 // With y = (x − μ)σ⁻¹:  dx = σ⁻¹ (dy − mean(dy) − y ⊙ mean(dy ⊙ y))
-                let x = &self.nodes[a.0].value;
+                let x = &self.nodes[a.idx].value;
                 let y = &self.nodes[i].value;
                 let mut g = Matrix::zeros(x.rows(), x.cols());
                 for r in 0..x.rows() {
@@ -441,7 +565,7 @@ impl Tape {
             Op::ConcatCols(parts) => {
                 let mut start = 0;
                 for p in parts {
-                    let w = self.nodes[p.0].value.cols();
+                    let w = self.nodes[p.idx].value.cols();
                     let g = up.slice_cols(start, start + w);
                     self.accumulate(*p, g);
                     start += w;
@@ -450,14 +574,14 @@ impl Tape {
             Op::ConcatRows(parts) => {
                 let mut start = 0;
                 for p in parts {
-                    let h = self.nodes[p.0].value.rows();
+                    let h = self.nodes[p.idx].value.rows();
                     let g = up.slice_rows(start, start + h);
                     self.accumulate(*p, g);
                     start += h;
                 }
             }
             Op::SliceCols(a, start, end) => {
-                let src = &self.nodes[a.0].value;
+                let src = &self.nodes[a.idx].value;
                 let mut g = Matrix::zeros(src.rows(), src.cols());
                 for r in 0..up.rows() {
                     for (c, v) in up.row(r).iter().enumerate() {
@@ -468,7 +592,7 @@ impl Tape {
                 self.accumulate(*a, g);
             }
             Op::SliceRows(a, start, _end) => {
-                let src = &self.nodes[a.0].value;
+                let src = &self.nodes[a.idx].value;
                 let mut g = Matrix::zeros(src.rows(), src.cols());
                 for r in 0..up.rows() {
                     for (c, v) in up.row(r).iter().enumerate() {
@@ -479,31 +603,31 @@ impl Tape {
             }
             Op::SumAll(a) => {
                 let s = up.get(0, 0);
-                let src = &self.nodes[a.0].value;
+                let src = &self.nodes[a.idx].value;
                 self.accumulate(*a, Matrix::full(src.rows(), src.cols(), s));
             }
             Op::MeanAll(a) => {
-                let src = &self.nodes[a.0].value;
+                let src = &self.nodes[a.idx].value;
                 let s = up.get(0, 0) / src.len().max(1) as f32;
                 self.accumulate(*a, Matrix::full(src.rows(), src.cols(), s));
             }
             Op::BceWithLogits { logits, targets } => {
                 // d/dz mean BCE = (σ(z) − y) / N
-                let z = &self.nodes[logits.0].value;
+                let z = &self.nodes[logits.idx].value;
                 let n = z.len().max(1) as f32;
                 let s = up.get(0, 0) / n;
                 let g = z.sigmoid().sub(targets).scale(s);
                 self.accumulate(*logits, g);
             }
             Op::Mse { pred, targets } => {
-                let p = &self.nodes[pred.0].value;
+                let p = &self.nodes[pred.idx].value;
                 let n = p.len().max(1) as f32;
                 let s = 2.0 * up.get(0, 0) / n;
                 let g = p.sub(targets).scale(s);
                 self.accumulate(*pred, g);
             }
             Op::PairwiseLogistic { scores, labels } => {
-                let s = &self.nodes[scores.0].value;
+                let s = &self.nodes[scores.idx].value;
                 let flat = s.as_slice();
                 let mut g = vec![0.0f32; flat.len()];
                 let mut pairs = 0usize;

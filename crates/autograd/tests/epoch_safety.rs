@@ -1,0 +1,77 @@
+//! Tape-epoch safety: a `Var` recorded before `Tape::clear()` trips a
+//! `debug_assert` when used afterwards, while release builds keep the
+//! old zero-cost semantics (a `Var` is a plain index).
+
+use rapid_autograd::Tape;
+use rapid_tensor::Matrix;
+
+/// Runs `f` with the panic hook silenced, so the expected
+/// `debug_assert` failure does not spam the test output.
+#[cfg(debug_assertions)]
+fn quiet_panic<R>(f: impl FnOnce() -> R + std::panic::UnwindSafe) -> std::thread::Result<R> {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(f);
+    std::panic::set_hook(hook);
+    result
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn stale_var_after_clear_trips_the_debug_assert() {
+    let mut tape = Tape::new();
+    let stale = tape.constant(Matrix::ones(2, 2));
+    tape.clear();
+    // Refill the tape so the stale index is in bounds again — the
+    // silent-corruption case the epoch stamp exists to catch.
+    let _fresh = tape.constant(Matrix::zeros(2, 2));
+
+    let result = quiet_panic(move || {
+        let _ = tape.value(stale);
+    });
+    let payload = result.expect_err("stale Var must panic in debug builds");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("stale Var"), "unexpected panic message: {msg}");
+    assert!(msg.contains("epoch"), "unexpected panic message: {msg}");
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn vars_recorded_after_clear_are_valid() {
+    let mut tape = Tape::new();
+    let _old = tape.constant(Matrix::ones(1, 1));
+    tape.clear();
+    assert_eq!(tape.epoch(), 1);
+    let fresh = tape.constant(Matrix::zeros(3, 4));
+    // Re-recorded handles carry the current epoch and work normally.
+    assert_eq!(tape.value(fresh).shape(), (3, 4));
+}
+
+#[test]
+fn epoch_counts_clears() {
+    let mut tape = Tape::new();
+    assert_eq!(tape.epoch(), 0);
+    tape.clear();
+    tape.clear();
+    assert_eq!(tape.epoch(), 2);
+}
+
+#[cfg(not(debug_assertions))]
+#[test]
+fn release_semantics_are_unchanged() {
+    // Release builds carry no epoch: a Var is exactly one machine word,
+    // and a stale handle simply reads whatever node occupies its index
+    // (the pre-existing behaviour this feature must not slow down).
+    assert_eq!(
+        std::mem::size_of::<rapid_autograd::Var>(),
+        std::mem::size_of::<usize>()
+    );
+    let mut tape = Tape::new();
+    let stale = tape.constant(Matrix::ones(2, 2));
+    tape.clear();
+    let _fresh = tape.constant(Matrix::zeros(2, 2));
+    assert_eq!(tape.value(stale).shape(), (2, 2));
+}

@@ -21,6 +21,11 @@
 //! | `fig5_case_study` | Fig. 5: per-user genre distributions |
 //! | `regret` | Theorem 5.1: empirical regret curve |
 //! | `tradeoff_sweep` | extension: λ-sweep tradeoff curve (§IV-D) |
+//!
+//! Every model these binaries train records a computation graph that is
+//! structurally validated in CI (`rapid-check`'s zoo smoke test and the
+//! debug-build first-batch `Tape::check` in the training loops), so a
+//! long benchmark run cannot die late on a malformed graph.
 
 use rapid_eval::Scale;
 

@@ -1,0 +1,45 @@
+//! Workspace lint driver: scans `crates/*/src` for project-rule
+//! violations and exits nonzero if any are found.
+//!
+//! Usage: `cargo run -p rapid-check --bin rapid-lint [workspace-root]`.
+//! With no argument the workspace root is the current directory when it
+//! contains a `crates/` directory, falling back to the root this binary
+//! was built from.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    let cwd = PathBuf::from(".");
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    // crates/check/../.. — the root of the workspace this was built from.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    match rapid_check::lint_workspace(&root) {
+        Err(e) => {
+            eprintln!("rapid-lint: cannot scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+        Ok(findings) if findings.is_empty() => {
+            println!("rapid-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("rapid-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Static analysis for the RAPID workspace.
+//!
+//! PR 1 moved every model onto a reused, cleared [`rapid_autograd::Tape`]
+//! and a scoped-thread execution layer, which created two classes of
+//! silent-failure risk: stale `Var`s indexing into a cleared-and-refilled
+//! tape, and shape bugs that only surface as panics deep inside
+//! `rapid_tensor::Matrix` at train time. This crate is the correctness
+//! tooling that catches both *before* execution:
+//!
+//! * [`shape::infer_shape`] — pure symbolic shape inference over every
+//!   [`rapid_autograd::op::Op`] variant (matmul inner-dim agreement,
+//!   broadcast orientation, concat alignment, slice bounds, loss target
+//!   shapes).
+//! * [`graph::check_tape`] / the [`TapeCheck`] extension trait — replays
+//!   a recorded graph symbolically and rejects dangling parents (the
+//!   stale-`Var` signature), contract-violating input shapes, and
+//!   op-implementation drift; benign conditions (rebound parameters,
+//!   gradient-receiving constants, unreachable nodes) are summarized in
+//!   a [`GraphReport`].
+//! * [`lint`] — a dependency-free workspace source linter (the
+//!   `rapid-lint` binary) enforcing project rules: no `unwrap`/`expect`
+//!   in hot-crate library code, environment reads confined to
+//!   `exec::parallel`, no float-literal `==`, and `//!` doc headers.
+//!
+//! The complementary *runtime* guard lives in `rapid-autograd` itself:
+//! every `Var` is epoch-stamped in debug builds, so use-after-`clear`
+//! panics at the use site instead of silently reading a recycled node.
+//!
+//! # Example
+//!
+//! ```
+//! use rapid_autograd::Tape;
+//! use rapid_check::TapeCheck;
+//! use rapid_tensor::Matrix;
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.constant(Matrix::ones(2, 3));
+//! let w = tape.constant(Matrix::ones(3, 1));
+//! let _y = tape.matmul(x, w);
+//! let report = tape.check().expect("well-formed graph");
+//! assert_eq!(report.nodes, 3);
+//! ```
+
+pub mod graph;
+pub mod lint;
+pub mod shape;
+
+pub use graph::{check_tape, GraphError, GraphReport, TapeCheck};
+pub use lint::{lint_source, lint_workspace, Finding};
+pub use shape::{infer_shape, op_name, Shape, ShapeError};

@@ -1,0 +1,433 @@
+//! Dependency-free source linter for the workspace's project rules.
+//!
+//! This is deliberately a *line scanner*, not a parser: the build is
+//! air-gapped (no `syn`), and the rules below are all expressible over
+//! sanitized source lines. Each finding carries `path`, `line`, a rule
+//! id, and a message, and the `rapid-lint` binary prints them as
+//! `file:line: rule: message` with a nonzero exit for CI.
+//!
+//! ## Rules
+//!
+//! * `no-unwrap` — no `.unwrap()` / `.expect(` in the non-test library
+//!   code of the hot crates (`tensor`, `autograd`, `nn`, `exec`): these
+//!   run inside training/serving loops where a panic must carry a real
+//!   diagnostic, not "called unwrap on None".
+//! * `no-env-var` — process environment reads are confined to
+//!   `exec::parallel` (the `RAPID_WORKERS` override); configuration
+//!   everywhere else flows through typed config structs.
+//! * `float-eq` — no `==`/`!=` against float literals: use an epsilon
+//!   or `total_cmp`. Exact-zero sparsity guards are allowed with an
+//!   inline directive (see below).
+//! * `doc-header` — every source file opens with a `//!` module doc
+//!   before its first code line (the workspace's `missing_docs`
+//!   equivalent for air-gapped builds).
+//!
+//! ## Scope heuristics
+//!
+//! Test code is exempt from the content rules: scanning stops applying
+//! them after a `#[cfg(test)]` line, which relies on the workspace
+//! convention that test modules sit at the bottom of each file.
+//! String-literal and comment contents are blanked before matching, so
+//! a rule name appearing in a message cannot trip the rule itself.
+//!
+//! ## Allowlisting
+//!
+//! A finding is suppressed by an inline directive naming the rule —
+//! `// lint:allow(float-eq) — why` — on the offending line or on the
+//! line directly above it (for lines too long to carry a trailing
+//! comment). The "why" is for reviewers; the scanner only matches the
+//! directive.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (e.g. `no-unwrap`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Crates whose library code is on the training/serving hot path and
+/// therefore subject to `no-unwrap`.
+const HOT_CRATES: [&str; 4] = [
+    "crates/tensor/src/",
+    "crates/autograd/src/",
+    "crates/nn/src/",
+    "crates/exec/src/",
+];
+
+/// The one file allowed to read the process environment.
+const ENV_ALLOWED_FILE: &str = "crates/exec/src/parallel.rs";
+
+/// Lints one source file given its workspace-relative `path` (used for
+/// rule scoping) and full `source` text.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let env_needle: &str = concat!("std::en", "v::var");
+
+    let unwrap_applies = HOT_CRATES.iter().any(|c| path.starts_with(c));
+    let env_applies = path != ENV_ALLOWED_FILE;
+
+    let mut in_tests = false;
+    let mut saw_doc_header = false;
+    let mut doc_header_reported = false;
+    let mut prev_raw = "";
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim_start();
+
+        if trimmed.starts_with("#[cfg(test)") {
+            in_tests = true;
+        }
+
+        // doc-header: a `//!` line must appear before the first code line.
+        if !saw_doc_header && !doc_header_reported {
+            if trimmed.starts_with("//!") {
+                saw_doc_header = true;
+            } else if !trimmed.is_empty()
+                && !trimmed.starts_with("//")
+                && !trimmed.starts_with("#![")
+            {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: line_no,
+                    rule: "doc-header",
+                    message: "file has code before any `//!` module doc header".to_string(),
+                });
+                doc_header_reported = true;
+            }
+        }
+
+        if in_tests {
+            continue;
+        }
+
+        let allow = |rule: &str| {
+            let directive = format!("lint:allow({rule})");
+            raw.contains(&directive) || prev_raw.contains(&directive)
+        };
+        let code = sanitize(raw);
+
+        if unwrap_applies && !allow("no-unwrap") {
+            for needle in [".unwrap()", ".expect("] {
+                if code.contains(needle) {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: "no-unwrap",
+                        message: format!(
+                            "`{needle}…` in hot-crate library code; return an error or \
+                             panic with a specific message (or `lint:allow(no-unwrap)`)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if env_applies && !allow("no-env-var") && code.contains(env_needle) {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: line_no,
+                rule: "no-env-var",
+                message: format!(
+                    "process environment read outside {ENV_ALLOWED_FILE}; plumb \
+                     configuration through typed config structs"
+                ),
+            });
+        }
+
+        if !allow("float-eq") {
+            for op in ["==", "!="] {
+                for pos in match_positions(&code, op) {
+                    let (before, after) = operands(&code, pos, op.len());
+                    if is_float_literal(&before) || is_float_literal(&after) {
+                        findings.push(Finding {
+                            path: path.to_string(),
+                            line: line_no,
+                            rule: "float-eq",
+                            message: format!(
+                                "`{op}` against a float literal; compare with an epsilon \
+                                 or `total_cmp` (or `lint:allow(float-eq)` for an exact \
+                                 sparsity guard)"
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+
+        prev_raw = raw;
+    }
+
+    findings
+}
+
+/// Recursively lints every `.rs` file under `root/crates/*/src`,
+/// returning findings sorted by path and line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        findings.extend(lint_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Blanks string-literal contents and strips the line-comment tail, so
+/// rule needles only match actual code. Char literals are skipped so a
+/// quote character inside one does not open a phantom string.
+fn sanitize(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    let mut in_string = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            if b == b'\\' {
+                out.extend_from_slice(b"  ");
+                i += 2;
+                continue;
+            }
+            if b == b'"' {
+                in_string = false;
+                out.push(b'"');
+            } else {
+                out.push(b' ');
+            }
+            i += 1;
+            continue;
+        }
+        match b {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            b'"' => {
+                in_string = true;
+                out.push(b'"');
+                i += 1;
+            }
+            b'\'' => {
+                // Char literal ('x', '\n', '\'') or a lifetime. A char
+                // literal closes within a few bytes; a lifetime has none.
+                if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                    let close = bytes[i + 2..].iter().position(|&c| c == b'\'');
+                    let skip = close.map_or(1, |c| c + 3);
+                    out.extend(std::iter::repeat_n(b' ', skip));
+                    i += skip;
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    out.extend_from_slice(b"   ");
+                    i += 3;
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Byte offsets of every standalone occurrence of `op` (not part of a
+/// longer comparison like `<=`/`>=`/`=>`).
+fn match_positions(code: &str, op: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut positions = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(op) {
+        let pos = from + rel;
+        let prev = pos.checked_sub(1).map(|p| bytes[p]);
+        let next = bytes.get(pos + op.len()).copied();
+        let glued = |c: Option<u8>| matches!(c, Some(b'=') | Some(b'<') | Some(b'>') | Some(b'!'));
+        if !glued(prev) && !glued(next) {
+            positions.push(pos);
+        }
+        from = pos + op.len();
+    }
+    positions
+}
+
+/// The textual operands immediately left and right of an operator at
+/// byte `pos` with length `len`.
+fn operands(code: &str, pos: usize, len: usize) -> (String, String) {
+    let float_char = |c: char| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '+' | '-');
+    let before: String = {
+        let left = code[..pos].trim_end();
+        let tail: Vec<char> = left.chars().rev().take_while(|&c| float_char(c)).collect();
+        tail.into_iter().rev().collect()
+    };
+    let after: String = code[pos + len..]
+        .trim_start()
+        .chars()
+        .take_while(|&c| float_char(c))
+        .collect();
+    (before, after)
+}
+
+/// `true` for tokens that read as Rust float literals (`0.0`, `1e-3`,
+/// `2.5f32`), and `false` for field accesses (`self.0`) and identifiers.
+fn is_float_literal(token: &str) -> bool {
+    let t = token
+        .strip_suffix("f32")
+        .or_else(|| token.strip_suffix("f64"))
+        .unwrap_or(token);
+    let t = t.strip_prefix('-').unwrap_or(t).replace('_', "");
+    if !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    (t.contains('.') || t.contains(['e', 'E'])) && t.parse::<f64>().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_hot_crates() {
+        let src = "//! Doc.\nfn f() { x.unwrap(); y.expect(\"boom\"); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/tensor/src/a.rs", src)),
+            vec!["no-unwrap", "no-unwrap"]
+        );
+        assert!(lint_source("crates/metrics/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "//! Doc.\nfn f() { x.unwrap_or(1).unwrap_or_else(g); }\n";
+        assert!(lint_source("crates/exec/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn env_var_confined_to_parallel() {
+        let needle = concat!("std::en", "v::var");
+        let src = format!("//! Doc.\nfn f() {{ let _ = {needle}(\"X\"); }}\n");
+        assert_eq!(
+            rules(&lint_source("crates/data/src/a.rs", &src)),
+            vec!["no-env-var"]
+        );
+        assert!(lint_source("crates/exec/src/parallel.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn float_eq_catches_literals_not_field_access() {
+        let src = "//! Doc.\nfn f(x: f32) -> bool { x == 0.0 }\n";
+        assert_eq!(
+            rules(&lint_source("crates/data/src/a.rs", src)),
+            vec!["float-eq"]
+        );
+        let src = "//! Doc.\nfn f(p: (u32, u32)) -> bool { p.0 == p.1 && 1e-3 != x }\n";
+        assert_eq!(
+            rules(&lint_source("crates/data/src/a.rs", src)),
+            vec!["float-eq"]
+        );
+        let src = "//! Doc.\nfn f(a: usize) -> bool { a == 10 && b <= 2 }\n";
+        assert!(lint_source("crates/data/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_comments_and_tests_are_exempt() {
+        let src = "//! Doc.\n// a.unwrap() in a comment\nlet s = \"x == 0.0\";\n\
+                   #[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }\n";
+        assert!(lint_source("crates/nn/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn inline_allow_suppresses() {
+        let src = "//! Doc.\nfn f(x: f32) -> bool { x == 0.0 } // lint:allow(float-eq) guard\n";
+        assert!(lint_source("crates/data/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn preceding_line_allow_suppresses() {
+        let src = "//! Doc.\n// lint:allow(float-eq) — exact-zero guard\nfn f(x: f32) -> bool { x == 0.0 }\n";
+        assert!(lint_source("crates/data/src/a.rs", src).is_empty());
+        // The directive reaches exactly one line, not the whole file.
+        let src = "//! Doc.\n// lint:allow(float-eq)\nfn f(x: f32) -> bool { x == 0.0 }\nfn g(x: f32) -> bool { x == 1.0 }\n";
+        let f = lint_source("crates/data/src/a.rs", src);
+        assert_eq!(rules(&f), vec!["float-eq"]);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn doc_header_required_before_code() {
+        let src = "use std::fmt;\n";
+        let f = lint_source("crates/data/src/a.rs", src);
+        assert_eq!(rules(&f), vec!["doc-header"]);
+        assert_eq!(f[0].line, 1);
+        let src = "// plain comment\n\n//! Now the doc.\nuse std::fmt;\n";
+        assert!(lint_source("crates/data/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let src = "//! Doc.\nfn f(c: char) -> bool { c == '\"' || 0.0 == x }\n";
+        assert_eq!(
+            rules(&lint_source("crates/data/src/a.rs", src)),
+            vec!["float-eq"]
+        );
+    }
+
+    #[test]
+    fn finding_formats_as_file_line_rule() {
+        let f = Finding {
+            path: "crates/x/src/a.rs".into(),
+            line: 7,
+            rule: "float-eq",
+            message: "msg".into(),
+        };
+        assert_eq!(f.to_string(), "crates/x/src/a.rs:7: float-eq: msg");
+    }
+}

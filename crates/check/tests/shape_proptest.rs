@@ -1,0 +1,262 @@
+//! Property tests: symbolic shape inference agrees with the shapes the
+//! tape actually computes for random valid graphs, and rejects random
+//! malformed inputs with the right [`ShapeError`] variant.
+
+use proptest::run_cases;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rapid_autograd::op::Op;
+use rapid_autograd::{Tape, Var};
+use rapid_check::{infer_shape, ShapeError, TapeCheck};
+use rapid_tensor::Matrix;
+
+/// A placeholder `Var` for constructing `Op` values handed to
+/// `infer_shape` (which reads shapes from its `inputs` slice, not from
+/// any tape).
+fn v(idx: usize) -> Var {
+    Tape::new().var_at(idx)
+}
+
+fn dim(rng: &mut StdRng) -> usize {
+    rng.gen_range(1..5usize)
+}
+
+/// Grows `tape` by one random op over the existing `shapes`, returning
+/// the new node's shape. New operand leaves are created on demand so
+/// every op stays valid by construction.
+fn push_random_op(tape: &mut Tape, shapes: &mut Vec<(usize, usize)>, rng: &mut StdRng) {
+    let pick = rng.gen_range(0..shapes.len());
+    let a = tape.var_at(pick);
+    let (r, c) = shapes[pick];
+    let out = match rng.gen_range(0..14u32) {
+        0 => {
+            // matmul with a fresh right operand of compatible shape.
+            let k = dim(rng);
+            let b = tape.constant(Matrix::zeros(c, k));
+            shapes.push((c, k));
+            tape.matmul(a, b)
+        }
+        1 => tape.transpose(a),
+        2 => {
+            let b = tape.constant(Matrix::zeros(r, c));
+            shapes.push((r, c));
+            match rng.gen_range(0..3u32) {
+                0 => tape.add(a, b),
+                1 => tape.sub(a, b),
+                _ => tape.mul(a, b),
+            }
+        }
+        3 => tape.scale(a, 0.5),
+        4 => tape.add_scalar(a, 1.0),
+        5 => {
+            let bias = tape.constant(Matrix::zeros(1, c));
+            shapes.push((1, c));
+            if rng.gen() {
+                tape.add_row_broadcast(a, bias)
+            } else {
+                tape.mul_row_broadcast(a, bias)
+            }
+        }
+        6 => {
+            let w = tape.constant(Matrix::zeros(r, 1));
+            shapes.push((r, 1));
+            tape.mul_col_broadcast(a, w)
+        }
+        7 => match rng.gen_range(0..4u32) {
+            0 => tape.sigmoid(a),
+            1 => tape.tanh(a),
+            2 => tape.relu(a),
+            _ => tape.softplus(a),
+        },
+        8 => {
+            if rng.gen() {
+                tape.softmax_rows(a)
+            } else {
+                tape.normalize_rows(a, 1e-6)
+            }
+        }
+        9 => {
+            let b = tape.constant(Matrix::zeros(r, dim(rng)));
+            shapes.push(tape.value(b).shape());
+            tape.concat_cols(&[a, b])
+        }
+        10 => {
+            let b = tape.constant(Matrix::zeros(dim(rng), c));
+            shapes.push(tape.value(b).shape());
+            tape.concat_rows(&[a, b])
+        }
+        11 => {
+            let start = rng.gen_range(0..c);
+            let end = rng.gen_range(start + 1..=c);
+            tape.slice_cols(a, start, end)
+        }
+        12 => {
+            let start = rng.gen_range(0..r);
+            let end = rng.gen_range(start + 1..=r);
+            tape.slice_rows(a, start, end)
+        }
+        _ => {
+            if rng.gen() {
+                tape.sum_all(a)
+            } else {
+                tape.mean_all(a)
+            }
+        }
+    };
+    shapes.push(tape.value(out).shape());
+    assert_eq!(shapes.len(), tape.len());
+}
+
+#[test]
+fn inference_matches_actual_shapes_on_random_valid_graphs() {
+    run_cases("inference_matches_actual_shapes", |rng| {
+        let mut tape = Tape::new();
+        let mut shapes = Vec::new();
+        for _ in 0..rng.gen_range(1..3usize) {
+            let (r, c) = (dim(rng), dim(rng));
+            tape.constant(Matrix::zeros(r, c));
+            shapes.push((r, c));
+        }
+        for _ in 0..rng.gen_range(1..12usize) {
+            push_random_op(&mut tape, &mut shapes, rng);
+        }
+        // Optionally cap the graph with a loss, as training graphs do.
+        if rng.gen() {
+            let last = tape.var_at(tape.len() - 1);
+            let (r, c) = tape.value(last).shape();
+            match rng.gen_range(0..3u32) {
+                0 => tape.bce_with_logits(last, &Matrix::zeros(r, c)),
+                1 => tape.mse(last, &Matrix::zeros(r, c)),
+                _ => tape.pairwise_logistic(last, &vec![0.0; r * c]),
+            };
+        }
+
+        // Every non-leaf node's inferred shape must equal the shape the
+        // eager forward pass actually produced.
+        for i in 0..tape.len() {
+            let op = tape.node_op(i);
+            if matches!(op, Op::Leaf) {
+                assert_eq!(infer_shape(op, &[]), Err(ShapeError::Leaf));
+                continue;
+            }
+            let inputs: Vec<(usize, usize)> = op
+                .parents()
+                .iter()
+                .map(|p| tape.node_shape(p.index()))
+                .collect();
+            assert_eq!(
+                infer_shape(op, &inputs),
+                Ok(tape.node_shape(i)),
+                "node {i} ({op:?})"
+            );
+        }
+
+        // And the whole-graph validator agrees the tape is well-formed.
+        tape.check().expect("valid-by-construction graph");
+    });
+}
+
+#[test]
+fn matmul_rejects_random_inner_dim_mismatches() {
+    run_cases("matmul_rejects_inner_mismatch", |rng| {
+        let (m, k, n) = (dim(rng), dim(rng), dim(rng));
+        let k2 = k + rng.gen_range(1..4usize);
+        assert_eq!(
+            infer_shape(&Op::MatMul(v(0), v(1)), &[(m, k), (k2, n)]),
+            Err(ShapeError::MatMulInner {
+                left: (m, k),
+                right: (k2, n)
+            })
+        );
+    });
+}
+
+#[test]
+fn elementwise_rejects_random_shape_mismatches() {
+    run_cases("elementwise_rejects_mismatch", |rng| {
+        let a = (dim(rng), dim(rng));
+        let mut b = a;
+        if rng.gen() {
+            b.0 += rng.gen_range(1..3usize);
+        } else {
+            b.1 += rng.gen_range(1..3usize);
+        }
+        let op = match rng.gen_range(0..3u32) {
+            0 => Op::Add(v(0), v(1)),
+            1 => Op::Sub(v(0), v(1)),
+            _ => Op::Mul(v(0), v(1)),
+        };
+        let err = infer_shape(&op, &[a, b]).expect_err("mismatched operands");
+        assert!(
+            matches!(err, ShapeError::Mismatch { left, right, .. } if left == a && right == b),
+            "{err:?}"
+        );
+    });
+}
+
+#[test]
+fn concat_rejects_random_misalignment() {
+    run_cases("concat_rejects_misalignment", |rng| {
+        let (r, c) = (dim(rng), dim(rng));
+        let parts = vec![v(0), v(1)];
+        // Second part disagrees on the aligned axis.
+        let err = infer_shape(&Op::ConcatCols(parts.clone()), &[(r, c), (r + 1, c)])
+            .expect_err("row-misaligned concat_cols");
+        assert!(
+            matches!(
+                err,
+                ShapeError::ConcatAlign {
+                    index: 1,
+                    expected: _,
+                    got: _,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let err = infer_shape(&Op::ConcatRows(parts), &[(r, c), (r, c + 2)])
+            .expect_err("col-misaligned concat_rows");
+        assert!(
+            matches!(err, ShapeError::ConcatAlign { index: 1, .. }),
+            "{err:?}"
+        );
+    });
+}
+
+#[test]
+fn slices_reject_random_bad_bounds() {
+    run_cases("slices_reject_bad_bounds", |rng| {
+        let (r, c) = (dim(rng), dim(rng));
+        // End beyond the extent.
+        let err = infer_shape(&Op::SliceRows(v(0), 0, r + 1), &[(r, c)])
+            .expect_err("end past the row extent");
+        assert!(
+            matches!(err, ShapeError::SliceBounds { end, extent, .. } if end == r + 1 && extent == r),
+            "{err:?}"
+        );
+        // Empty or inverted range.
+        let start = rng.gen_range(0..c);
+        let err =
+            infer_shape(&Op::SliceCols(v(0), start, start), &[(r, c)]).expect_err("empty slice");
+        assert!(matches!(err, ShapeError::SliceBounds { .. }), "{err:?}");
+    });
+}
+
+#[test]
+fn broadcasts_reject_random_bad_operands() {
+    run_cases("broadcasts_reject_bad_operands", |rng| {
+        let (r, c) = (dim(rng), dim(rng));
+        let err = infer_shape(
+            &Op::AddRowBroadcast(v(0), v(1)),
+            &[(r, c), (1, c + rng.gen_range(1..3usize))],
+        )
+        .expect_err("row vector of the wrong width");
+        assert!(matches!(err, ShapeError::RowBroadcast { .. }), "{err:?}");
+        let err = infer_shape(
+            &Op::MulColBroadcast(v(0), v(1)),
+            &[(r, c), (r + rng.gen_range(1..3usize), 1)],
+        )
+        .expect_err("column vector of the wrong height");
+        assert!(matches!(err, ShapeError::ColBroadcast { .. }), "{err:?}");
+    });
+}

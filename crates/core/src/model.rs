@@ -170,18 +170,24 @@ impl Rapid {
         self.store.restore_from(&loaded)
     }
 
+    /// Records the inference-time score graph `(L, 1)` onto `tape`:
+    /// logits (det) or the UCB `φ̂ + Σ̂` (Eq. 10).
+    fn score_graph(&self, tape: &mut Tape, ds: &Dataset, prep: &PreparedList) -> Var {
+        let fused = self.head_input(tape, &self.store, ds, prep);
+        let mean = self.head_mean.forward(tape, &self.store, fused);
+        match &self.head_std {
+            None => mean,
+            Some(head_std) => {
+                let std = head_std.forward(tape, &self.store, fused);
+                tape.add(mean, std)
+            }
+        }
+    }
+
     /// Inference-time scores: logits (det) or the UCB `φ̂ + Σ̂` (Eq. 10).
     pub fn scores_prepared(&self, ds: &Dataset, prep: &PreparedList) -> Vec<f32> {
         let mut tape = Tape::new();
-        let fused = self.head_input(&mut tape, &self.store, ds, prep);
-        let mean = self.head_mean.forward(&mut tape, &self.store, fused);
-        let out = match &self.head_std {
-            None => mean,
-            Some(head_std) => {
-                let std = head_std.forward(&mut tape, &self.store, fused);
-                tape.add(mean, std)
-            }
-        };
+        let out = self.score_graph(&mut tape, ds, prep);
         tape.value(out).as_slice().to_vec()
     }
 
@@ -224,6 +230,17 @@ impl ReRanker for Rapid {
                 }
                 let stacked = tape.concat_cols(&losses);
                 let total = tape.mean_all(stacked);
+                if cfg!(debug_assertions) && batches == 0 {
+                    // First-batch graph validation, mirroring
+                    // `fit_listwise` (this loop differs only in the
+                    // reparameterization noise).
+                    if let Err(errors) = rapid_check::check_tape(&tape) {
+                        panic!(
+                            "Rapid::fit_prepared recorded an invalid graph: {}",
+                            errors[0]
+                        );
+                    }
+                }
                 tape.backward(total, &mut self.store);
                 self.store.clip_grad_norm(5.0);
                 optimizer.step_and_zero(&mut self.store);
@@ -238,6 +255,10 @@ impl ReRanker for Rapid {
         let mut order: Vec<usize> = (0..scores.len()).collect();
         order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         order
+    }
+
+    fn record_graph(&self, ds: &Dataset, prep: &PreparedList, tape: &mut Tape) -> Option<Var> {
+        Some(self.score_graph(tape, ds, prep))
     }
 }
 

@@ -125,6 +125,7 @@ fn generate_items(config: &DataConfig, topic_proj: &Matrix, rng: &mut StdRng) ->
                 let mut picked = 0;
                 while picked < count {
                     let g = rng.gen_range(0..m);
+                    // lint:allow(float-eq) — exact sparsity guard: slots are 0.0 until assigned
                     if cov[g] == 0.0 {
                         cov[g] = 1.0 / count as f32;
                         picked += 1;

@@ -42,6 +42,7 @@ impl DppKernel {
             .iter()
             .map(|c| {
                 let norm: f32 = c.iter().map(|x| x * x).sum::<f32>().sqrt();
+                // lint:allow(float-eq) — exact-zero guard before dividing by the norm
                 if norm == 0.0 {
                     c.to_vec()
                 } else {

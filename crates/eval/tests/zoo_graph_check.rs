@@ -1,0 +1,78 @@
+//! Graph-validation smoke test over the model zoo: every neural model
+//! in the paper's line-ups records a graph that `rapid-check` accepts,
+//! and the recorded score column has the expected `(L, 1)` shape.
+
+use rapid_autograd::Tape;
+use rapid_check::TapeCheck;
+use rapid_data::{generate, DataConfig, Flavor};
+use rapid_eval::zoo::{ablation_lineup, full_lineup};
+use rapid_rerankers::{PreparedList, RerankInput};
+
+fn tiny() -> rapid_data::Dataset {
+    let mut c = DataConfig::new(Flavor::Taobao);
+    c.num_users = 10;
+    c.num_items = 60;
+    c.ranker_train_interactions = 80;
+    c.rerank_train_requests = 3;
+    c.test_requests = 2;
+    generate(&c)
+}
+
+fn prepared(ds: &rapid_data::Dataset) -> PreparedList {
+    let req = &ds.test[0];
+    PreparedList::from_input(
+        ds,
+        RerankInput {
+            user: req.user,
+            items: req.candidates.clone(),
+            init_scores: (0..req.candidates.len()).map(|i| -(i as f32)).collect(),
+        },
+    )
+}
+
+#[test]
+fn every_zoo_model_records_a_valid_graph() {
+    let ds = tiny();
+    let prep = prepared(&ds);
+    let mut lineup = full_lineup(&ds, 16, 1, 0);
+    lineup.extend(ablation_lineup(&ds, 16, 1, 0));
+
+    let mut neural = 0usize;
+    for model in &lineup {
+        let mut tape = Tape::new();
+        let Some(out) = model.record_graph(&ds, &prep, &mut tape) else {
+            continue; // heuristic models never touch a tape
+        };
+        neural += 1;
+        let report = tape
+            .check()
+            .unwrap_or_else(|e| panic!("{}: invalid graph: {}", model.name(), e[0]));
+        assert!(report.nodes > 0, "{}: empty graph", model.name());
+        assert_eq!(
+            tape.value(out).shape(),
+            (prep.len(), 1),
+            "{}: score column shape",
+            model.name()
+        );
+    }
+    // Table order: DLCM, PRM, SetRank, SRGA, DESA, PD-GAN, RAPID-det,
+    // RAPID-pro, plus the five RAPID ablation variants.
+    assert_eq!(neural, 13, "expected every neural model to record a graph");
+}
+
+#[test]
+fn heuristic_models_record_nothing() {
+    let ds = tiny();
+    let prep = prepared(&ds);
+    for model in full_lineup(&ds, 16, 1, 0) {
+        if matches!(model.name(), "Init" | "MMR" | "DPP" | "SSD" | "adpMMR") {
+            let mut tape = Tape::new();
+            assert!(
+                model.record_graph(&ds, &prep, &mut tape).is_none(),
+                "{} should not record a graph",
+                model.name()
+            );
+            assert_eq!(tape.len(), 0, "{} touched the tape", model.name());
+        }
+    }
+}

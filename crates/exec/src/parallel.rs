@@ -8,15 +8,36 @@
 /// Number of workers the parallel maps use: the `RAPID_WORKERS`
 /// environment variable when set to a positive integer, otherwise
 /// [`std::thread::available_parallelism`].
+///
+/// An unparsable or zero `RAPID_WORKERS` falls back to the hardware
+/// default, with a single warning on stderr naming the rejected value
+/// (a silent fallback here once masked a fleet misconfiguration).
 pub fn worker_count() -> usize {
-    if let Ok(v) = std::env::var("RAPID_WORKERS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    match std::env::var("RAPID_WORKERS") {
+        Ok(raw) => parse_workers(&raw).unwrap_or_else(|| {
+            eprintln!(
+                "rapid-exec: ignoring invalid RAPID_WORKERS={raw:?} \
+                 (expected a positive integer); using available parallelism"
+            );
+            default_workers()
+        }),
+        Err(_) => default_workers(),
     }
+}
+
+/// The hardware-derived worker count used when no valid override is set.
+fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Parses a `RAPID_WORKERS` override: surrounding whitespace is
+/// tolerated, but the value must be a positive integer — `0` is
+/// rejected (it used to be silently promoted to 1, hiding typos like
+/// `RAPID_WORKERS=O8`).
+fn parse_workers(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 
 /// Maps `f` over `items` on up to [`worker_count`] scoped threads.
@@ -42,7 +63,13 @@ where
             .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
             .collect();
         for h in handles {
-            out.extend(h.join().expect("par_map worker panicked"));
+            // Re-raise a worker panic with its original payload so the
+            // real diagnostic (e.g. a shape mismatch) reaches the top,
+            // not a generic "worker panicked".
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     out
@@ -69,7 +96,10 @@ where
             .map(|c| s.spawn(move || c.iter_mut().map(f).collect::<Vec<R>>()))
             .collect();
         for h in handles {
-            out.extend(h.join().expect("par_map_mut worker panicked"));
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     out
@@ -107,5 +137,22 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn parse_workers_accepts_positive_integers() {
+        assert_eq!(parse_workers("4"), Some(4));
+        assert_eq!(parse_workers(" 8 "), Some(8));
+        assert_eq!(parse_workers("1"), Some(1));
+    }
+
+    #[test]
+    fn parse_workers_rejects_garbage_and_zero() {
+        assert_eq!(parse_workers(""), None);
+        assert_eq!(parse_workers("abc"), None);
+        assert_eq!(parse_workers("0"), None);
+        assert_eq!(parse_workers("-1"), None);
+        assert_eq!(parse_workers("1.5"), None);
+        assert_eq!(parse_workers("O8"), None);
     }
 }

@@ -115,6 +115,7 @@ impl PreparedList {
     pub fn labels(&self) -> &[bool] {
         self.clicks
             .as_deref()
+            // lint:allow(no-unwrap) — documented contract panic with a specific message
             .expect("PreparedList::labels on an unlabeled list")
     }
 

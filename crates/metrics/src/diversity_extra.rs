@@ -144,6 +144,7 @@ fn cosine(a: &[f32], b: &[f32]) -> f32 {
     let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
     let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
     let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    // lint:allow(float-eq) — exact-zero guard before dividing by the norms
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {

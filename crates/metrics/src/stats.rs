@@ -76,6 +76,7 @@ pub fn paired_t_test(a: &[f32], b: &[f32]) -> Option<TTestResult> {
     let diffs: Vec<f32> = a.iter().zip(b).map(|(x, y)| x - y).collect();
     let md = f64::from(mean(&diffs));
     let sd = f64::from(std_dev(&diffs));
+    // lint:allow(float-eq) — a degenerate (zero-variance) sample has no t statistic
     if sd == 0.0 {
         return None;
     }
@@ -99,6 +100,7 @@ pub fn welch_t_test(a: &[f32], b: &[f32]) -> Option<TTestResult> {
     let (na, nb) = (a.len() as f64, b.len() as f64);
     let va = sa * sa / na;
     let vb = sb * sb / nb;
+    // lint:allow(float-eq) — a degenerate (zero-variance) sample has no t statistic
     if va + vb == 0.0 {
         return None;
     }

@@ -12,6 +12,11 @@
 //!   PRM, SetRank (via induced attention), SRGA, DESA, and the
 //!   RAPID-trans ablation.
 //!
+//! Layer forwards record plain autograd graphs, so any composition can
+//! be validated structurally with `rapid-check`'s `TapeCheck::check`
+//! (the zoo smoke test does this for every model built from these
+//! layers).
+//!
 //! Layers follow a uniform convention: construction registers parameters
 //! in a caller-supplied [`ParamStore`] under a dotted name prefix;
 //! `forward` records ops on a [`Tape`]. Sequence layers operate on

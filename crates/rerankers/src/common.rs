@@ -93,6 +93,14 @@ pub fn fit_listwise(
         }
         let stacked = tape.concat_cols(&losses);
         let total = tape.mean_all(stacked);
+        if cfg!(debug_assertions) && batches == 0 {
+            // Validate the first recorded batch graph (shape
+            // consistency, no dangling parents) before any gradient
+            // flows; later batches replay the same graph structure.
+            if let Err(errors) = rapid_check::check_tape(&tape) {
+                panic!("fit_listwise recorded an invalid graph: {}", errors[0]);
+            }
+        }
         tape.backward(total, store);
         store.clip_grad_norm(5.0);
         optimizer.step_and_zero(store);

@@ -155,6 +155,10 @@ impl ReRanker for Desa {
     fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
         perm_by_scores(&self.scores(prep))
     }
+
+    fn record_graph(&self, _ds: &Dataset, prep: &PreparedList, tape: &mut Tape) -> Option<Var> {
+        Some(Self::forward(&self.layers(), tape, &self.store, prep))
+    }
 }
 
 #[cfg(test)]

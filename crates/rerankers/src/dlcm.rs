@@ -120,6 +120,16 @@ impl ReRanker for Dlcm {
     fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
         perm_by_scores(&self.scores(prep))
     }
+
+    fn record_graph(&self, _ds: &Dataset, prep: &PreparedList, tape: &mut Tape) -> Option<Var> {
+        Some(Self::forward(
+            &self.gru,
+            &self.head,
+            tape,
+            &self.store,
+            prep,
+        ))
+    }
 }
 
 #[cfg(test)]

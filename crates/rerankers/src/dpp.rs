@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rapid_autograd::optim::{Adam, Optimizer};
-use rapid_autograd::{ParamStore, Tape};
+use rapid_autograd::{ParamStore, Tape, Var};
 use rapid_data::Dataset;
 use rapid_diversity::{greedy_map, DppKernel};
 use rapid_nn::{Activation, Mlp};
@@ -130,14 +130,20 @@ impl PdGan {
         Self { config, store, mlp }
     }
 
-    /// Per-item learned quality (sigmoid of the MLP logit). The input
-    /// deliberately omits the initial ranker's score (ranking-stage
-    /// model) — the score column of the prepared features is zeroed.
+    /// Records the quality graph (sigmoid of the MLP logit) for one
+    /// list. The input deliberately omits the initial ranker's score
+    /// (ranking-stage model) — the score column of the prepared
+    /// features is zeroed.
+    fn quality_graph(&self, tape: &mut Tape, prep: &PreparedList) -> Var {
+        let x = tape.constant(prep.features_without_score());
+        let logits = self.mlp.forward(tape, &self.store, x);
+        tape.sigmoid(logits)
+    }
+
+    /// Per-item learned quality for one list.
     fn qualities(&self, prep: &PreparedList) -> Vec<f32> {
         let mut tape = Tape::new();
-        let x = tape.constant(prep.features_without_score());
-        let logits = self.mlp.forward(&mut tape, &self.store, x);
-        let probs = tape.sigmoid(logits);
+        let probs = self.quality_graph(&mut tape, prep);
         tape.value(probs).as_slice().to_vec()
     }
 
@@ -189,6 +195,14 @@ impl ReRanker for PdGan {
             }
             let total = tape.concat_cols(&losses);
             let loss = tape.mean_all(total);
+            if cfg!(debug_assertions) && batches == 0 {
+                if let Err(errors) = rapid_check::check_tape(&tape) {
+                    panic!(
+                        "PdGan::fit_prepared recorded an invalid graph: {}",
+                        errors[0]
+                    );
+                }
+            }
             tape.backward(loss, store);
             optimizer.step_and_zero(store);
             batches += 1;
@@ -202,6 +216,10 @@ impl ReRanker for PdGan {
         let kernel =
             DppKernel::from_relevance_and_coverage(&quality, &prep.coverage_slices(), theta);
         complete_selection(greedy_map(&kernel, prep.len()), &quality)
+    }
+
+    fn record_graph(&self, _ds: &Dataset, prep: &PreparedList, tape: &mut Tape) -> Option<Var> {
+        Some(self.quality_graph(tape, prep))
     }
 }
 

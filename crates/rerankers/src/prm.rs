@@ -161,6 +161,18 @@ impl ReRanker for Prm {
     fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
         perm_by_scores(&self.scores(prep))
     }
+
+    fn record_graph(&self, _ds: &Dataset, prep: &PreparedList, tape: &mut Tape) -> Option<Var> {
+        Some(Self::forward(
+            &self.input_proj,
+            self.pos_embed,
+            &self.encoders,
+            &self.head,
+            tape,
+            &self.store,
+            prep,
+        ))
+    }
 }
 
 #[cfg(test)]

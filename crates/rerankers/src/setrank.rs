@@ -146,6 +146,17 @@ impl ReRanker for SetRank {
     fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
         perm_by_scores(&self.scores(prep))
     }
+
+    fn record_graph(&self, _ds: &Dataset, prep: &PreparedList, tape: &mut Tape) -> Option<Var> {
+        Some(Self::forward(
+            &self.input_proj,
+            &self.blocks,
+            &self.head,
+            tape,
+            &self.store,
+            prep,
+        ))
+    }
 }
 
 #[cfg(test)]

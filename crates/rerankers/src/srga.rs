@@ -194,6 +194,16 @@ impl ReRanker for Srga {
     fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {
         perm_by_scores(&self.scores(prep))
     }
+
+    fn record_graph(&self, _ds: &Dataset, prep: &PreparedList, tape: &mut Tape) -> Option<Var> {
+        Some(Self::forward(
+            &self.layers(),
+            self.config.local_radius,
+            tape,
+            &self.store,
+            prep,
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 //! `rapid-exec`; they are re-exported here so model code and downstream
 //! crates keep a single import path.
 
+use rapid_autograd::{Tape, Var};
 use rapid_data::{Dataset, ItemId};
 pub use rapid_exec::{FeatureCache, PreparedList, RerankInput, TrainSample};
 
@@ -70,6 +71,17 @@ pub trait ReRanker: Send + Sync {
             .into_iter()
             .map(|i| input.items[i])
             .collect()
+    }
+
+    /// Records this model's scoring graph for one prepared list onto
+    /// `tape` and returns the score/logit column, so `rapid-check` can
+    /// validate the exact graph the model computes (shape consistency,
+    /// no dangling parents) without running an optimizer step.
+    ///
+    /// Heuristic models that never touch a tape return `None` (the
+    /// default); every neural model overrides this with its `forward`.
+    fn record_graph(&self, _ds: &Dataset, _prep: &PreparedList, _tape: &mut Tape) -> Option<Var> {
+        None
     }
 }
 

@@ -34,6 +34,7 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
             for (p, &a_ip) in a_row.iter().enumerate() {
+                // lint:allow(float-eq) — exact sparsity skip: zero rows contribute nothing
                 if a_ip == 0.0 {
                     continue;
                 }
@@ -67,6 +68,7 @@ impl Matrix {
             let a_row = self.row(p);
             let b_row = other.row(p);
             for (i, &a_pi) in a_row.iter().enumerate() {
+                // lint:allow(float-eq) — exact sparsity skip: zero rows contribute nothing
                 if a_pi == 0.0 {
                     continue;
                 }
