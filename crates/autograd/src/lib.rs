@@ -58,6 +58,8 @@ pub mod loss;
 pub mod op;
 pub mod optim;
 mod params;
+#[cfg(feature = "obs-profile")]
+mod profile;
 mod serialize;
 mod tape;
 

@@ -68,6 +68,39 @@ pub enum Op {
 }
 
 impl Op {
+    /// Short stable name of this op kind, used as the metric key by the
+    /// `obs-profile` tape profiler and by diagnostics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Op::Leaf => "leaf",
+            Op::MatMul(..) => "matmul",
+            Op::Transpose(..) => "transpose",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(..) => "add_scalar",
+            Op::AddRowBroadcast(..) => "add_row_broadcast",
+            Op::MulRowBroadcast(..) => "mul_row_broadcast",
+            Op::MulColBroadcast(..) => "mul_col_broadcast",
+            Op::Sigmoid(..) => "sigmoid",
+            Op::Tanh(..) => "tanh",
+            Op::Relu(..) => "relu",
+            Op::Softplus(..) => "softplus",
+            Op::SoftmaxRows(..) => "softmax_rows",
+            Op::NormalizeRows(..) => "normalize_rows",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::ConcatRows(..) => "concat_rows",
+            Op::SliceCols(..) => "slice_cols",
+            Op::SliceRows(..) => "slice_rows",
+            Op::SumAll(..) => "sum_all",
+            Op::MeanAll(..) => "mean_all",
+            Op::BceWithLogits { .. } => "bce_with_logits",
+            Op::Mse { .. } => "mse",
+            Op::PairwiseLogistic { .. } => "pairwise_logistic",
+        }
+    }
+
     /// Parents of this node, in order.
     pub fn parents(&self) -> Vec<Var> {
         match self {

@@ -1,0 +1,93 @@
+//! Op-level tape profiling, compiled only under the `obs-profile`
+//! feature.
+//!
+//! The profiler rides along on [`crate::Tape`] and attributes wall time
+//! to op kinds:
+//!
+//! * **forward** — the interval between consecutive `push` calls is
+//!   charged to the op being pushed. Each op's value is computed
+//!   immediately before its push, so the interval approximates that
+//!   op's forward cost (plus negligible bookkeeping). The first push
+//!   after a clear has no predecessor and is counted with zero time.
+//! * **backward** — each `propagate` call is timed exactly.
+//!
+//! Aggregates accumulate locally (no lock on the hot path) and flush to
+//! the global `rapid-obs` registry on [`crate::Tape::clear`] and on
+//! drop, as counters:
+//!
+//! ```text
+//! tape.fwd.<op>.n / tape.fwd.<op>.ns
+//! tape.bwd.<op>.n / tape.bwd.<op>.ns
+//! tape.nodes, tape.flushes
+//! ```
+//!
+//! When the feature is off this module does not exist and `Tape` has no
+//! profiler field — the cost is zero, not merely small.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct OpAgg {
+    count: u64,
+    ns: u64,
+}
+
+/// Per-tape accumulator; see the module docs for the attribution model.
+#[derive(Debug, Default)]
+pub(crate) struct TapeProfiler {
+    last_push: Option<Instant>,
+    forward: BTreeMap<&'static str, OpAgg>,
+    backward: BTreeMap<&'static str, OpAgg>,
+    nodes: u64,
+}
+
+impl TapeProfiler {
+    /// Called by `Tape::push` with the tag of the op being recorded.
+    pub fn on_push(&mut self, tag: &'static str) {
+        let now = Instant::now();
+        let agg = self.forward.entry(tag).or_default();
+        agg.count += 1;
+        if let Some(prev) = self.last_push {
+            agg.ns += saturating_ns(now - prev);
+        }
+        self.last_push = Some(now);
+        self.nodes += 1;
+    }
+
+    /// Called by `Tape::backward` with the exact duration of one
+    /// `propagate` call.
+    pub fn on_backward(&mut self, tag: &'static str, dur: Duration) {
+        let agg = self.backward.entry(tag).or_default();
+        agg.count += 1;
+        agg.ns += saturating_ns(dur);
+        // Backward runs between two forward passes; the gap to the next
+        // push must not be charged to its op.
+        self.last_push = None;
+    }
+
+    /// Publishes the local aggregates into the global registry and
+    /// resets. A no-op when nothing was recorded since the last flush.
+    pub fn flush(&mut self) {
+        if self.nodes == 0 && self.backward.is_empty() {
+            return;
+        }
+        let reg = rapid_obs::global();
+        for (tag, agg) in std::mem::take(&mut self.forward) {
+            reg.counter_add(&format!("tape.fwd.{tag}.n"), agg.count);
+            reg.counter_add(&format!("tape.fwd.{tag}.ns"), agg.ns);
+        }
+        for (tag, agg) in std::mem::take(&mut self.backward) {
+            reg.counter_add(&format!("tape.bwd.{tag}.n"), agg.count);
+            reg.counter_add(&format!("tape.bwd.{tag}.ns"), agg.ns);
+        }
+        reg.counter_add("tape.nodes", self.nodes);
+        reg.counter_add("tape.flushes", 1);
+        self.nodes = 0;
+        self.last_push = None;
+    }
+}
+
+fn saturating_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}

@@ -3,6 +3,8 @@
 
 use crate::op::Op;
 use crate::params::{ParamId, ParamStore};
+#[cfg(feature = "obs-profile")]
+use crate::profile::TapeProfiler;
 use rapid_tensor::Matrix;
 
 /// Index of a node on a [`Tape`].
@@ -65,6 +67,17 @@ pub struct Tape {
     /// Generation counter, bumped by [`Tape::clear`]. Stamped into
     /// `Var`s in debug builds to catch use-after-clear.
     epoch: u64,
+    /// Per-op forward/backward timing, flushed to the global `rapid-obs`
+    /// registry on [`Tape::clear`] and on drop.
+    #[cfg(feature = "obs-profile")]
+    profiler: TapeProfiler,
+}
+
+#[cfg(feature = "obs-profile")]
+impl Drop for Tape {
+    fn drop(&mut self) {
+        self.profiler.flush();
+    }
 }
 
 impl Tape {
@@ -75,10 +88,11 @@ impl Tape {
 
     /// Creates a tape with room for `cap` nodes.
     pub fn with_capacity(cap: usize) -> Self {
-        Self {
-            nodes: Vec::with_capacity(cap),
-            epoch: 0,
-        }
+        // Struct-update syntax would move out of a Drop type under
+        // `obs-profile`; reserve on a default tape instead.
+        let mut tape = Self::default();
+        tape.nodes.reserve(cap);
+        tape
     }
 
     /// Number of recorded nodes.
@@ -94,6 +108,8 @@ impl Tape {
     /// immediately instead of reading whatever node later occupies the
     /// same index.
     pub fn clear(&mut self) {
+        #[cfg(feature = "obs-profile")]
+        self.profiler.flush();
         self.nodes.clear();
         self.epoch += 1;
     }
@@ -138,6 +154,8 @@ impl Tape {
             "tape node {:?} produced non-finite values",
             op
         );
+        #[cfg(feature = "obs-profile")]
+        self.profiler.on_push(op.tag());
         self.nodes.push(Node {
             value,
             grad: None,
@@ -424,7 +442,11 @@ impl Tape {
             };
             // Split borrow: clone the op tag (cheap, small) to walk parents.
             let op = self.nodes[i].op.clone();
+            #[cfg(feature = "obs-profile")]
+            let t0 = std::time::Instant::now();
             self.propagate(i, &op, &up);
+            #[cfg(feature = "obs-profile")]
+            self.profiler.on_backward(op.tag(), t0.elapsed());
         }
 
         // Accumulate leaf gradients into the parameter store.

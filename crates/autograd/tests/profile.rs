@@ -1,0 +1,37 @@
+//! Exercises the `obs-profile` tape profiler: after a forward/backward
+//! pass and a clear, per-op counters must appear in the global
+//! `rapid-obs` registry. Compiled only when the feature is on; the
+//! default build has no profiler field at all.
+#![cfg(feature = "obs-profile")]
+
+use rapid_autograd::{ParamStore, Tape};
+use rapid_tensor::Matrix;
+
+#[test]
+fn profiler_publishes_per_op_counters_on_clear() {
+    let mut store = ParamStore::new();
+    let w = store.add("w", Matrix::from_rows(&[&[0.5], &[-0.25]]));
+
+    let mut tape = Tape::new();
+    for _ in 0..3 {
+        let x = tape.constant(Matrix::row_vector(&[1.0, 2.0]));
+        let wv = tape.param(&store, w);
+        let z = tape.matmul(x, wv);
+        let y = tape.sigmoid(z);
+        let loss = tape.sum_all(y);
+        tape.backward(loss, &mut store);
+        tape.clear();
+    }
+
+    let snap = rapid_obs::global().snapshot();
+    // 3 passes × (matmul + sigmoid + sum_all + 2 leaves) forward nodes.
+    assert!(snap.counter("tape.fwd.matmul.n") >= 3);
+    assert!(snap.counter("tape.fwd.sigmoid.n") >= 3);
+    assert!(snap.counter("tape.fwd.leaf.n") >= 6);
+    // Backward visited the non-leaf ops.
+    assert!(snap.counter("tape.bwd.matmul.n") >= 3);
+    assert!(snap.counter("tape.bwd.sum_all.n") >= 3);
+    // Node totals and flush count were published.
+    assert!(snap.counter("tape.nodes") >= 15);
+    assert!(snap.counter("tape.flushes") >= 3);
+}

@@ -1,6 +1,7 @@
 //! Execution-layer baseline: times the prepared-feature pipeline and
 //! batch scoring of PRM, DESA, and RAPID-pro against the legacy
-//! per-`(ds, input)` path at quick scale, and writes `BENCH_exec.json`.
+//! per-`(ds, input)` path at quick scale, and writes `BENCH_exec.json`
+//! plus `telemetry.ndjson` from the same `rapid-obs` registry.
 //!
 //! The "before" numbers reconstruct what the pre-refactor code paid:
 //!
@@ -19,14 +20,19 @@
 //! `worker_count` shows how much of the batch-inference gap is
 //! parallelism (on a single-core host it is 1, and the win comes from
 //! the eliminated rebuilds alone).
-
-use std::time::Instant;
+//!
+//! Every stage is timed by a `rapid-obs` [`Span`]; the
+//! JSON report derives each figure from the exact `Duration` returned
+//! by `Span::finish()`, so the span totals in `telemetry.ndjson` agree
+//! with `BENCH_exec.json` by construction (the CI gate allows 5% but
+//! single-count spans match exactly).
 
 use rapid_bench::{ms, Cli};
 use rapid_core::{Rapid, RapidConfig};
 use rapid_data::Flavor;
 use rapid_eval::{ExperimentConfig, Pipeline};
 use rapid_exec::{worker_count, FeatureCache};
+use rapid_obs::Span;
 use rapid_rerankers::{Desa, DesaConfig, Prm, PrmConfig, ReRanker};
 use serde::Serialize;
 
@@ -115,12 +121,12 @@ fn main() {
 
     // One-time preparation cost of the shared cache (rebuilt here so it
     // can be timed; the pipeline already holds its own copy).
-    let t = Instant::now();
+    let span = Span::enter("prepare_train");
     let train_cache = FeatureCache::from_samples(ds, pipeline.train_samples());
-    let prepare_train_ms = ms(t.elapsed());
-    let t = Instant::now();
+    let prepare_train_ms = ms(span.finish());
+    let span = Span::enter("prepare_test");
     let test_cache = FeatureCache::from_inputs(ds, pipeline.test_inputs());
-    let prepare_test_ms = ms(t.elapsed());
+    let prepare_test_ms = ms(span.finish());
 
     let mut models = lineup(&pipeline, hidden, epochs, cli.seed);
 
@@ -129,55 +135,51 @@ fn main() {
     let mut total_after = 0.0;
 
     for model in &mut models {
+        let name = model.name();
+
         // After: train on the shared cache.
-        let t = Instant::now();
+        let span = Span::enter(&format!("train_cached/{name}"));
         let report = model.fit_prepared(ds, &train_cache);
-        let train_cached_ms = ms(t.elapsed());
+        let train_cached_ms = ms(span.finish());
 
         // Before: the same optimizer steps plus the per-epoch feature
         // rebuild the old fit path performed.
-        let t = Instant::now();
+        let span = Span::enter(&format!("legacy_rebuild/{name}"));
         for _ in 0..epochs.max(1) {
             let rebuilt = FeatureCache::from_samples(ds, pipeline.train_samples());
             std::hint::black_box(&rebuilt);
         }
-        let legacy_feature_rebuild_ms = ms(t.elapsed());
+        let legacy_feature_rebuild_ms = ms(span.finish());
         let train_legacy_ms = train_cached_ms + legacy_feature_rebuild_ms;
 
         // Before: sequential legacy shim, re-preparing each list.
-        let t = Instant::now();
+        let span = Span::enter(&format!("infer_legacy/{name}"));
         let legacy_perms: Vec<Vec<usize>> = pipeline
             .test_inputs()
             .iter()
             .map(|input| model.rerank(ds, input))
             .collect();
-        let infer_legacy_seq_ms = ms(t.elapsed());
+        let infer_legacy_seq_ms = ms(span.finish());
 
         // After: batch scoring over the prepared cache.
-        let t = Instant::now();
+        let span = Span::enter(&format!("infer_batch/{name}"));
         let batch_perms = model.rerank_batch(ds, &test_cache);
-        let infer_batch_ms = ms(t.elapsed());
+        let infer_batch_ms = ms(span.finish());
 
         assert_eq!(
-            legacy_perms,
-            batch_perms,
-            "{}: prepared batch path must match the legacy per-list path",
-            model.name()
+            legacy_perms, batch_perms,
+            "{name}: prepared batch path must match the legacy per-list path"
         );
 
         println!(
             "{:<12} train {:>8.1} ms cached / {:>8.1} ms legacy | infer {:>7.1} ms batch / {:>7.1} ms legacy",
-            model.name(),
-            train_cached_ms,
-            train_legacy_ms,
-            infer_batch_ms,
-            infer_legacy_seq_ms
+            name, train_cached_ms, train_legacy_ms, infer_batch_ms, infer_legacy_seq_ms
         );
 
         total_before += train_legacy_ms + infer_legacy_seq_ms;
         total_after += train_cached_ms + infer_batch_ms;
         rows.push(ModelRow {
-            name: model.name().to_string(),
+            name: name.to_string(),
             train_batches: report.batches,
             train_cached_ms,
             legacy_feature_rebuild_ms,
@@ -195,16 +197,16 @@ fn main() {
     // sequentially vs fanned across worker threads (fresh models each
     // time so both runs do identical work).
     let mut seq_models = lineup(&pipeline, hidden, epochs, cli.seed);
-    let t = Instant::now();
+    let span = Span::enter("multi_model_seq");
     for model in &mut seq_models {
         std::hint::black_box(pipeline.evaluate(model.as_mut()));
     }
-    let multi_model_seq_ms = ms(t.elapsed());
+    let multi_model_seq_ms = ms(span.finish());
 
     let mut par_models = lineup(&pipeline, hidden, epochs, cli.seed);
-    let t = Instant::now();
+    let span = Span::enter("multi_model_par");
     std::hint::black_box(pipeline.evaluate_all(&mut par_models));
-    let multi_model_par_ms = ms(t.elapsed());
+    let multi_model_par_ms = ms(span.finish());
 
     let report = BenchReport {
         scale: cli.scale_tag().to_string(),
@@ -236,4 +238,12 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("bench report serialises");
     std::fs::write("BENCH_exec.json", json).expect("write BENCH_exec.json");
     println!("wrote BENCH_exec.json");
+
+    // Dump everything the run recorded — the spans above, plus the
+    // fit/rerank/exec instrumentation underneath them — as NDJSON and a
+    // human summary.
+    let snapshot = rapid_obs::global().snapshot();
+    std::fs::write("telemetry.ndjson", snapshot.to_ndjson()).expect("write telemetry.ndjson");
+    println!("wrote telemetry.ndjson\n");
+    print!("{}", snapshot.summary_table());
 }

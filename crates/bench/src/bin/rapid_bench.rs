@@ -1,0 +1,82 @@
+//! `rapid-bench` — harness utility entry point.
+//!
+//! Currently one mode:
+//!
+//! ```text
+//! rapid-bench --check [--baseline BENCH_exec.json] [--current BENCH_exec.json]
+//!             [--tolerance 0.25]
+//! ```
+//!
+//! Compares the current report's per-model `train_cached_ms` against the
+//! baseline and exits non-zero when any model regressed beyond the
+//! tolerance (default 25%). Malformed or mismatched reports also exit
+//! non-zero, with a distinct message, so CI can't green-wash a broken
+//! harness.
+
+use std::process::ExitCode;
+
+use rapid_bench::{check_regression, DEFAULT_TOLERANCE};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rapid-bench --check [--baseline PATH] [--current PATH] [--tolerance FRAC]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !args.iter().any(|a| a == "--check") {
+        return usage();
+    }
+    let baseline_path =
+        flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_exec.json".to_string());
+    let current_path =
+        flag_value(&args, "--current").unwrap_or_else(|| "BENCH_exec.json".to_string());
+    let tolerance = match flag_value(&args, "--tolerance") {
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(t) if t >= 0.0 => t,
+            _ => {
+                eprintln!("rapid-bench: invalid --tolerance {raw:?} (want a fraction like 0.25)");
+                return ExitCode::from(2);
+            }
+        },
+        None => DEFAULT_TOLERANCE,
+    };
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("rapid-bench: cannot read {path}: {e}"))
+    };
+    let (baseline, current) = match (read(&baseline_path), read(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match check_regression(&baseline, &current, tolerance) {
+        Ok(outcome) => {
+            println!(
+                "comparing {current_path} against baseline {baseline_path} \
+                 (tolerance {:.0}%)",
+                tolerance * 100.0
+            );
+            print!("{}", outcome.render());
+            if outcome.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("rapid-bench: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

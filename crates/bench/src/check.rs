@@ -1,0 +1,245 @@
+//! Bench-regression gate: compares a freshly produced `BENCH_exec.json`
+//! against a committed baseline and fails on a per-model
+//! `train_cached_ms` regression beyond a tolerance.
+//!
+//! The gate is deliberately narrow: wall-clock totals and inference
+//! figures bounce with CI load, but cached training time is dominated
+//! by deterministic optimizer work (same seed, same batch count), so a
+//! large ratio there means real regression rather than noise. The
+//! default tolerance is 25%.
+
+use serde_json::{parse_value, Value};
+
+/// Default allowed per-model `train_cached_ms` growth (25%).
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One model's baseline-vs-current comparison.
+#[derive(Debug, Clone)]
+pub struct ModelDelta {
+    /// Model display name (`models[].name` in the report).
+    pub name: String,
+    /// Baseline `train_cached_ms`.
+    pub baseline_ms: f64,
+    /// Current `train_cached_ms`.
+    pub current_ms: f64,
+    /// `current / baseline` (`f64::INFINITY` when the baseline is 0
+    /// and the current is not).
+    pub ratio: f64,
+    /// Whether this model exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// Outcome of a baseline comparison: per-model rows plus verdict.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// One row per baseline model, in baseline order.
+    pub deltas: Vec<ModelDelta>,
+    /// The tolerance the rows were judged against.
+    pub tolerance: f64,
+}
+
+impl CheckOutcome {
+    /// `true` when no model regressed.
+    pub fn passed(&self) -> bool {
+        self.deltas.iter().all(|d| !d.regressed)
+    }
+
+    /// Human-readable per-model table plus verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>8}  verdict\n",
+            "model", "baseline_ms", "current_ms", "ratio"
+        ));
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "{:<12} {:>12.1} {:>12.1} {:>7.2}x  {}\n",
+                d.name,
+                d.baseline_ms,
+                d.current_ms,
+                d.ratio,
+                if d.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        let verdict = if self.passed() {
+            format!(
+                "PASS: all models within {:.0}% of baseline train_cached_ms",
+                self.tolerance * 100.0
+            )
+        } else {
+            format!(
+                "FAIL: train_cached_ms regression beyond {:.0}% tolerance",
+                self.tolerance * 100.0
+            )
+        };
+        out.push_str(&verdict);
+        out.push('\n');
+        out
+    }
+}
+
+/// Extracts `name → train_cached_ms` from a `BENCH_exec.json` document.
+fn model_times(doc: &Value, label: &str) -> Result<Vec<(String, f64)>, String> {
+    let models = doc.field("models").map_err(|e| format!("{label}: {e}"))?;
+    let Value::Array(rows) = models else {
+        return Err(format!("{label}: `models` is not an array"));
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let name = row
+            .field("name")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .map_err(|e| format!("{label}: models[{i}]: {e}"))?;
+        let t = row
+            .field("train_cached_ms")
+            .and_then(|v| v.as_f64())
+            .map_err(|e| format!("{label}: models[{i}]: {e}"))?;
+        out.push((name, t));
+    }
+    if out.is_empty() {
+        return Err(format!("{label}: `models` is empty"));
+    }
+    Ok(out)
+}
+
+/// Compares two `BENCH_exec.json` documents (baseline, current) and
+/// judges each baseline model's `train_cached_ms` against
+/// `baseline × (1 + tolerance)`.
+///
+/// Errors (rather than failing the gate) on malformed JSON, missing
+/// fields, or a current report that lacks one of the baseline's models
+/// — those are harness breakages, not perf regressions, and the caller
+/// should surface them as such.
+pub fn check_regression(
+    baseline_json: &str,
+    current_json: &str,
+    tolerance: f64,
+) -> Result<CheckOutcome, String> {
+    let baseline = parse_value(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+    let current = parse_value(current_json).map_err(|e| format!("current: {e}"))?;
+    let baseline_models = model_times(&baseline, "baseline")?;
+    let current_models = model_times(&current, "current")?;
+
+    let mut deltas = Vec::with_capacity(baseline_models.len());
+    for (name, baseline_ms) in baseline_models {
+        let current_ms = current_models
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, t)| t)
+            .ok_or_else(|| format!("current: model `{name}` missing from report"))?;
+        let ratio = if baseline_ms > 0.0 {
+            current_ms / baseline_ms
+        } else if current_ms > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        deltas.push(ModelDelta {
+            name,
+            baseline_ms,
+            current_ms,
+            regressed: ratio > 1.0 + tolerance,
+            ratio,
+        });
+    }
+    Ok(CheckOutcome { deltas, tolerance })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(times: &[(&str, f64)]) -> String {
+        let rows: Vec<String> = times
+            .iter()
+            .map(|(n, t)| format!("{{\"name\":\"{n}\",\"train_cached_ms\":{t}}}"))
+            .collect();
+        format!(
+            "{{\"scale\":\"quick\",\"models\":[{}],\"total_after_ms\":1.0}}",
+            rows.join(",")
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let j = report(&[("PRM", 100.0), ("DESA", 200.0)]);
+        let out = check_regression(&j, &j, DEFAULT_TOLERANCE).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.deltas.len(), 2);
+        assert!(out.deltas.iter().all(|d| (d.ratio - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = report(&[("PRM", 100.0)]);
+        let cur = report(&[("PRM", 124.0)]);
+        assert!(check_regression(&base, &cur, DEFAULT_TOLERANCE)
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn doctored_2x_baseline_fails() {
+        // The local CI rehearsal: a baseline doctored to half the real
+        // time makes the real run look like a 2x slowdown.
+        let base = report(&[("PRM", 50.0), ("DESA", 80.0), ("RAPID-pro", 90.0)]);
+        let cur = report(&[("PRM", 100.0), ("DESA", 160.0), ("RAPID-pro", 180.0)]);
+        let out = check_regression(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(!out.passed());
+        assert!(out.deltas.iter().all(|d| d.regressed));
+        assert!(out.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn single_model_regression_fails_whole_gate() {
+        let base = report(&[("PRM", 100.0), ("DESA", 100.0)]);
+        let cur = report(&[("PRM", 100.0), ("DESA", 130.0)]);
+        let out = check_regression(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(!out.passed());
+        assert_eq!(
+            out.deltas
+                .iter()
+                .filter(|d| d.regressed)
+                .map(|d| d.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["DESA"]
+        );
+    }
+
+    #[test]
+    fn faster_current_passes() {
+        let base = report(&[("PRM", 100.0)]);
+        let cur = report(&[("PRM", 10.0)]);
+        assert!(check_regression(&base, &cur, DEFAULT_TOLERANCE)
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn missing_model_is_an_error_not_a_pass() {
+        let base = report(&[("PRM", 100.0), ("DESA", 100.0)]);
+        let cur = report(&[("PRM", 100.0)]);
+        let err = check_regression(&base, &cur, DEFAULT_TOLERANCE).unwrap_err();
+        assert!(err.contains("DESA"));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        let good = report(&[("PRM", 100.0)]);
+        assert!(check_regression("not json", &good, DEFAULT_TOLERANCE).is_err());
+        assert!(check_regression(&good, "{\"models\":[]}", DEFAULT_TOLERANCE).is_err());
+        assert!(check_regression(&good, "{}", DEFAULT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn zero_baseline_guard() {
+        let base = report(&[("PRM", 0.0)]);
+        let cur = report(&[("PRM", 5.0)]);
+        let out = check_regression(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(!out.passed());
+        assert!(out.deltas[0].ratio.is_infinite());
+        // 0 → 0 is a clean pass.
+        let out = check_regression(&base, &base, DEFAULT_TOLERANCE).unwrap();
+        assert!(out.passed());
+    }
+}

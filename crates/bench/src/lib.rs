@@ -29,6 +29,10 @@
 
 use rapid_eval::Scale;
 
+pub mod check;
+
+pub use check::{check_regression, CheckOutcome, ModelDelta, DEFAULT_TOLERANCE};
+
 /// Parsed common CLI options.
 #[derive(Debug, Clone, Copy)]
 pub struct Cli {

@@ -6,7 +6,7 @@
 //! tape reuse (PR 1) made possible:
 //!
 //! * **Structural corruption** — a node whose parent index points at or
-//!   past itself, which can only happen when a stale [`Var`] from a
+//!   past itself, which can only happen when a stale [`Var`](rapid_autograd::Var) from a
 //!   previous tape epoch leaks into a new graph.
 //! * **Shape violations** — op inputs that break the op's contract
 //!   (matmul inner dims, broadcast orientation, concat alignment,

@@ -13,8 +13,14 @@
 //!   run inside training/serving loops where a panic must carry a real
 //!   diagnostic, not "called unwrap on None".
 //! * `no-env-var` — process environment reads are confined to
-//!   `exec::parallel` (the `RAPID_WORKERS` override); configuration
-//!   everywhere else flows through typed config structs.
+//!   `exec::parallel` (the `RAPID_WORKERS` override) and `obs::event`
+//!   (the `RAPID_LOG` threshold); configuration everywhere else flows
+//!   through typed config structs.
+//! * `no-bare-print` — no `println!`/`eprintln!` (or their non-newline
+//!   forms) in the library code of the instrumented crates (`autograd`,
+//!   `exec`, `core`, `rerankers`): diagnostics there go through
+//!   `rapid_obs::event!`, which respects `RAPID_LOG` and lands in the
+//!   telemetry buffer instead of interleaving with harness output.
 //! * `float-eq` — no `==`/`!=` against float literals: use an epsilon
 //!   or `total_cmp`. Exact-zero sparsity guards are allowed with an
 //!   inline directive (see below).
@@ -73,8 +79,41 @@ const HOT_CRATES: [&str; 4] = [
     "crates/exec/src/",
 ];
 
-/// The one file allowed to read the process environment.
-const ENV_ALLOWED_FILE: &str = "crates/exec/src/parallel.rs";
+/// The only files allowed to read the process environment: the
+/// `RAPID_WORKERS` override and the `RAPID_LOG` threshold.
+const ENV_ALLOWED_FILES: [&str; 2] = ["crates/exec/src/parallel.rs", "crates/obs/src/event.rs"];
+
+/// Crates whose library diagnostics must flow through `rapid_obs::event!`
+/// rather than bare `print!`-family macros.
+const PRINT_FREE_CRATES: [&str; 4] = [
+    "crates/autograd/src/",
+    "crates/exec/src/",
+    "crates/core/src/",
+    "crates/rerankers/src/",
+];
+
+/// `print!`-family macro invocations, longest-first so `eprintln!` is
+/// reported as itself and not as its `println!`/`print!` substrings.
+const PRINT_MACROS: [&str; 4] = ["eprintln!", "println!", "eprint!", "print!"];
+
+/// The `print!`-family macro invoked on this sanitized line, if any.
+fn bare_print_macro(code: &str) -> Option<&'static str> {
+    for mac in PRINT_MACROS {
+        let mut from = 0;
+        while let Some(rel) = code[from..].find(mac) {
+            let pos = from + rel;
+            let prev = pos.checked_sub(1).map(|p| code.as_bytes()[p]);
+            // A standalone invocation: not the tail of a longer
+            // identifier (`writeln!`) or of a longer macro name
+            // (`eprintln!` when scanning for `println!`).
+            if !matches!(prev, Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+                return Some(mac);
+            }
+            from = pos + mac.len();
+        }
+    }
+    None
+}
 
 /// Lints one source file given its workspace-relative `path` (used for
 /// rule scoping) and full `source` text.
@@ -83,7 +122,8 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
     let env_needle: &str = concat!("std::en", "v::var");
 
     let unwrap_applies = HOT_CRATES.iter().any(|c| path.starts_with(c));
-    let env_applies = path != ENV_ALLOWED_FILE;
+    let env_applies = !ENV_ALLOWED_FILES.contains(&path);
+    let print_applies = PRINT_FREE_CRATES.iter().any(|c| path.starts_with(c));
 
     let mut in_tests = false;
     let mut saw_doc_header = false;
@@ -148,10 +188,25 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                 line: line_no,
                 rule: "no-env-var",
                 message: format!(
-                    "process environment read outside {ENV_ALLOWED_FILE}; plumb \
-                     configuration through typed config structs"
+                    "process environment read outside {}; plumb \
+                     configuration through typed config structs",
+                    ENV_ALLOWED_FILES.join(" / ")
                 ),
             });
+        }
+
+        if print_applies && !allow("no-bare-print") {
+            if let Some(mac) = bare_print_macro(&code) {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: line_no,
+                    rule: "no-bare-print",
+                    message: format!(
+                        "`{mac}` in instrumented-crate library code; emit a leveled \
+                         `rapid_obs::event!` instead (or `lint:allow(no-bare-print)`)"
+                    ),
+                });
+            }
         }
 
         if !allow("float-eq") {
@@ -257,7 +312,10 @@ fn sanitize(line: &str) -> String {
                 if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
                     let close = bytes[i + 2..].iter().position(|&c| c == b'\'');
                     let skip = close.map_or(1, |c| c + 3);
-                    out.extend(std::iter::repeat_n(b' ', skip));
+                    // `repeat(..).take(..)` rather than `repeat_n`: the
+                    // workspace MSRV (1.75) predates its stabilisation.
+                    #[allow(clippy::manual_repeat_n)]
+                    out.extend(std::iter::repeat(b' ').take(skip));
                     i += skip;
                 } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
                     out.extend_from_slice(b"   ");
@@ -359,6 +417,44 @@ mod tests {
             vec!["no-env-var"]
         );
         assert!(lint_source("crates/exec/src/parallel.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn env_var_allowed_in_obs_event() {
+        let needle = concat!("std::en", "v::var");
+        let src = format!("//! Doc.\nfn f() {{ let _ = {needle}(\"RAPID_LOG\"); }}\n");
+        assert!(lint_source("crates/obs/src/event.rs", &src).is_empty());
+        assert_eq!(
+            rules(&lint_source("crates/obs/src/registry.rs", &src)),
+            vec!["no-env-var"]
+        );
+    }
+
+    #[test]
+    fn bare_print_flagged_only_in_instrumented_crates() {
+        let src = "//! Doc.\nfn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n}\n";
+        assert_eq!(
+            rules(&lint_source("crates/core/src/a.rs", src)),
+            vec!["no-bare-print", "no-bare-print"]
+        );
+        // The bench/eval binaries keep their human-facing output.
+        assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+        // The longest macro name is reported, not its substrings.
+        let f = lint_source(
+            "crates/rerankers/src/a.rs",
+            "//! Doc.\nfn f() { eprint!(\"x\"); }\n",
+        );
+        assert!(f[0].message.contains("`eprint!`"));
+    }
+
+    #[test]
+    fn write_macros_strings_and_allows_are_not_bare_prints() {
+        let src = "//! Doc.\nfn f(w: &mut W) { writeln!(w, \"println!\").ok(); }\n";
+        assert!(lint_source("crates/exec/src/a.rs", src).is_empty());
+        let src = "//! Doc.\nfn f() { println!(\"x\"); } // lint:allow(no-bare-print) CLI output\n";
+        assert!(lint_source("crates/autograd/src/a.rs", src).is_empty());
+        let src = "//! Doc.\n#[cfg(test)]\nmod tests { fn f() { println!(\"x\"); } }\n";
+        assert!(lint_source("crates/core/src/a.rs", src).is_empty());
     }
 
     #[test]

@@ -2,7 +2,6 @@
 //! generation, and per-model train/evaluate.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,8 +66,13 @@ pub struct Pipeline {
 impl Pipeline {
     /// Generates the world, trains the configured initial ranker, and
     /// materialises training feedback and test inputs.
+    ///
+    /// Each stage runs under a `prepare/...` span (`generate`, `ranker`,
+    /// `feedback`, `features`) in the global `rapid-obs` registry, so
+    /// pipeline start-up cost is attributable without ad-hoc timers.
     pub fn prepare(config: ExperimentConfig) -> Self {
-        let ds = generate(&config.data);
+        let prepare_span = rapid_obs::Span::enter("prepare");
+        let (ds, _) = rapid_obs::time("generate", || generate(&config.data));
         let dcm = Dcm::standard(config.data.list_len, config.lambda);
 
         // Train the initial ranker on a *reduced* interaction budget:
@@ -78,6 +82,7 @@ impl Pipeline {
         // of the interaction log and a single pass over it.
         let mut ranker_ds = ds.clone();
         ranker_ds.ranker_train.truncate(ds.ranker_train.len() / 3);
+        let ranker_span = rapid_obs::Span::enter("ranker");
         let ranker: Box<dyn InitialRanker> = match config.ranker {
             RankerKind::Din => Box::new(Din::fit(
                 &ranker_ds,
@@ -104,8 +109,10 @@ impl Pipeline {
                 },
             )),
         };
+        ranker_span.finish();
 
         // Training lists: initial ranking + DCM clicks.
+        let feedback_span = rapid_obs::Span::enter("feedback");
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0xfeed);
         let train_samples: Vec<TrainSample> = ds
             .rerank_train
@@ -147,8 +154,24 @@ impl Pipeline {
             logged_clicks.push(dcm.simulate(&phi, &mut log_rng));
             test_inputs.push(input);
         }
+        feedback_span.finish();
 
-        let cache = FeatureCache::build(&ds, &train_samples, &test_inputs);
+        let (cache, _) = rapid_obs::time("features", || {
+            FeatureCache::build(&ds, &train_samples, &test_inputs)
+        });
+
+        let elapsed = prepare_span.finish();
+        let reg = rapid_obs::global();
+        reg.counter_add("eval.train_lists", train_samples.len() as u64);
+        reg.counter_add("eval.test_lists", test_inputs.len() as u64);
+        rapid_obs::event!(
+            rapid_obs::Level::Info,
+            "eval",
+            "pipeline prepared: {} train / {} test lists in {:.1} ms",
+            train_samples.len(),
+            test_inputs.len(),
+            elapsed.as_secs_f64() * 1e3
+        );
 
         Self {
             config,
@@ -189,18 +212,22 @@ impl Pipeline {
     /// Trains `model` on the pipeline's feedback and evaluates it on the
     /// test inputs under the configured protocol.
     pub fn evaluate(&self, model: &mut dyn ReRanker) -> ModelResult {
-        let t0 = Instant::now();
+        // Train/infer run under `train/<model>` and `infer/<model>`
+        // spans; the durations returned by `finish()` are the exact
+        // values recorded in the registry, so the timings this result
+        // reports always agree with the emitted telemetry.
+        let train_span = rapid_obs::Span::enter(&format!("train/{}", model.name()));
         let report = model.fit_prepared(&self.ds, &self.cache.train);
-        let train_time = t0.elapsed();
+        let train_time = train_span.finish();
         let train_per_batch = train_time / report.batches.max(1) as u32;
 
         let mut per_request: BTreeMap<String, Vec<f32>> = BTreeMap::new();
         let mut push = |key: &str, v: f32| per_request.entry(key.to_string()).or_default().push(v);
 
         let mut ndcg_rng = StdRng::seed_from_u64(self.config.seed ^ 0x0dcc);
-        let t1 = Instant::now();
+        let infer_span = rapid_obs::Span::enter(&format!("infer/{}", model.name()));
         let perms: Vec<Vec<usize>> = model.rerank_batch(&self.ds, &self.cache.test);
-        let infer_time = t1.elapsed();
+        let infer_time = infer_span.finish();
         let test_batches = self.cache.test.len().div_ceil(16).max(1);
         let test_per_batch = infer_time / test_batches as u32;
 

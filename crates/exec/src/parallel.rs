@@ -4,21 +4,33 @@
 //! results are re-joined in chunk order, so the output order always
 //! matches the input order regardless of thread scheduling — parallel
 //! execution stays bit-compatible with the sequential path.
+//!
+//! Every parallel call reports to the global `rapid-obs` registry:
+//! call/item counters, per-chunk sizes, per-worker busy time and spawn
+//! wait, and a per-call utilization ratio (total busy / workers × wall).
+
+use std::time::Instant;
 
 /// Number of workers the parallel maps use: the `RAPID_WORKERS`
 /// environment variable when set to a positive integer, otherwise
 /// [`std::thread::available_parallelism`].
 ///
 /// An unparsable or zero `RAPID_WORKERS` falls back to the hardware
-/// default, with a single warning on stderr naming the rejected value
-/// (a silent fallback here once masked a fleet misconfiguration).
+/// default, with a warning naming the rejected value emitted through
+/// `rapid-obs` exactly once per process no matter how many parallel
+/// calls see the bad variable (a silent fallback here once masked a
+/// fleet misconfiguration; a per-call warning floods training logs).
 pub fn worker_count() -> usize {
     match std::env::var("RAPID_WORKERS") {
         Ok(raw) => parse_workers(&raw).unwrap_or_else(|| {
-            eprintln!(
-                "rapid-exec: ignoring invalid RAPID_WORKERS={raw:?} \
-                 (expected a positive integer); using available parallelism"
-            );
+            if rapid_obs::global().once("exec.invalid_workers") {
+                rapid_obs::event!(
+                    rapid_obs::Level::Warn,
+                    "exec",
+                    "ignoring invalid RAPID_WORKERS={raw:?} (expected a \
+                     positive integer); using available parallelism"
+                );
+            }
             default_workers()
         }),
         Err(_) => default_workers(),
@@ -40,6 +52,33 @@ fn parse_workers(raw: &str) -> Option<usize> {
     raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 
+/// One worker's timing report: how long it waited to start and how long
+/// it spent mapping its chunk.
+struct WorkerStat {
+    wait_ns: u128,
+    busy_ns: u128,
+    chunk_len: usize,
+}
+
+/// Publishes one parallel call's metrics to the global registry.
+fn record_call(kind: &str, items: usize, workers: usize, wall_ns: u128, stats: &[WorkerStat]) {
+    let reg = rapid_obs::global();
+    reg.counter_add(&format!("exec.{kind}.calls"), 1);
+    reg.counter_add(&format!("exec.{kind}.items"), items as u64);
+    reg.gauge_set("exec.workers", workers as f64);
+    let mut busy_total = 0u128;
+    for w in stats {
+        busy_total += w.busy_ns;
+        reg.observe("exec.worker_busy_ms", w.busy_ns as f64 / 1e6);
+        reg.observe("exec.spawn_wait_ms", w.wait_ns as f64 / 1e6);
+        reg.observe("exec.chunk_items", w.chunk_len as f64);
+    }
+    if wall_ns > 0 && !stats.is_empty() {
+        let util = busy_total as f64 / (wall_ns as f64 * stats.len() as f64);
+        reg.observe("exec.utilization", util);
+    }
+}
+
 /// Maps `f` over `items` on up to [`worker_count`] scoped threads.
 ///
 /// Output ordering is deterministic (`out[i] == f(&items[i])`); with one
@@ -52,26 +91,54 @@ where
 {
     let workers = worker_count().min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        let out = items.iter().map(f).collect();
+        let reg = rapid_obs::global();
+        reg.counter_add("exec.par_map.calls", 1);
+        reg.counter_add("exec.par_map.items", items.len() as u64);
+        return out;
     }
     let chunk = items.len().div_ceil(workers);
     let f = &f;
     let mut out = Vec::with_capacity(items.len());
+    let mut stats = Vec::with_capacity(workers);
+    let call_start = Instant::now();
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .map(|c| {
+                let spawned_at = Instant::now();
+                s.spawn(move || {
+                    let started = Instant::now();
+                    let part = c.iter().map(f).collect::<Vec<R>>();
+                    let stat = WorkerStat {
+                        wait_ns: started.saturating_duration_since(spawned_at).as_nanos(),
+                        busy_ns: started.elapsed().as_nanos(),
+                        chunk_len: c.len(),
+                    };
+                    (part, stat)
+                })
+            })
             .collect();
         for h in handles {
             // Re-raise a worker panic with its original payload so the
             // real diagnostic (e.g. a shape mismatch) reaches the top,
             // not a generic "worker panicked".
             match h.join() {
-                Ok(part) => out.extend(part),
+                Ok((part, stat)) => {
+                    out.extend(part);
+                    stats.push(stat);
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
+    record_call(
+        "par_map",
+        items.len(),
+        workers,
+        call_start.elapsed().as_nanos(),
+        &stats,
+    );
     out
 }
 
@@ -85,23 +152,53 @@ where
 {
     let workers = worker_count().min(items.len());
     if workers <= 1 {
-        return items.iter_mut().map(f).collect();
+        let n = items.len();
+        let out = items.iter_mut().map(f).collect();
+        let reg = rapid_obs::global();
+        reg.counter_add("exec.par_map_mut.calls", 1);
+        reg.counter_add("exec.par_map_mut.items", n as u64);
+        return out;
     }
     let chunk = items.len().div_ceil(workers);
+    let n = items.len();
     let f = &f;
-    let mut out = Vec::with_capacity(items.len());
+    let mut out = Vec::with_capacity(n);
+    let mut stats = Vec::with_capacity(workers);
+    let call_start = Instant::now();
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks_mut(chunk)
-            .map(|c| s.spawn(move || c.iter_mut().map(f).collect::<Vec<R>>()))
+            .map(|c| {
+                let spawned_at = Instant::now();
+                s.spawn(move || {
+                    let started = Instant::now();
+                    let part = c.iter_mut().map(f).collect::<Vec<R>>();
+                    let stat = WorkerStat {
+                        wait_ns: started.saturating_duration_since(spawned_at).as_nanos(),
+                        busy_ns: started.elapsed().as_nanos(),
+                        chunk_len: c.len(),
+                    };
+                    (part, stat)
+                })
+            })
             .collect();
         for h in handles {
             match h.join() {
-                Ok(part) => out.extend(part),
+                Ok((part, stat)) => {
+                    out.extend(part);
+                    stats.push(stat);
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
+    record_call(
+        "par_map_mut",
+        n,
+        workers,
+        call_start.elapsed().as_nanos(),
+        &stats,
+    );
     out
 }
 
@@ -137,6 +234,32 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn invalid_workers_env_warns_exactly_once() {
+        std::env::set_var("RAPID_WORKERS", "bogus-workers");
+        let a = worker_count();
+        let b = worker_count();
+        std::env::remove_var("RAPID_WORKERS");
+        assert!(a >= 1 && b >= 1, "invalid override must still fall back");
+        let snap = rapid_obs::global().snapshot();
+        let warnings = snap
+            .events()
+            .iter()
+            .filter(|e| e.message.contains("bogus-workers"))
+            .count();
+        assert_eq!(warnings, 1, "one warning per process, not per call");
+    }
+
+    #[test]
+    fn par_map_publishes_call_metrics() {
+        let before = rapid_obs::global().snapshot().counter("exec.par_map.calls");
+        let items: Vec<usize> = (0..64).collect();
+        let _ = par_map(&items, |&x| x + 1);
+        let snap = rapid_obs::global().snapshot();
+        assert!(snap.counter("exec.par_map.calls") > before);
+        assert!(snap.counter("exec.par_map.items") >= 64);
     }
 
     #[test]

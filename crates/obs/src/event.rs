@@ -1,0 +1,215 @@
+//! Leveled structured events, controlled by the `RAPID_LOG` environment
+//! variable.
+//!
+//! Two sinks, one knob:
+//!
+//! * **stderr** — events at or above the `RAPID_LOG` threshold
+//!   (default `warn`) print as `[level] component: message`.
+//! * **registry buffer** — events at `info` and above (or anything the
+//!   threshold lets through) are retained in the [`crate::Registry`]
+//!   so they appear in emitted telemetry even when the console is
+//!   quiet.
+//!
+//! Call sites use the [`crate::event!`] macro, which skips the message
+//! `format!` entirely when neither sink would accept the level — a
+//! `debug` event under the default threshold costs one atomic load.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::registry::{global, Registry};
+
+/// Event severity. `Error` is the most severe and always passes the
+/// default threshold; `Trace` only appears under `RAPID_LOG=trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// The operation failed; output is missing or wrong.
+    Error = 1,
+    /// Something unexpected that the process worked around.
+    Warn = 2,
+    /// Coarse progress: pipeline stages, fit summaries.
+    Info = 3,
+    /// Per-epoch / per-batch detail.
+    Debug = 4,
+    /// Per-item detail; only for targeted debugging sessions.
+    Trace = 5,
+}
+
+impl Level {
+    /// Lowercase name used on stderr and in NDJSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Threshold value meaning "no stderr output at all".
+const OFF: u8 = 0;
+/// Sentinel: threshold not yet resolved from the environment.
+const UNSET: u8 = u8::MAX;
+/// Default threshold when `RAPID_LOG` is absent or unparsable.
+const DEFAULT: u8 = Level::Warn as u8;
+/// Events at this level or above are always retained in the registry
+/// buffer (unless logging is `off`), regardless of the stderr threshold.
+const BUFFER: u8 = Level::Info as u8;
+
+static THRESHOLD: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Parses a `RAPID_LOG` value. `None` for unrecognized text (the caller
+/// falls back to the default rather than guessing).
+pub fn level_from_str(s: &str) -> Option<u8> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" => Some(OFF),
+        "error" => Some(Level::Error as u8),
+        "warn" | "warning" => Some(Level::Warn as u8),
+        "info" => Some(Level::Info as u8),
+        "debug" => Some(Level::Debug as u8),
+        "trace" => Some(Level::Trace as u8),
+        _ => None,
+    }
+}
+
+/// Parses a stderr level name back into a [`Level`] (used by the NDJSON
+/// reader).
+pub(crate) fn level_from_name(s: &str) -> Option<Level> {
+    match s {
+        "error" => Some(Level::Error),
+        "warn" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        "trace" => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+fn threshold() -> u8 {
+    let t = THRESHOLD.load(Ordering::Relaxed);
+    if t != UNSET {
+        return t;
+    }
+    let resolved = std::env::var("RAPID_LOG")
+        .ok()
+        .and_then(|v| level_from_str(&v))
+        .unwrap_or(DEFAULT);
+    // A racing first read resolves to the same value; last store wins
+    // harmlessly.
+    THRESHOLD.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the `RAPID_LOG` threshold programmatically (bench binaries
+/// raise it to `info` so their telemetry carries stage events).
+pub fn set_level(level: Level) {
+    THRESHOLD.store(level as u8, Ordering::Relaxed);
+}
+
+/// Pure decision: does an event at `level` print to stderr under
+/// `threshold`? Split out so the policy is unit-testable without
+/// touching process globals.
+pub fn stderr_enabled(level: Level, threshold: u8) -> bool {
+    threshold != OFF && (level as u8) <= threshold
+}
+
+/// Pure decision: is an event at `level` retained in the registry
+/// buffer under `threshold`?
+fn buffer_enabled(level: Level, threshold: u8) -> bool {
+    threshold != OFF && (level as u8) <= threshold.max(BUFFER)
+}
+
+/// `true` when an event at `level` would reach *any* sink — the macro's
+/// cheap pre-check before formatting the message.
+pub fn should_log(level: Level) -> bool {
+    let t = threshold();
+    stderr_enabled(level, t) || buffer_enabled(level, t)
+}
+
+/// Emits a pre-rendered event to the global registry and (if the level
+/// passes `RAPID_LOG`) to stderr. Prefer the [`crate::event!`] macro.
+pub fn log(level: Level, component: &str, message: &str) {
+    log_to(global(), level, component, message);
+}
+
+/// [`log`] against an explicit registry (tests use a local one); stderr
+/// policy is unchanged.
+pub fn log_to(registry: &Registry, level: Level, component: &str, message: &str) {
+    let t = threshold();
+    if stderr_enabled(level, t) {
+        eprintln!("[{}] {component}: {message}", level.as_str());
+    }
+    if buffer_enabled(level, t) {
+        registry.record_event(level, component, message);
+    }
+}
+
+/// Emits a leveled structured event:
+/// `obs::event!(Level::Warn, "exec", "bad worker count {n}")`.
+///
+/// The message is only formatted when the level passes the `RAPID_LOG`
+/// policy, so disabled `debug`/`trace` events cost one atomic load.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $component:expr, $($arg:tt)+) => {{
+        let level: $crate::Level = $level;
+        if $crate::should_log(level) {
+            $crate::log(level, $component, &format!($($arg)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_names_round_trip() {
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(level_from_name(l.as_str()), Some(l));
+            assert_eq!(level_from_str(l.as_str()), Some(l as u8));
+        }
+        assert_eq!(level_from_str("OFF"), Some(OFF));
+        assert_eq!(level_from_str(" Warning "), Some(Level::Warn as u8));
+        assert_eq!(level_from_str("verbose"), None);
+    }
+
+    #[test]
+    fn stderr_policy_is_threshold_inclusive() {
+        let warn_t = Level::Warn as u8;
+        assert!(stderr_enabled(Level::Error, warn_t));
+        assert!(stderr_enabled(Level::Warn, warn_t));
+        assert!(!stderr_enabled(Level::Info, warn_t));
+        assert!(!stderr_enabled(Level::Error, OFF));
+    }
+
+    #[test]
+    fn buffer_retains_info_even_under_quiet_stderr() {
+        let warn_t = Level::Warn as u8;
+        assert!(buffer_enabled(Level::Info, warn_t));
+        assert!(!buffer_enabled(Level::Debug, warn_t));
+        // Raising the threshold opens the buffer too.
+        assert!(buffer_enabled(Level::Trace, Level::Trace as u8));
+        // `off` silences both sinks.
+        assert!(!buffer_enabled(Level::Error, OFF));
+    }
+
+    #[test]
+    fn log_to_records_into_the_given_registry() {
+        let r = Registry::new();
+        log_to(&r, Level::Warn, "test", "something happened");
+        let s = r.snapshot();
+        assert_eq!(s.events().len(), 1);
+        assert_eq!(s.events()[0].component, "test");
+        assert_eq!(s.events()[0].level, Level::Warn);
+        assert_eq!(s.events()[0].message, "something happened");
+    }
+}

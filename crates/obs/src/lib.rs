@@ -1,0 +1,44 @@
+//! `rapid-obs` — the workspace's observability layer.
+//!
+//! A production re-ranker only earns trust through continuous
+//! measurement: per-stage latency, per-worker utilization, training
+//! loss trajectories, and a regression gate over the benchmark
+//! baseline. This crate is the dependency-free substrate all of that
+//! reports through:
+//!
+//! * [`Registry`] — a thread-safe store of named **counters**,
+//!   **gauges**, log-scale **histograms** (p50/p95/p99), aggregated
+//!   **span** statistics, and a bounded **event** buffer. A process
+//!   global lives behind [`global()`]; tests construct their own.
+//! * [`Histogram`] — log-scale buckets (≈ 9 % resolution), exact
+//!   count/sum/min/max, quantile estimation, and cross-thread
+//!   [`Histogram::merge`].
+//! * [`Span`] — an RAII timer with thread-local parent/child nesting:
+//!   dropping (or [`Span::finish`]ing) a span records its duration
+//!   under its full `parent/child` path.
+//! * [`event!`] — leveled structured logging controlled by the
+//!   `RAPID_LOG` environment variable (`error|warn|info|debug|trace|off`,
+//!   default `warn`). Events print to stderr when they pass the level
+//!   threshold and are additionally retained in the registry buffer
+//!   (at `info` and above) so they appear in emitted telemetry.
+//! * [`Snapshot`] — a point-in-time copy of a registry, emittable as
+//!   NDJSON ([`Snapshot::to_ndjson`]), parseable back
+//!   ([`Snapshot::from_ndjson`]) into an identical snapshot, and
+//!   renderable as a human-readable [`Snapshot::summary_table`].
+//!
+//! The crate has **zero dependencies** (not even workspace-internal
+//! ones) so that `rapid-autograd` can optionally link it for op-level
+//! profiling (`obs-profile` feature) without cycles, and so the whole
+//! layer keeps working in the air-gapped build.
+
+mod event;
+mod hist;
+mod ndjson;
+mod registry;
+mod span;
+
+pub use event::{level_from_str, log, log_to, set_level, should_log, stderr_enabled, Level};
+pub use hist::Histogram;
+pub use ndjson::ParseError;
+pub use registry::{global, EventRecord, Registry, Snapshot, SpanStat};
+pub use span::{time, time_in, Span};

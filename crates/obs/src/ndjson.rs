@@ -1,0 +1,661 @@
+//! NDJSON emission and parsing for [`Snapshot`], plus the
+//! human-readable summary table.
+//!
+//! One JSON object per line, each tagged with a `type` field:
+//!
+//! ```text
+//! {"type":"meta","events_dropped":0}
+//! {"type":"counter","name":"exec.batches","value":400}
+//! {"type":"gauge","name":"exec.workers","value":4}
+//! {"type":"hist","name":"fit.batch_ms","count":2,"sum":3.5,"min":1.5,"max":2,"buckets":[[5,1],[8,1]]}
+//! {"type":"span","path":"bench/train","count":1,"total_ns":1500000,"count_h":1,...}
+//! {"type":"event","seq":0,"level":"warn","component":"exec","message":"..."}
+//! ```
+//!
+//! The parser is a ~100-line recursive-descent JSON reader written here
+//! because this crate must stay dependency-free. Integers are kept as
+//! raw digit strings until a typed accessor is called, so `u64` fields
+//! (`total_ns`, counters) round-trip exactly instead of passing through
+//! `f64`. Floats are written with Rust's shortest-round-trip `Display`,
+//! so `emit → parse` reproduces a [`Snapshot`] that compares equal to
+//! the original (assuming finite values, which all recorded metrics
+//! are).
+
+use std::fmt::Write as _;
+
+use crate::event::level_from_name;
+use crate::hist::Histogram;
+use crate::registry::{EventRecord, Snapshot, SpanStat};
+
+/// Why an NDJSON document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "telemetry line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Snapshot {
+    /// Serializes this snapshot as NDJSON (one object per line, trailing
+    /// newline). [`Snapshot::from_ndjson`] inverts it exactly.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"events_dropped\":{}}}",
+            self.events_dropped
+        );
+        for (name, value) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}",
+                escape(name)
+            );
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
+                escape(name),
+                fnum(*value)
+            );
+        }
+        for (name, hist) in &self.hists {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"hist\",\"name\":{},{}}}",
+                escape(name),
+                hist_fields(hist)
+            );
+        }
+        for (path, stat) in &self.spans {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"path\":{},\"count\":{},\"total_ns\":{},{}}}",
+                escape(path),
+                stat.count,
+                stat.total_ns,
+                hist_fields(&stat.hist)
+            );
+        }
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"event\",\"seq\":{},\"level\":{},\"component\":{},\"message\":{}}}",
+                e.seq,
+                escape(e.level.as_str()),
+                escape(&e.component),
+                escape(&e.message)
+            );
+        }
+        out
+    }
+
+    /// Parses NDJSON produced by [`Snapshot::to_ndjson`] back into a
+    /// snapshot. Blank lines are skipped; unknown `type` tags are an
+    /// error (they indicate a version mismatch worth surfacing).
+    pub fn from_ndjson(text: &str) -> Result<Snapshot, ParseError> {
+        let mut snap = Snapshot::default();
+        for (i, line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            decode_line(line, &mut snap).map_err(|message| ParseError {
+                line: line_no,
+                message,
+            })?;
+        }
+        Ok(snap)
+    }
+
+    /// Renders a human-readable summary: spans (with totals and
+    /// latency quantiles), counters, gauges, histograms, and the event
+    /// tail. This is what binaries print under `--summary` / at exit.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            let width = self.spans.keys().map(String::len).max().unwrap_or(4).max(4);
+            let _ = writeln!(
+                out,
+                "{:<width$}  {:>7}  {:>12}  {:>10}  {:>10}  {:>10}",
+                "span", "count", "total_ms", "p50_ms", "p95_ms", "p99_ms"
+            );
+            for (path, stat) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "{path:<width$}  {:>7}  {:>12.2}  {:>10.3}  {:>10.3}  {:>10.3}",
+                    stat.count,
+                    stat.total_ms(),
+                    stat.hist.quantile(0.50) / 1e6,
+                    stat.hist.quantile(0.95) / 1e6,
+                    stat.hist.quantile(0.99) / 1e6,
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges:");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(out, "\nhistograms:");
+            for (name, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {name}: n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.max(),
+                );
+            }
+        }
+        if !self.events.is_empty() || self.events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "\nevents: {} retained, {} dropped",
+                self.events.len(),
+                self.events_dropped
+            );
+            // The tail is the interesting part of a long run.
+            let tail = self.events.len().saturating_sub(10);
+            for e in &self.events[tail..] {
+                let _ = writeln!(
+                    out,
+                    "  #{} [{}] {}: {}",
+                    e.seq,
+                    e.level.as_str(),
+                    e.component,
+                    e.message
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no telemetry recorded)\n");
+        }
+        out
+    }
+}
+
+/// The shared histogram fields of `hist` and `span` lines (no braces).
+fn hist_fields(h: &Histogram) -> String {
+    let mut buckets = String::from("[");
+    for (i, (idx, n)) in h.bucket_pairs().into_iter().enumerate() {
+        if i > 0 {
+            buckets.push(',');
+        }
+        let _ = write!(buckets, "[{idx},{n}]");
+    }
+    buckets.push(']');
+    format!(
+        "\"count_h\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{}",
+        h.count(),
+        fnum(h.sum()),
+        fnum(h.min()),
+        fnum(h.max()),
+        buckets
+    )
+}
+
+/// Formats a finite f64 so that parsing the text reproduces the exact
+/// bits (Rust's `Display` is shortest-round-trip). Non-finite values
+/// never arise from recorded metrics; emit `0` rather than invalid JSON.
+fn fnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// JSON string escaping per RFC 8259 (quotes included in the output).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their raw text so integer fields
+/// convert without a lossy trip through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn req<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing field `{key}`"))
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(raw) => raw.parse().map_err(|_| format!("not a u64: {raw}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_i64(&self) -> Result<i64, String> {
+        match self {
+            Json::Num(raw) => raw.parse().map_err(|_| format!("not an i64: {raw}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Num(raw) => raw.parse().map_err(|_| format!("not a number: {raw}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+struct Reader<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected input at byte {}: {other:?}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected `,` or `]`, got {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            // Surrogate pairs never appear in our own
+                            // output (escape() only \u-encodes < 0x20);
+                            // map unpaired surrogates to the
+                            // replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // `pos` always sits on a char boundary: every byte
+                    // consumed so far was either ASCII or a whole char.
+                    let c = self.text[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "bad number".to_string())?;
+        if raw.parse::<f64>().is_err() {
+            return Err(format!("bad number `{raw}`"));
+        }
+        Ok(Json::Num(raw.to_string()))
+    }
+}
+
+/// Parses one full JSON value from `line`, requiring only trailing
+/// whitespace after it.
+fn parse_line(line: &str) -> Result<Json, String> {
+    let mut r = Reader::new(line);
+    let v = r.value()?;
+    r.skip_ws();
+    if r.pos != r.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", r.pos));
+    }
+    Ok(v)
+}
+
+/// Reads the shared histogram fields emitted by [`hist_fields`].
+fn hist_from_obj(obj: &Json) -> Result<Histogram, String> {
+    let count = obj.req("count_h")?.as_u64()?;
+    let sum = obj.req("sum")?.as_f64()?;
+    let min = obj.req("min")?.as_f64()?;
+    let max = obj.req("max")?.as_f64()?;
+    let mut pairs = Vec::new();
+    for item in obj.req("buckets")?.as_arr()? {
+        let pair = item.as_arr()?;
+        if pair.len() != 2 {
+            return Err("bucket pair must have 2 elements".to_string());
+        }
+        let idx = pair[0].as_i64()?;
+        if idx < i32::MIN as i64 || idx > i32::MAX as i64 {
+            return Err(format!("bucket index out of range: {idx}"));
+        }
+        pairs.push((idx as i32, pair[1].as_u64()?));
+    }
+    Ok(Histogram::from_parts(count, sum, min, max, &pairs))
+}
+
+/// Decodes one NDJSON line into `snap`.
+fn decode_line(line: &str, snap: &mut Snapshot) -> Result<(), String> {
+    let obj = parse_line(line)?;
+    let tag = obj.req("type")?.as_str()?.to_string();
+    match tag.as_str() {
+        "meta" => {
+            snap.events_dropped = obj.req("events_dropped")?.as_u64()?;
+        }
+        "counter" => {
+            let name = obj.req("name")?.as_str()?.to_string();
+            snap.counters.insert(name, obj.req("value")?.as_u64()?);
+        }
+        "gauge" => {
+            let name = obj.req("name")?.as_str()?.to_string();
+            snap.gauges.insert(name, obj.req("value")?.as_f64()?);
+        }
+        "hist" => {
+            let name = obj.req("name")?.as_str()?.to_string();
+            snap.hists.insert(name, hist_from_obj(&obj)?);
+        }
+        "span" => {
+            let path = obj.req("path")?.as_str()?.to_string();
+            let stat = SpanStat {
+                count: obj.req("count")?.as_u64()?,
+                total_ns: obj.req("total_ns")?.as_u64()?,
+                hist: hist_from_obj(&obj)?,
+            };
+            snap.spans.insert(path, stat);
+        }
+        "event" => {
+            let level_name = obj.req("level")?.as_str()?.to_string();
+            let level = level_from_name(&level_name)
+                .ok_or_else(|| format!("unknown level `{level_name}`"))?;
+            snap.events.push(EventRecord {
+                seq: obj.req("seq")?.as_u64()?,
+                level,
+                component: obj.req("component")?.as_str()?.to_string(),
+                message: obj.req("message")?.as_str()?.to_string(),
+            });
+        }
+        other => return Err(format!("unknown line type `{other}`")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Level;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(escape("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn reader_parses_nested_structures() {
+        let v = parse_line(r#"{"a":[1,-2.5,"x"],"b":{"c":true,"d":null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1].as_f64().unwrap(),
+            -2.5
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(parse_line("{").is_err());
+        assert!(parse_line(r#"{"a":}"#).is_err());
+        assert!(parse_line(r#"{"a":1} extra"#).is_err());
+        assert!(parse_line("").is_err());
+    }
+
+    #[test]
+    fn large_u64_survives_round_trip() {
+        // 2^60 ns would lose precision through f64; raw-text numbers
+        // must keep it exact.
+        let big = (1u64 << 60) + 1;
+        let v = parse_line(&format!("{{\"n\":{big}}}")).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64().unwrap(), big);
+    }
+
+    #[test]
+    fn unicode_strings_round_trip() {
+        let original = "latência ≤ 5ms — ok ✓";
+        let line = format!("{{\"s\":{}}}", escape(original));
+        let v = parse_line(&line).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), original);
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let text = "{\"type\":\"meta\",\"events_dropped\":0}\nnot json\n";
+        let err = Snapshot::from_ndjson(text).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_line_type_is_an_error() {
+        let err = Snapshot::from_ndjson("{\"type\":\"mystery\"}\n").unwrap_err();
+        assert!(err.message.contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn summary_table_mentions_recorded_names() {
+        let r = crate::Registry::new();
+        r.counter_add("exec.batches", 7);
+        r.gauge_set("exec.workers", 2.0);
+        r.observe("fit.batch_ms", 1.25);
+        r.record_span("bench/train", std::time::Duration::from_millis(3));
+        r.record_event(Level::Warn, "exec", "late worker");
+        let table = r.snapshot().summary_table();
+        for needle in [
+            "bench/train",
+            "exec.batches",
+            "exec.workers",
+            "fit.batch_ms",
+            "late worker",
+        ] {
+            assert!(table.contains(needle), "missing `{needle}` in:\n{table}");
+        }
+        assert_eq!(
+            Snapshot::default().summary_table(),
+            "(no telemetry recorded)\n"
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! The thread-safe metric registry and its point-in-time [`Snapshot`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use crate::hist::Histogram;
+use crate::Level;
+
+/// Retained events are capped so a chatty component cannot grow the
+/// process without bound; overflow is counted, not silently dropped.
+const MAX_EVENTS: usize = 4096;
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanStat {
+    /// Completed spans at this path.
+    pub count: u64,
+    /// Exact total across completions, in nanoseconds.
+    pub total_ns: u64,
+    /// Per-completion durations in nanoseconds (for p50/p95/p99).
+    pub hist: Histogram,
+}
+
+impl SpanStat {
+    /// Total across completions in fractional milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+/// One retained structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Process-wide sequence number (ordering across threads).
+    pub seq: u64,
+    /// Severity.
+    pub level: Level,
+    /// Emitting component (e.g. `exec`, `fit`, `bench`).
+    pub component: String,
+    /// Rendered message.
+    pub message: String,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStat>,
+    events: Vec<EventRecord>,
+    events_dropped: u64,
+    next_seq: u64,
+    once: BTreeSet<String>,
+}
+
+/// A thread-safe registry of counters, gauges, histograms, span
+/// statistics, and a bounded event buffer.
+///
+/// All mutation goes through one mutex: every recording site in this
+/// workspace is coarse (per batch / per span / per event, never per
+/// matrix element), so contention is negligible next to the work being
+/// measured. A poisoned lock is recovered rather than propagated — a
+/// panicking worker must not also take down telemetry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        *self.lock().counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets the named gauge to `v` (last write wins).
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        self.lock().gauges.insert(name.to_string(), v);
+    }
+
+    /// Records `v` into the named histogram.
+    pub fn observe(&self, name: &str, v: f64) {
+        self.lock()
+            .hists
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// Records one completed span at `path`.
+    pub fn record_span(&self, path: &str, dur: Duration) {
+        let ns = dur.as_nanos().min(u64::MAX as u128) as u64;
+        let mut inner = self.lock();
+        let stat = inner.spans.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns += ns;
+        stat.hist.record(ns as f64);
+    }
+
+    /// Appends an event to the bounded buffer.
+    pub fn record_event(&self, level: Level, component: &str, message: &str) {
+        let mut inner = self.lock();
+        if inner.events.len() >= MAX_EVENTS {
+            inner.events_dropped += 1;
+            return;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push(EventRecord {
+            seq,
+            level,
+            component: component.to_string(),
+            message: message.to_string(),
+        });
+    }
+
+    /// Returns `true` exactly once per `key` for the life of this
+    /// registry — the substrate for warnings that must appear once per
+    /// process no matter how many workers hit the same condition.
+    pub fn once(&self, key: &str) -> bool {
+        self.lock().once.insert(key.to_string())
+    }
+
+    /// A point-in-time copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            hists: inner.hists.clone(),
+            spans: inner.spans.clone(),
+            events: inner.events.clone(),
+            events_dropped: inner.events_dropped,
+        }
+    }
+
+    /// Drops every recorded value (used by tests and long-lived
+    /// processes that emit periodic deltas). Once-keys are retained so
+    /// once-per-process warnings stay once-per-process.
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        let once = std::mem::take(&mut inner.once);
+        *inner = Inner {
+            once,
+            ..Inner::default()
+        };
+    }
+}
+
+/// The process-wide registry used by [`crate::Span::enter`],
+/// [`crate::event!`], and all instrumentation call sites.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A point-in-time copy of a [`Registry`], comparable for equality and
+/// convertible to and from NDJSON (see [`Snapshot::to_ndjson`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, f64>,
+    pub(crate) hists: BTreeMap<String, Histogram>,
+    pub(crate) spans: BTreeMap<String, SpanStat>,
+    pub(crate) events: Vec<EventRecord>,
+    pub(crate) events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Value of a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram by name, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Aggregated statistics of a span path, if it ever completed.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.get(path)
+    }
+
+    /// All span paths, ascending.
+    pub fn span_paths(&self) -> Vec<&str> {
+        self.spans.keys().map(String::as_str).collect()
+    }
+
+    /// The retained events, in emission order.
+    pub fn events(&self) -> &[EventRecord] {
+        &self.events
+    }
+
+    /// Events dropped after the retention cap filled.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.spans.is_empty()
+            && self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_missing_reads_zero() {
+        let r = Registry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = Registry::new();
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 2.5);
+        assert_eq!(r.snapshot().gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn observe_builds_histograms() {
+        let r = Registry::new();
+        for v in [1.0, 2.0, 3.0] {
+            r.observe("h", v);
+        }
+        let s = r.snapshot();
+        let h = s.histogram("h").expect("histogram recorded");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 6.0);
+    }
+
+    #[test]
+    fn spans_aggregate_count_and_total() {
+        let r = Registry::new();
+        r.record_span("a/b", Duration::from_millis(2));
+        r.record_span("a/b", Duration::from_millis(3));
+        let s = r.snapshot();
+        let stat = s.span("a/b").expect("span recorded");
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.total_ns, 5_000_000);
+        assert_eq!(stat.hist.count(), 2);
+    }
+
+    #[test]
+    fn once_fires_exactly_once_per_key() {
+        let r = Registry::new();
+        assert!(r.once("k"));
+        assert!(!r.once("k"));
+        assert!(r.once("other"));
+    }
+
+    #[test]
+    fn once_survives_reset() {
+        let r = Registry::new();
+        assert!(r.once("k"));
+        r.counter_add("c", 1);
+        r.reset();
+        assert!(!r.once("k"), "reset must not re-arm once-keys");
+        assert_eq!(r.snapshot().counter("c"), 0);
+    }
+
+    #[test]
+    fn event_buffer_is_bounded() {
+        let r = Registry::new();
+        for i in 0..(MAX_EVENTS + 10) {
+            r.record_event(Level::Info, "t", &format!("e{i}"));
+        }
+        let s = r.snapshot();
+        assert_eq!(s.events().len(), MAX_EVENTS);
+        assert_eq!(s.events_dropped(), 10);
+        // Sequence numbers are dense over the retained prefix.
+        assert_eq!(s.events()[0].seq, 0);
+        assert_eq!(s.events()[MAX_EVENTS - 1].seq, (MAX_EVENTS - 1) as u64);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let r = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..250 {
+                        r.counter_add("n", 1);
+                        r.observe("h", 1.0);
+                    }
+                });
+            }
+        });
+        let s = r.snapshot();
+        assert_eq!(s.counter("n"), 1000);
+        assert_eq!(s.histogram("h").map(|h| h.count()), Some(1000));
+    }
+}

@@ -1,0 +1,216 @@
+//! RAII span timers with thread-local parent/child nesting.
+//!
+//! A span measures one region of work. Spans opened while another span
+//! is live on the same thread nest under it, producing slash-joined
+//! paths — `bench/train/PRM` — so aggregated timings keep their
+//! context without any call site threading a path around.
+//!
+//! [`Span::finish`] returns the **same** [`Duration`] it records into
+//! the registry. Callers that also report timings elsewhere (the bench
+//! binary's JSON) reuse that value, which makes the JSON and the
+//! emitted telemetry agree exactly — not within tolerance, exactly.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+use crate::registry::{global, Registry};
+
+thread_local! {
+    /// Full paths of the spans currently live on this thread, outermost
+    /// first.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII timer. Records its duration under its nested path when
+/// dropped or [`finish`](Span::finish)ed, whichever comes first.
+#[derive(Debug)]
+pub struct Span<'a> {
+    registry: &'a Registry,
+    path: String,
+    /// Stack length *after* this span was pushed; used to unwind
+    /// robustly even if inner spans outlive outer ones.
+    depth: usize,
+    start: Instant,
+    recorded: bool,
+}
+
+impl Span<'static> {
+    /// Opens a span recording into the [`global`] registry, nested
+    /// under the innermost live span on this thread (if any).
+    pub fn enter(name: &str) -> Span<'static> {
+        Span::enter_in(global(), name)
+    }
+}
+
+impl<'a> Span<'a> {
+    /// Opens a span recording into an explicit registry (tests use a
+    /// local one). Nesting still uses the shared per-thread stack.
+    pub fn enter_in(registry: &'a Registry, name: &str) -> Span<'a> {
+        let (path, depth) = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            (path, stack.len())
+        });
+        Span {
+            registry,
+            path,
+            depth,
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// The full nested path this span records under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Stops the timer, records the duration, and returns it — the
+    /// exact value now visible in the registry under [`Span::path`].
+    pub fn finish(mut self) -> Duration {
+        self.record()
+    }
+
+    fn record(&mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if !self.recorded {
+            self.recorded = true;
+            self.registry.record_span(&self.path, elapsed);
+            STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                // Truncate rather than pop: if an inner span leaked past
+                // its parent, closing the parent still restores a
+                // consistent stack.
+                if stack.len() >= self.depth {
+                    stack.truncate(self.depth - 1);
+                }
+            });
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Times `f` under a span named `name` in the [`global`] registry and
+/// returns `(result, duration)` — the duration being exactly what was
+/// recorded.
+pub fn time<R>(name: &str, f: impl FnOnce() -> R) -> (R, Duration) {
+    time_in(global(), name, f)
+}
+
+/// [`time`] against an explicit registry.
+pub fn time_in<R>(registry: &Registry, name: &str, f: impl FnOnce() -> R) -> (R, Duration) {
+    let span = Span::enter_in(registry, name);
+    let out = f();
+    let dur = span.finish();
+    (out, dur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_record_slash_joined_paths() {
+        let r = Registry::new();
+        {
+            let _outer = Span::enter_in(&r, "outer");
+            {
+                let _inner = Span::enter_in(&r, "inner");
+            }
+            {
+                let _inner = Span::enter_in(&r, "inner");
+            }
+        }
+        let s = r.snapshot();
+        assert_eq!(s.span("outer").map(|st| st.count), Some(1));
+        assert_eq!(s.span("outer/inner").map(|st| st.count), Some(2));
+        assert!(s.span("inner").is_none(), "inner must nest, not top-level");
+    }
+
+    #[test]
+    fn siblings_after_a_closed_child_do_not_nest_under_it() {
+        let r = Registry::new();
+        let outer = Span::enter_in(&r, "a");
+        Span::enter_in(&r, "b").finish();
+        Span::enter_in(&r, "c").finish();
+        outer.finish();
+        let s = r.snapshot();
+        assert!(s.span("a/b").is_some());
+        assert!(s.span("a/c").is_some(), "c is a sibling of b, not a child");
+        assert!(s.span("a/b/c").is_none());
+    }
+
+    #[test]
+    fn finish_returns_the_recorded_duration() {
+        let r = Registry::new();
+        let span = Span::enter_in(&r, "work");
+        std::thread::sleep(Duration::from_millis(2));
+        let dur = span.finish();
+        let stat_ns = r.snapshot().span("work").map(|st| st.total_ns).unwrap();
+        let ns = dur.as_nanos().min(u64::MAX as u128) as u64;
+        assert_eq!(stat_ns, ns, "finish() must return what was recorded");
+    }
+
+    #[test]
+    fn dropping_out_of_order_restores_a_consistent_stack() {
+        let r = Registry::new();
+        let outer = Span::enter_in(&r, "outer");
+        let inner = Span::enter_in(&r, "inner");
+        // Parent closed while the child is still live.
+        drop(outer);
+        drop(inner);
+        // A fresh span must open at the top level again.
+        let top = Span::enter_in(&r, "fresh");
+        assert_eq!(top.path(), "fresh");
+        top.finish();
+        let s = r.snapshot();
+        assert!(s.span("fresh").is_some());
+    }
+
+    #[test]
+    fn double_record_is_impossible() {
+        let r = Registry::new();
+        let span = Span::enter_in(&r, "once");
+        span.finish(); // consumes; Drop runs but `recorded` is set
+        assert_eq!(r.snapshot().span("once").map(|st| st.count), Some(1));
+    }
+
+    #[test]
+    fn time_helper_records_and_returns_matching_duration() {
+        let r = Registry::new();
+        let (value, dur) = time_in(&r, "calc", || 21 * 2);
+        assert_eq!(value, 42);
+        let stat = r.snapshot();
+        let stat = stat.span("calc").unwrap();
+        assert_eq!(stat.count, 1);
+        assert_eq!(stat.total_ns, dur.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    #[test]
+    fn spans_on_different_threads_do_not_nest() {
+        let r = Registry::new();
+        let outer = Span::enter_in(&r, "main");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                Span::enter_in(&r, "worker").finish();
+            });
+        });
+        outer.finish();
+        let snap = r.snapshot();
+        assert!(
+            snap.span("worker").is_some(),
+            "thread-local stack per thread"
+        );
+        assert!(snap.span("main/worker").is_none());
+    }
+}

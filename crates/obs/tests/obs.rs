@@ -1,0 +1,146 @@
+//! End-to-end tests of the public `rapid-obs` surface: a populated
+//! registry snapshot must survive `to_ndjson → from_ndjson` bit-exactly,
+//! and the RAII span / event layers must compose with it.
+
+use std::time::Duration;
+
+use rapid_obs::{log_to, time_in, Histogram, Level, Registry, Snapshot, Span};
+
+/// Builds a registry exercising every metric kind, including awkward
+/// float values and strings needing JSON escaping.
+fn populated_registry() -> Registry {
+    let r = Registry::new();
+    r.counter_add("exec.batches", 400);
+    r.counter_add("fit.nan_guard_trips", 0);
+    r.gauge_set("exec.workers", 4.0);
+    r.gauge_set("bench.scale", 0.1);
+    r.gauge_set("weird.gauge", -1.5e-7);
+    for i in 1..=500 {
+        r.observe("fit.batch_ms", (i % 37) as f64 * 0.25 + 0.125);
+    }
+    r.observe("edge.zero", 0.0);
+    r.record_span("bench/prepare", Duration::from_micros(1_234_567));
+    for i in 0..50 {
+        r.record_span("bench/train/PRM", Duration::from_micros(900 + i * 13));
+    }
+    r.record_span("bench/train/PRM/epoch", Duration::from_nanos(u64::MAX));
+    r.record_event(
+        Level::Warn,
+        "exec",
+        "invalid RAPID_WORKERS=\"abc\"; using 1",
+    );
+    r.record_event(Level::Info, "bench", "line\nbreak\tand \\backslash\\");
+    r.record_event(Level::Error, "fit", "latência ≤ 5ms — ok ✓");
+    r
+}
+
+#[test]
+fn ndjson_round_trip_is_identical() {
+    let snap = populated_registry().snapshot();
+    let text = snap.to_ndjson();
+    let back = Snapshot::from_ndjson(&text).expect("own output must parse");
+    assert_eq!(back, snap, "emit → parse must reproduce the snapshot");
+
+    // And it is stable under a second round trip.
+    assert_eq!(back.to_ndjson(), text);
+}
+
+#[test]
+fn ndjson_lines_are_individually_valid() {
+    let text = populated_registry().snapshot().to_ndjson();
+    assert!(text.ends_with('\n'));
+    for line in text.lines() {
+        assert!(line.starts_with("{\"type\":\""), "line: {line}");
+        assert!(!line.contains('\n'));
+    }
+    // One line per record: meta + 2 counters + 3 gauges + 2 hists
+    // + 3 spans + 3 events.
+    assert_eq!(text.lines().count(), 14);
+}
+
+#[test]
+fn empty_snapshot_round_trips() {
+    let snap = Registry::new().snapshot();
+    assert!(snap.is_empty());
+    let back = Snapshot::from_ndjson(&snap.to_ndjson()).unwrap();
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn spans_and_events_land_in_the_same_snapshot() {
+    let r = Registry::new();
+    {
+        let _outer = Span::enter_in(&r, "fit");
+        let (_, dur) = time_in(&r, "batch", || std::hint::black_box(3 * 14));
+        log_to(&r, Level::Warn, "fit", "slow batch");
+        assert!(dur.as_nanos() > 0 || dur.is_zero()); // dur is usable
+    }
+    let s = r.snapshot();
+    assert_eq!(s.span("fit").map(|st| st.count), Some(1));
+    assert_eq!(s.span("fit/batch").map(|st| st.count), Some(1));
+    assert_eq!(s.events().len(), 1);
+
+    // The whole thing still round-trips through NDJSON.
+    let back = Snapshot::from_ndjson(&s.to_ndjson()).unwrap();
+    assert_eq!(back, s);
+}
+
+#[test]
+fn span_totals_match_finish_durations_exactly() {
+    // The contract the bench binary relies on: summing the durations
+    // returned by finish() equals the registry's total_ns for the path.
+    let r = Registry::new();
+    let mut total_ns: u128 = 0;
+    for _ in 0..20 {
+        let span = Span::enter_in(&r, "unit");
+        std::hint::black_box(vec![0u8; 4096]);
+        total_ns += span.finish().as_nanos();
+    }
+    let stat = r.snapshot();
+    let stat = stat.span("unit").expect("span recorded");
+    assert_eq!(stat.count, 20);
+    assert_eq!(u128::from(stat.total_ns), total_ns);
+}
+
+#[test]
+fn merged_thread_histograms_equal_sequential_and_round_trip() {
+    // Per-thread histograms merged together must equal one histogram fed
+    // every sample, and the merged result must survive the wire form.
+    let mut sequential = Histogram::new();
+    for t in 0..4u32 {
+        for i in 0..1000u32 {
+            sequential.record((t * 1000 + i) as f64 * 0.25 + 0.25);
+        }
+    }
+
+    let partials: Vec<Histogram> = std::thread::scope(|s| {
+        (0..4u32)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut h = Histogram::new();
+                    for i in 0..1000u32 {
+                        h.record((t * 1000 + i) as f64 * 0.25 + 0.25);
+                    }
+                    h
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut merged = Histogram::new();
+    for p in &partials {
+        merged.merge(p);
+    }
+    assert_eq!(merged, sequential);
+
+    let wire = Histogram::from_parts(
+        merged.count(),
+        merged.sum(),
+        merged.min(),
+        merged.max(),
+        &merged.bucket_pairs(),
+    );
+    assert_eq!(wire, merged);
+}

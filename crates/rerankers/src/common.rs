@@ -50,10 +50,17 @@ pub enum ListLoss {
 /// kept) so the arena is allocated once per fit instead of once per
 /// step.
 ///
+/// `model` is the re-ranker's display name; it keys the telemetry this
+/// loop publishes to the global `rapid-obs` registry — per-batch latency
+/// (`fit.<model>.batch_ms`), per-epoch mean loss
+/// (`fit.<model>.epoch_loss`), graph-validation time, and a final
+/// `info` event summarising the run.
+///
 /// `forward` builds the `(L, 1)` score/logit column for one prepared
 /// list. Returns the number of optimizer steps actually taken.
 #[allow(clippy::too_many_arguments)]
 pub fn fit_listwise(
+    model: &'static str,
     store: &mut rapid_autograd::ParamStore,
     lists: &[PreparedList],
     epochs: usize,
@@ -72,7 +79,13 @@ pub fn fit_listwise(
     let mut optimizer = Adam::new(lr);
     let mut tape = rapid_autograd::Tape::new();
     let mut batches = 0usize;
+    let reg = rapid_obs::global();
+    let fit_span = rapid_obs::Span::enter("fit");
+    let batch_metric = format!("fit.{model}.batch_ms");
+    let batches_per_epoch = lists.len().div_ceil(batch.max(1)).max(1);
+    let mut epoch = EpochLoss::new(model, batches_per_epoch);
     for_each_batch(lists, epochs, batch, &mut rng, |chunk| {
+        let batch_start = std::time::Instant::now();
         tape.clear();
         let mut losses = Vec::with_capacity(chunk.len());
         for prep in chunk {
@@ -97,16 +110,74 @@ pub fn fit_listwise(
             // Validate the first recorded batch graph (shape
             // consistency, no dangling parents) before any gradient
             // flows; later batches replay the same graph structure.
+            let check_start = std::time::Instant::now();
             if let Err(errors) = rapid_check::check_tape(&tape) {
                 panic!("fit_listwise recorded an invalid graph: {}", errors[0]);
             }
+            reg.observe(
+                "fit.graph_check_ms",
+                check_start.elapsed().as_secs_f64() * 1e3,
+            );
         }
+        epoch.push(tape.value(total).get(0, 0));
         tape.backward(total, store);
         store.clip_grad_norm(5.0);
         optimizer.step_and_zero(store);
         batches += 1;
+        reg.observe(&batch_metric, batch_start.elapsed().as_secs_f64() * 1e3);
     });
+    let elapsed = fit_span.finish();
+    rapid_obs::event!(
+        rapid_obs::Level::Info,
+        "fit",
+        "{model}: {batches} batches / {epochs} epochs in {:.1} ms",
+        elapsed.as_secs_f64() * 1e3
+    );
     FitReport::new(batches)
+}
+
+/// Accumulates per-batch losses and publishes the mean once per epoch as
+/// `fit.<model>.epoch_loss` (shared by `fit_listwise` and the training
+/// loops that cannot use it, e.g. adversarial ones).
+pub struct EpochLoss {
+    metric: String,
+    batches_per_epoch: usize,
+    sum: f64,
+    n: usize,
+    epoch: usize,
+}
+
+impl EpochLoss {
+    /// Tracker for `model`, flushing every `batches_per_epoch` pushes.
+    pub fn new(model: &str, batches_per_epoch: usize) -> Self {
+        Self {
+            metric: format!("fit.{model}.epoch_loss"),
+            batches_per_epoch: batches_per_epoch.max(1),
+            sum: 0.0,
+            n: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Records one batch loss; emits the epoch mean on epoch boundaries.
+    pub fn push(&mut self, batch_loss: f32) {
+        self.sum += f64::from(batch_loss);
+        self.n += 1;
+        if self.n == self.batches_per_epoch {
+            let mean = self.sum / self.n as f64;
+            rapid_obs::global().observe(&self.metric, mean);
+            rapid_obs::event!(
+                rapid_obs::Level::Debug,
+                "fit",
+                "{} epoch {}: mean loss {mean:.5}",
+                self.metric,
+                self.epoch
+            );
+            self.epoch += 1;
+            self.sum = 0.0;
+            self.n = 0;
+        }
+    }
 }
 
 /// Scores one list with a forward function and returns the permutation

@@ -141,6 +141,7 @@ impl ReRanker for Desa {
     fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
         let layers = self.layers();
         fit_listwise(
+            self.name(),
             &mut self.store,
             lists,
             self.config.epochs,

@@ -106,6 +106,7 @@ impl ReRanker for Dlcm {
         let gru = self.gru.clone();
         let head = self.head.clone();
         fit_listwise(
+            self.name(),
             &mut self.store,
             lists,
             self.config.epochs,

@@ -50,7 +50,7 @@ mod ssd;
 pub(crate) mod test_support;
 mod types;
 
-pub use common::{item_feature_dim, item_features, list_feature_matrix, tune_parameter};
+pub use common::{item_feature_dim, item_features, list_feature_matrix, tune_parameter, EpochLoss};
 pub use desa::{Desa, DesaConfig};
 pub use dlcm::{Dlcm, DlcmConfig};
 pub use dpp::{DppReranker, PdGan, PdGanConfig};

@@ -145,6 +145,7 @@ impl ReRanker for Prm {
         let encoders = self.encoders.clone();
         let head = self.head.clone();
         fit_listwise(
+            self.name(),
             &mut self.store,
             lists,
             self.config.epochs,

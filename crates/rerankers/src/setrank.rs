@@ -132,6 +132,7 @@ impl ReRanker for SetRank {
         let blocks = self.blocks.clone();
         let head = self.head.clone();
         fit_listwise(
+            self.name(),
             &mut self.store,
             lists,
             self.config.epochs,

@@ -180,6 +180,7 @@ impl ReRanker for Srga {
         let layers = self.layers();
         let radius = self.config.local_radius;
         fit_listwise(
+            self.name(),
             &mut self.store,
             lists,
             self.config.epochs,

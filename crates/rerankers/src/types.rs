@@ -61,8 +61,23 @@ pub trait ReRanker: Send + Sync {
     /// Re-ranks a batch of prepared lists on scoped threads. The output
     /// order matches the input order, and each list's permutation is
     /// identical to a sequential [`ReRanker::rerank_prepared`] call.
+    ///
+    /// The batch runs under a `rerank_batch` span and records per-list
+    /// inference latency as `rerank.<name>.list_ms` in the global
+    /// `rapid-obs` registry.
     fn rerank_batch(&self, ds: &Dataset, lists: &[PreparedList]) -> Vec<Vec<usize>> {
-        rapid_exec::par_map(lists, |p| self.rerank_prepared(ds, p))
+        let span = rapid_obs::Span::enter("rerank_batch");
+        let metric = format!("rerank.{}.list_ms", self.name());
+        let out = rapid_exec::par_map(lists, |p| {
+            let t0 = std::time::Instant::now();
+            let perm = self.rerank_prepared(ds, p);
+            rapid_obs::global().observe(&metric, t0.elapsed().as_secs_f64() * 1e3);
+            perm
+        });
+        rapid_obs::global()
+            .counter_add(&format!("rerank.{}.lists", self.name()), lists.len() as u64);
+        span.finish();
+        out
     }
 
     /// Convenience: the re-ranked item ids, best-first.

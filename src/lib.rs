@@ -28,6 +28,8 @@
 //! * [`bandit`] — the linear-DCM bandit used for the regret analysis.
 //! * [`metrics`] — click/ndcg/div/satis/rev@k and significance tests.
 //! * [`eval`] — the end-to-end experiment pipeline.
+//! * [`obs`] — dependency-free telemetry: counters, gauges, histograms,
+//!   RAII spans, leveled events, NDJSON export.
 
 pub use rapid_autograd as autograd;
 pub use rapid_bandit as bandit;
@@ -40,6 +42,7 @@ pub use rapid_exec as exec;
 pub use rapid_gbdt as gbdt;
 pub use rapid_metrics as metrics;
 pub use rapid_nn as nn;
+pub use rapid_obs as obs;
 pub use rapid_rankers as rankers;
 pub use rapid_rerankers as rerankers;
 pub use rapid_tensor as tensor;
