@@ -1,0 +1,306 @@
+//! Training diagnostics: per-parameter norm traces and non-finite
+//! fail-fast scans.
+//!
+//! Answers "why did this run diverge?" with data instead of archaeology.
+//! Two pieces:
+//!
+//! * [`TrainDiag`] — an epoch-boundary hook owned by a training loop.
+//!   When diagnostics are enabled (`RAPID_DIAG=1` or
+//!   [`rapid_obs::set_diag_enabled`]), it records, per epoch and per
+//!   named parameter, the gradient L2 norm, the weight L2 norm, the
+//!   update L2 norm, and the update/weight ratio — the standard signals
+//!   for spotting exploding gradients, dead layers, and learning rates
+//!   an order of magnitude off. Rows are appended as NDJSON to
+//!   `<out_dir>/train_trace_<model>.ndjson`. When diagnostics are
+//!   disabled every hook is a single branch on a cached bool.
+//! * [`find_nonfinite_grad`] / [`find_nonfinite_value`] — cheap walks
+//!   over a [`ParamStore`] returning the first parameter holding a
+//!   NaN/Inf, used by the training loops and the Adam step to abort a
+//!   corrupted run *naming the culprit* instead of silently training on
+//!   garbage.
+//!
+//! The trace schema (one JSON object per line):
+//!
+//! ```text
+//! {"type":"diag","model":"RAPID","epoch":3,"param":"scorer.w1",
+//!  "grad_norm":0.41,"weight_norm":5.2,"update_norm":0.0051,"update_ratio":0.00098}
+//! {"type":"diag_epoch","model":"RAPID","epoch":3,"global_grad_norm":1.7,"params":12}
+//! ```
+
+use std::io::Write as _;
+
+use rapid_tensor::Matrix;
+
+use crate::params::ParamStore;
+
+/// Returns the name of the first parameter whose *gradient* contains a
+/// non-finite value, if any.
+pub fn find_nonfinite_grad(store: &ParamStore) -> Option<&str> {
+    store
+        .ids()
+        .find(|&id| store.grad(id).as_slice().iter().any(|v| !v.is_finite()))
+        .map(|id| store.name(id))
+}
+
+/// Returns the name of the first parameter whose *value* contains a
+/// non-finite entry, if any.
+pub fn find_nonfinite_value(store: &ParamStore) -> Option<&str> {
+    store
+        .ids()
+        .find(|&id| store.value(id).as_slice().iter().any(|v| !v.is_finite()))
+        .map(|id| store.name(id))
+}
+
+/// Per-parameter state captured just before an epoch-boundary optimizer
+/// step, consumed right after it.
+struct PreStep {
+    grad_norms: Vec<f64>,
+    weight_norms: Vec<f64>,
+    weights: Vec<Matrix>,
+    global_grad_norm: f64,
+    epoch: usize,
+}
+
+/// Epoch-boundary training diagnostics for one model's fit.
+///
+/// The owning loop calls [`TrainDiag::record_pre_step`] right before
+/// the optimizer step that closes an epoch and
+/// [`TrainDiag::record_post_step`] right after it; every other batch
+/// costs one bool check. The hook never panics on I/O problems — a
+/// failed trace write downgrades to a `warn` event and disables itself.
+pub struct TrainDiag {
+    /// `None` when diagnostics are disabled or the trace file could not
+    /// be opened.
+    writer: Option<std::io::BufWriter<std::fs::File>>,
+    model: String,
+    pre: Option<PreStep>,
+}
+
+/// Lowercases `model` and maps non-alphanumeric characters to `_`, so
+/// display names like `RAPID-pro` make safe file stems.
+fn sanitize(model: &str) -> String {
+    model
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl TrainDiag {
+    /// A diagnostics hook for `model`. Enabled iff
+    /// [`rapid_obs::diag_enabled`]; when enabled, truncates and opens
+    /// `<out_dir>/train_trace_<model>.ndjson` for this run's rows.
+    pub fn new(model: &str) -> Self {
+        let writer = if rapid_obs::diag_enabled() {
+            match Self::open_trace(model) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    rapid_obs::event!(
+                        rapid_obs::Level::Warn,
+                        "diag",
+                        "{model}: cannot open training trace ({e}); diagnostics disabled"
+                    );
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        Self {
+            writer,
+            model: model.to_string(),
+            pre: None,
+        }
+    }
+
+    fn open_trace(model: &str) -> std::io::Result<std::io::BufWriter<std::fs::File>> {
+        let dir = rapid_obs::ensure_out_dir()?;
+        let path = dir.join(format!("train_trace_{}.ndjson", sanitize(model)));
+        Ok(std::io::BufWriter::new(std::fs::File::create(path)?))
+    }
+
+    /// `true` when the next epoch-boundary step should be recorded —
+    /// callers use this to skip the pre-step weight copies entirely in
+    /// the common (disabled) case.
+    pub fn enabled(&self) -> bool {
+        self.writer.is_some()
+    }
+
+    /// Captures per-parameter gradient/weight norms and a copy of the
+    /// weights, immediately *before* the optimizer step closing `epoch`.
+    pub fn record_pre_step(&mut self, store: &ParamStore, epoch: usize) {
+        if self.writer.is_none() {
+            return;
+        }
+        let n = store.len();
+        let mut grad_norms = Vec::with_capacity(n);
+        let mut weight_norms = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        for id in store.ids() {
+            grad_norms.push(f64::from(store.grad(id).norm()));
+            weight_norms.push(f64::from(store.value(id).norm()));
+            weights.push(store.value(id).clone());
+        }
+        self.pre = Some(PreStep {
+            grad_norms,
+            weight_norms,
+            weights,
+            global_grad_norm: f64::from(store.grad_norm()),
+            epoch,
+        });
+    }
+
+    /// Emits one trace row per parameter (grad norm, weight norm,
+    /// update norm, update/weight ratio) plus an epoch summary row,
+    /// immediately *after* the optimizer step whose pre-state
+    /// [`TrainDiag::record_pre_step`] captured.
+    pub fn record_post_step(&mut self, store: &ParamStore) {
+        let Some(pre) = self.pre.take() else {
+            return;
+        };
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
+        let mut out = String::new();
+        for (idx, id) in store.ids().enumerate() {
+            let mut delta = store.value(id).clone();
+            delta.add_scaled_assign(&pre.weights[idx], -1.0);
+            let update_norm = f64::from(delta.norm());
+            let weight_norm = pre.weight_norms[idx];
+            // Ratio vs the pre-step weight norm; ~1e-3 is the healthy
+            // ballpark, 0 means a dead parameter, ≫1e-2 an unstable one.
+            let ratio = if weight_norm > 0.0 {
+                update_norm / weight_norm
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{{\"type\":\"diag\",\"model\":{},\"epoch\":{},\"param\":{},\
+                 \"grad_norm\":{},\"weight_norm\":{},\"update_norm\":{},\"update_ratio\":{}}}\n",
+                json_str(&self.model),
+                pre.epoch,
+                json_str(store.name(id)),
+                json_num(pre.grad_norms[idx]),
+                json_num(weight_norm),
+                json_num(update_norm),
+                json_num(ratio),
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"type\":\"diag_epoch\",\"model\":{},\"epoch\":{},\
+             \"global_grad_norm\":{},\"params\":{}}}\n",
+            json_str(&self.model),
+            pre.epoch,
+            json_num(pre.global_grad_norm),
+            store.len(),
+        ));
+        let write = writer
+            .write_all(out.as_bytes())
+            .and_then(|()| writer.flush());
+        if let Err(e) = write {
+            rapid_obs::event!(
+                rapid_obs::Level::Warn,
+                "diag",
+                "{}: training trace write failed ({e}); diagnostics disabled",
+                self.model
+            );
+            self.writer = None;
+        }
+        rapid_obs::global().gauge_set(
+            &format!("fit.{}.grad_norm", self.model),
+            pre.global_grad_norm,
+        );
+    }
+}
+
+/// Minimal JSON string escaping for trace rows (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite shortest-round-trip float; non-finite norms are written as
+/// `null` (valid JSON, unambiguous in the trace).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(name: &str, values: &[f32], grads: &[f32]) -> ParamStore {
+        let mut s = ParamStore::new();
+        let id = s.add(name, Matrix::row_vector(values));
+        *s.grad_mut(id) = Matrix::row_vector(grads);
+        s
+    }
+
+    #[test]
+    fn nonfinite_scans_name_the_culprit() {
+        let mut s = ParamStore::new();
+        s.add("healthy", Matrix::ones(1, 2));
+        let bad = s.add("scorer.w1", Matrix::ones(2, 2));
+        assert_eq!(find_nonfinite_grad(&s), None);
+        assert_eq!(find_nonfinite_value(&s), None);
+        s.grad_mut(bad).as_mut_slice()[3] = f32::NAN;
+        assert_eq!(find_nonfinite_grad(&s), Some("scorer.w1"));
+        s.value_mut(bad).as_mut_slice()[0] = f32::INFINITY;
+        assert_eq!(find_nonfinite_value(&s), Some("scorer.w1"));
+    }
+
+    #[test]
+    fn scan_reports_the_first_offender_in_registration_order() {
+        let mut s = ParamStore::new();
+        let a = s.add("first", Matrix::ones(1, 1));
+        let b = s.add("second", Matrix::ones(1, 1));
+        s.grad_mut(a).as_mut_slice()[0] = f32::NEG_INFINITY;
+        s.grad_mut(b).as_mut_slice()[0] = f32::NAN;
+        assert_eq!(find_nonfinite_grad(&s), Some("first"));
+    }
+
+    #[test]
+    fn disabled_diag_records_nothing() {
+        rapid_obs::set_diag_enabled(false);
+        let mut diag = TrainDiag::new("UnitTest");
+        assert!(!diag.enabled());
+        let s = store_with("w", &[1.0, 2.0], &[0.1, 0.2]);
+        diag.record_pre_step(&s, 0);
+        diag.record_post_step(&s);
+        assert!(diag.pre.is_none());
+    }
+
+    #[test]
+    fn sanitize_makes_safe_file_stems() {
+        assert_eq!(sanitize("RAPID-pro"), "rapid_pro");
+        assert_eq!(sanitize("PRM"), "prm");
+        assert_eq!(sanitize("a b/c"), "a_b_c");
+    }
+
+    #[test]
+    fn json_helpers_escape_and_guard() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::NAN), "null");
+    }
+}

@@ -14,9 +14,14 @@
 //! * [`ParamStore`] — named trainable parameters living *outside* the
 //!   tape. A fresh tape is built per training step; parameter leaves are
 //!   bound by id and gradients are accumulated back into the store.
-//! * [`optim`] — SGD and Adam.
+//! * [`optim`] — SGD and Adam. Adam carries an always-on non-finite
+//!   gradient guard that aborts the run naming the offending parameter
+//!   instead of corrupting every weight it touches.
 //! * [`loss`] — numerically stable binary cross-entropy with logits,
 //!   MSE, and the pairwise logistic loss used by DESA.
+//! * [`diag`] — training diagnostics: per-epoch per-parameter norm
+//!   traces ([`diag::TrainDiag`], gated by `RAPID_DIAG`) and the
+//!   non-finite fail-fast scans the training loops call.
 //! * [`gradcheck`] — central-difference verification used by the tests
 //!   of this crate and of `rapid-nn`.
 //!
@@ -53,6 +58,7 @@
 //! assert_eq!(store.grad(w).as_slice(), &[3.0, 4.0]);
 //! ```
 
+pub mod diag;
 pub mod gradcheck;
 pub mod loss;
 pub mod op;

@@ -102,7 +102,24 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
+    /// One Adam update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any accumulated gradient contains a NaN/Inf, naming
+    /// the offending parameter and the step count. A non-finite
+    /// gradient would poison the moment estimates (`m`, `v`) for every
+    /// remaining step, so training on is strictly worse than aborting;
+    /// the scan is one read over gradients Adam is about to read
+    /// several times anyway.
     fn step(&mut self, store: &mut ParamStore) {
+        if let Some(param) = crate::diag::find_nonfinite_grad(store) {
+            panic!(
+                "Adam step {}: non-finite gradient in parameter `{param}` \
+                 (aborting before the update corrupts the moment estimates)",
+                self.t + 1
+            );
+        }
         self.ensure_state(store);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
@@ -175,6 +192,25 @@ mod tests {
         // No loss gradient at all: only decay acts.
         opt.step_and_zero(&mut store);
         assert!((store.value(w).get(0, 0) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_aborts_on_nonfinite_gradient_naming_the_parameter() {
+        let mut store = ParamStore::new();
+        store.add("fine", Matrix::ones(1, 1));
+        let bad = store.add("scorer.w1", Matrix::ones(1, 2));
+        store.grad_mut(bad).as_mut_slice()[1] = f32::NAN;
+        let mut opt = Adam::new(0.01);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            opt.step(&mut store);
+        }))
+        .expect_err("NaN gradient must abort the step");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("scorer.w1"),
+            "panic must name the param: {msg}"
+        );
+        assert!(msg.contains("step 1"), "panic must name the step: {msg}");
     }
 
     #[test]

@@ -27,6 +27,8 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+use rapid_obs::clock;
+
 #[derive(Debug, Default)]
 struct OpAgg {
     count: u64,
@@ -45,7 +47,7 @@ pub(crate) struct TapeProfiler {
 impl TapeProfiler {
     /// Called by `Tape::push` with the tag of the op being recorded.
     pub fn on_push(&mut self, tag: &'static str) {
-        let now = Instant::now();
+        let now = clock::now();
         let agg = self.forward.entry(tag).or_default();
         agg.count += 1;
         if let Some(prev) = self.last_push {

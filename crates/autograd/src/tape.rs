@@ -443,7 +443,7 @@ impl Tape {
             // Split borrow: clone the op tag (cheap, small) to walk parents.
             let op = self.nodes[i].op.clone();
             #[cfg(feature = "obs-profile")]
-            let t0 = std::time::Instant::now();
+            let t0 = rapid_obs::clock::now();
             self.propagate(i, &op, &up);
             #[cfg(feature = "obs-profile")]
             self.profiler.on_backward(op.tag(), t0.elapsed());

@@ -1,7 +1,10 @@
 //! Execution-layer baseline: times the prepared-feature pipeline and
 //! batch scoring of PRM, DESA, and RAPID-pro against the legacy
 //! per-`(ds, input)` path at quick scale, and writes `BENCH_exec.json`
-//! plus `telemetry.ndjson` from the same `rapid-obs` registry.
+//! (repo root, the committed gate baseline) plus `telemetry.ndjson` and
+//! a Chrome trace under `--out-dir` from the same `rapid-obs` registry.
+//! With `RAPID_OBS_ADDR=host:port` set, the run also serves live
+//! `/metrics`, `/healthz`, and `/snapshot` endpoints while it executes.
 //!
 //! The "before" numbers reconstruct what the pre-refactor code paid:
 //!
@@ -110,6 +113,14 @@ struct BenchReport {
 fn main() {
     let cli = Cli::parse();
     println!("# Execution-layer bench (scale: {})\n", cli.scale_tag());
+
+    // Route run artifacts (telemetry, Chrome trace, RAPID_DIAG training
+    // traces) under --out-dir, and start the /metrics endpoint when
+    // RAPID_OBS_ADDR is set so the run can be watched live.
+    rapid_obs::set_out_dir(&cli.out_dir);
+    if let Some(addr) = rapid_obs::install_from_env() {
+        println!("serving /metrics on http://{addr}\n");
+    }
 
     let mut config = ExperimentConfig::new(Flavor::MovieLens, cli.scale);
     config.seed = cli.seed;
@@ -240,10 +251,16 @@ fn main() {
     println!("wrote BENCH_exec.json");
 
     // Dump everything the run recorded — the spans above, plus the
-    // fit/rerank/exec instrumentation underneath them — as NDJSON and a
-    // human summary.
+    // fit/rerank/exec instrumentation underneath them — as NDJSON, a
+    // Perfetto-loadable Chrome trace, and a human summary, all under
+    // --out-dir.
+    let out_dir = rapid_obs::ensure_out_dir().expect("create --out-dir");
     let snapshot = rapid_obs::global().snapshot();
-    std::fs::write("telemetry.ndjson", snapshot.to_ndjson()).expect("write telemetry.ndjson");
-    println!("wrote telemetry.ndjson\n");
+    let telemetry = out_dir.join("telemetry.ndjson");
+    std::fs::write(&telemetry, snapshot.to_ndjson()).expect("write telemetry.ndjson");
+    println!("wrote {}", telemetry.display());
+    let trace = out_dir.join("trace_exec.json");
+    std::fs::write(&trace, snapshot.to_chrome_trace()).expect("write trace_exec.json");
+    println!("wrote {} (load in ui.perfetto.dev)\n", trace.display());
     print!("{}", snapshot.summary_table());
 }

@@ -6,6 +6,10 @@
 //!   the default is `Scale::Quick`, which reproduces the same *shapes*
 //!   in a few minutes.
 //! * `--seed N` — override the master seed (default 42).
+//! * `--out-dir DIR` — directory for run artifacts (telemetry NDJSON,
+//!   Chrome traces, `RAPID_DIAG` training traces); default `results/`.
+//!   Committed gate baselines like `BENCH_exec.json` stay at the repo
+//!   root regardless.
 //!
 //! Binaries (one per table/figure of the paper):
 //!
@@ -34,16 +38,19 @@ pub mod check;
 pub use check::{check_regression, CheckOutcome, ModelDelta, DEFAULT_TOLERANCE};
 
 /// Parsed common CLI options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Cli {
     /// Experiment scale.
     pub scale: Scale,
     /// Master seed.
     pub seed: u64,
+    /// Directory for run artifacts (telemetry, traces).
+    pub out_dir: String,
 }
 
 impl Cli {
-    /// Parses `--full` and `--seed N` from `std::env::args`.
+    /// Parses `--full`, `--seed N`, and `--out-dir DIR` from
+    /// `std::env::args`.
     pub fn parse() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let scale = if args.iter().any(|a| a == "--full") {
@@ -57,7 +64,17 @@ impl Cli {
             .and_then(|i| args.get(i + 1))
             .and_then(|s| s.parse().ok())
             .unwrap_or(42);
-        Self { scale, seed }
+        let out_dir = args
+            .iter()
+            .position(|a| a == "--out-dir")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "results".to_string());
+        Self {
+            scale,
+            seed,
+            out_dir,
+        }
     }
 
     /// Human-readable scale tag for output headers.
@@ -85,6 +102,7 @@ mod tests {
         let cli = Cli::parse();
         assert_eq!(cli.seed, 42);
         assert_eq!(cli.scale_tag(), "quick");
+        assert_eq!(cli.out_dir, "results");
     }
 
     #[test]

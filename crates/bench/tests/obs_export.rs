@@ -1,0 +1,317 @@
+//! Golden-format tests for the two `rapid-obs` exporters.
+//!
+//! The Prometheus exposition is re-parsed line by line against the text
+//! format 0.0.4 grammar (metric/label naming, label-value escaping,
+//! HELP/TYPE ordering, counter monotonicity across renders), and the
+//! Chrome trace is parsed with the workspace JSON parser and checked to
+//! be a Perfetto-loadable trace-event document: every event a complete
+//! `"X"` event carrying `name`/`ts`/`dur`/`pid`/`tid`. Living in the
+//! bench crate gives the tests the vendored `serde_json` parser without
+//! adding dependencies to `rapid-obs` itself.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use rapid_obs::{Level, Registry};
+use serde_json::{parse_value, Value};
+
+/// A registry exercising every family the exporters render, including
+/// names and label values that need escaping.
+fn populated() -> Registry {
+    let r = Registry::new();
+    r.counter_add("exec.batches", 400);
+    r.counter_add("events.dropped", 0);
+    r.gauge_set("exec.workers", 4.0);
+    r.gauge_set("weird.gauge", -1.5e-7);
+    for i in 1..=200 {
+        r.observe("fit.batch_ms", (i % 37) as f64 * 0.25 + 0.125);
+    }
+    r.observe("edge.zero", 0.0);
+    r.record_span("bench/prepare", Duration::from_micros(1_234_567));
+    for i in 0..50 {
+        r.record_span(
+            r#"bench/train/"PRM"\weird"#,
+            Duration::from_micros(900 + i * 13),
+        );
+    }
+    r.record_span_timed("bench/infer", Duration::from_micros(321), 42, 1);
+    r.record_span_timed(
+        r#"path with "quotes" and \slashes"#,
+        Duration::from_micros(5),
+        99,
+        2,
+    );
+    r.record_event(Level::Warn, "exec", "warn line");
+    r
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text format 0.0.4
+// ---------------------------------------------------------------------
+
+fn is_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line: metric name, labels, value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses a `name{l1="v1",...} value` sample line, panicking (with the
+/// line) on any grammar violation.
+fn parse_sample(line: &str) -> Sample {
+    let (name_labels, value) = line
+        .rsplit_once(' ')
+        .unwrap_or_else(|| panic!("sample line has no value separator: {line:?}"));
+    let value = match value {
+        "NaN" => f64::NAN,
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("bad sample value {v:?} in {line:?}: {e}")),
+    };
+    let (name, labels) = match name_labels.split_once('{') {
+        None => (name_labels.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unterminated label set in {line:?}"));
+            (name.to_string(), parse_labels(body, line))
+        }
+    };
+    assert!(
+        is_metric_name(&name),
+        "invalid metric name {name:?} in {line:?}"
+    );
+    Sample {
+        name,
+        labels,
+        value,
+    }
+}
+
+/// Parses `l1="v1",l2="v2"`, validating label names and unescaping
+/// values; `\\`, `\"`, and `\n` are the only legal escapes.
+fn parse_labels(body: &str, line: &str) -> Vec<(String, String)> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let (label, tail) = rest
+            .split_once("=\"")
+            .unwrap_or_else(|| panic!("label without =\" in {line:?}"));
+        assert!(
+            is_label_name(label),
+            "invalid label name {label:?} in {line:?}"
+        );
+        // Scan to the closing unescaped quote.
+        let mut value = String::new();
+        let mut chars = tail.chars();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => panic!("illegal escape \\{other:?} in {line:?}"),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => panic!("unterminated label value in {line:?}"),
+            }
+        }
+        labels.push((label.to_string(), value));
+        rest = chars.as_str();
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    labels
+}
+
+/// Parses a full exposition, enforcing the line grammar plus HELP/TYPE
+/// placement, and returns every sample keyed by `name{labels}`.
+fn parse_exposition(text: &str) -> HashMap<String, f64> {
+    assert!(text.ends_with('\n'), "exposition must end with a newline");
+    let mut typed: HashMap<String, String> = HashMap::new();
+    let mut samples = HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or_default();
+            let name = parts.next().unwrap_or_default();
+            let payload = parts.next().unwrap_or_default();
+            match keyword {
+                "HELP" => assert!(!payload.is_empty(), "HELP without docstring: {line:?}"),
+                "TYPE" => {
+                    assert!(
+                        ["counter", "gauge", "summary", "histogram", "untyped"].contains(&payload),
+                        "invalid TYPE {payload:?}: {line:?}"
+                    );
+                    assert!(
+                        typed
+                            .insert(name.to_string(), payload.to_string())
+                            .is_none(),
+                        "duplicate TYPE for {name}: {line:?}"
+                    );
+                }
+                other => panic!("unknown comment keyword {other:?}: {line:?}"),
+            }
+            assert!(
+                is_metric_name(name),
+                "invalid metric name in comment: {line:?}"
+            );
+            continue;
+        }
+        let s = parse_sample(line);
+        // Each sample must belong to a TYPE-declared family (summaries
+        // contribute `_sum` / `_count` suffixed series).
+        let base = s
+            .name
+            .strip_suffix("_sum")
+            .or_else(|| s.name.strip_suffix("_count"))
+            .unwrap_or(&s.name);
+        assert!(
+            typed.contains_key(&s.name) || typed.contains_key(base),
+            "sample {} has no TYPE declaration",
+            s.name
+        );
+        let label_str: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v:?}")).collect();
+        let key = format!("{}{{{}}}", s.name, label_str.join(","));
+        assert!(
+            samples.insert(key.clone(), s.value).is_none(),
+            "duplicate sample {key}"
+        );
+    }
+    samples
+}
+
+#[test]
+fn prometheus_exposition_matches_the_text_format_grammar() {
+    let r = populated();
+    let samples = parse_exposition(&r.snapshot().to_prometheus());
+
+    // Counters and gauges come through with exact values.
+    assert_eq!(samples["rapid_counter_total{name=\"exec.batches\"}"], 400.0);
+    assert_eq!(samples["rapid_gauge{name=\"exec.workers\"}"], 4.0);
+    assert_eq!(samples["rapid_gauge{name=\"weird.gauge\"}"], -1.5e-7);
+
+    // Histograms render as summaries with count and sum.
+    assert_eq!(samples["rapid_hist_count{name=\"fit.batch_ms\"}"], 200.0);
+    assert!(samples["rapid_hist_sum{name=\"fit.batch_ms\"}"] > 0.0);
+    for q in ["0.5", "0.9", "0.99"] {
+        let key = format!("rapid_hist{{name=\"fit.batch_ms\",quantile={q:?}}}");
+        assert!(samples.contains_key(&key), "missing quantile sample {key}");
+    }
+
+    // Span paths with quotes/backslashes survive the escape round-trip
+    // (the parser above unescaped them back to the raw path).
+    let raw = r#"bench/train/"PRM"\weird"#;
+    let key = format!("rapid_span_seconds_count{{path={raw:?}}}");
+    assert_eq!(samples[&key], 50.0);
+
+    // The drop counters are always present, even at zero.
+    assert_eq!(samples["rapid_events_dropped_total{}"], 0.0);
+    assert_eq!(samples["rapid_timeline_dropped_total{}"], 0.0);
+}
+
+#[test]
+fn prometheus_counters_are_monotone_across_renders() {
+    let r = populated();
+    let before = parse_exposition(&r.snapshot().to_prometheus());
+    r.counter_add("exec.batches", 7);
+    r.record_span("bench/prepare", Duration::from_millis(1));
+    let after = parse_exposition(&r.snapshot().to_prometheus());
+    for (key, &v0) in &before {
+        let is_counter = key.starts_with("rapid_counter_total")
+            || key.ends_with("_total{}")
+            || key.contains("_count{");
+        if is_counter {
+            let v1 = after
+                .get(key)
+                .copied()
+                .unwrap_or_else(|| panic!("counter {key} disappeared between renders"));
+            assert!(v1 >= v0, "counter {key} went backwards: {v0} -> {v1}");
+        }
+    }
+    assert_eq!(after["rapid_counter_total{name=\"exec.batches\"}"], 407.0);
+}
+
+#[test]
+fn empty_snapshot_still_renders_a_valid_exposition() {
+    let samples = parse_exposition(&Registry::new().snapshot().to_prometheus());
+    assert_eq!(samples["rapid_events_dropped_total{}"], 0.0);
+    assert_eq!(samples["rapid_timeline_dropped_total{}"], 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event JSON
+// ---------------------------------------------------------------------
+
+#[test]
+fn chrome_trace_is_valid_trace_event_json_with_complete_events() {
+    let r = populated();
+    let trace = r.snapshot().to_chrome_trace();
+    let doc = parse_value(&trace).expect("chrome trace must be valid JSON");
+
+    let events = match doc.field("traceEvents").expect("traceEvents array") {
+        Value::Array(items) => items,
+        other => panic!("traceEvents is not an array: {other:?}"),
+    };
+    // Two record_span_timed calls above -> two timeline records.
+    assert_eq!(events.len(), 2, "one event per timed span");
+    for ev in events {
+        assert_eq!(ev.field("ph").unwrap().as_str().unwrap(), "X");
+        assert_eq!(ev.field("cat").unwrap().as_str().unwrap(), "span");
+        assert!(!ev.field("name").unwrap().as_str().unwrap().is_empty());
+        assert!(ev.field("ts").unwrap().as_u64().is_ok());
+        assert!(ev.field("dur").unwrap().as_u64().is_ok());
+        assert_eq!(ev.field("pid").unwrap().as_u64().unwrap(), 1);
+        assert!(ev.field("tid").unwrap().as_u64().unwrap() >= 1);
+    }
+    // The escaped path round-trips through the JSON string encoding.
+    let names: Vec<&str> = events
+        .iter()
+        .map(|e| e.field("name").unwrap().as_str().unwrap())
+        .collect();
+    assert!(names.contains(&"bench/infer"));
+    assert!(names.contains(&r#"path with "quotes" and \slashes"#));
+
+    assert_eq!(
+        doc.field("otherData")
+            .unwrap()
+            .field("timeline_dropped")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        0
+    );
+    assert!(doc.field("displayTimeUnit").unwrap().as_str().is_ok());
+}
+
+#[test]
+fn chrome_trace_of_an_empty_snapshot_parses() {
+    let doc = parse_value(&Registry::new().snapshot().to_chrome_trace())
+        .expect("empty trace is still valid JSON");
+    match doc.field("traceEvents").unwrap() {
+        Value::Array(items) => assert!(items.is_empty()),
+        other => panic!("traceEvents is not an array: {other:?}"),
+    }
+}

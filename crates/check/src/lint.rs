@@ -13,9 +13,15 @@
 //!   run inside training/serving loops where a panic must carry a real
 //!   diagnostic, not "called unwrap on None".
 //! * `no-env-var` — process environment reads are confined to
-//!   `exec::parallel` (the `RAPID_WORKERS` override) and `obs::event`
-//!   (the `RAPID_LOG` threshold); configuration everywhere else flows
-//!   through typed config structs.
+//!   `exec::parallel` (the `RAPID_WORKERS` override), `obs::event`
+//!   (the `RAPID_LOG` threshold), and `obs::config` (the `RAPID_DIAG` /
+//!   `RAPID_OUT_DIR` / `RAPID_OBS_ADDR` knobs); configuration
+//!   everywhere else flows through typed config structs.
+//! * `centralized-clock` — `Instant::now` / `SystemTime::now` are read
+//!   only inside `crates/obs/src` (the `rapid_obs::clock` module);
+//!   everything else takes timestamps through `rapid_obs::clock::now` /
+//!   `wall_micros` so timeline records share one epoch and tests can
+//!   reason about a single time source.
 //! * `no-bare-print` — no `println!`/`eprintln!` (or their non-newline
 //!   forms) in the library code of the instrumented crates (`autograd`,
 //!   `exec`, `core`, `rerankers`): diagnostics there go through
@@ -80,8 +86,17 @@ const HOT_CRATES: [&str; 4] = [
 ];
 
 /// The only files allowed to read the process environment: the
-/// `RAPID_WORKERS` override and the `RAPID_LOG` threshold.
-const ENV_ALLOWED_FILES: [&str; 2] = ["crates/exec/src/parallel.rs", "crates/obs/src/event.rs"];
+/// `RAPID_WORKERS` override, the `RAPID_LOG` threshold, and the
+/// observability knobs (`RAPID_DIAG`, `RAPID_OUT_DIR`, `RAPID_OBS_ADDR`).
+const ENV_ALLOWED_FILES: [&str; 3] = [
+    "crates/exec/src/parallel.rs",
+    "crates/obs/src/event.rs",
+    "crates/obs/src/config.rs",
+];
+
+/// The only crate allowed to read the process clocks directly; everyone
+/// else goes through `rapid_obs::clock` so timestamps share one epoch.
+const CLOCK_ALLOWED_PREFIX: &str = "crates/obs/src/";
 
 /// Crates whose library diagnostics must flow through `rapid_obs::event!`
 /// rather than bare `print!`-family macros.
@@ -124,6 +139,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
     let unwrap_applies = HOT_CRATES.iter().any(|c| path.starts_with(c));
     let env_applies = !ENV_ALLOWED_FILES.contains(&path);
     let print_applies = PRINT_FREE_CRATES.iter().any(|c| path.starts_with(c));
+    let clock_applies = !path.starts_with(CLOCK_ALLOWED_PREFIX);
 
     let mut in_tests = false;
     let mut saw_doc_header = false;
@@ -176,6 +192,23 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                         message: format!(
                             "`{needle}…` in hot-crate library code; return an error or \
                              panic with a specific message (or `lint:allow(no-unwrap)`)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if clock_applies && !allow("centralized-clock") {
+            for needle in ["Instant::now", "SystemTime::now"] {
+                if code.contains(needle) {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: "centralized-clock",
+                        message: format!(
+                            "`{needle}` outside `rapid-obs`; take timestamps via \
+                             `rapid_obs::clock` so they share one epoch (or \
+                             `lint:allow(centralized-clock)`)"
                         ),
                     });
                 }
@@ -428,6 +461,37 @@ mod tests {
             rules(&lint_source("crates/obs/src/registry.rs", &src)),
             vec!["no-env-var"]
         );
+    }
+
+    #[test]
+    fn raw_clock_reads_confined_to_obs() {
+        let src = "//! Doc.\nfn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/exec/src/parallel.rs", src)),
+            vec!["centralized-clock"]
+        );
+        let src = "//! Doc.\nfn f() { let t = SystemTime::now(); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/bench/src/lib.rs", src)),
+            vec!["centralized-clock"]
+        );
+        // The obs crate implements the clock, so it may read the raw one.
+        let src = "//! Doc.\nfn f() { let t = Instant::now(); }\n";
+        assert!(lint_source("crates/obs/src/clock.rs", src).is_empty());
+        // The wrapper call itself does not trip the needle.
+        let src = "//! Doc.\nfn f() { let t = rapid_obs::clock::now(); }\n";
+        assert!(lint_source("crates/core/src/model.rs", src).is_empty());
+        // And an allow directive suppresses it.
+        let src =
+            "//! Doc.\nfn f() { let t = Instant::now(); } // lint:allow(centralized-clock) why\n";
+        assert!(lint_source("crates/core/src/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn env_var_allowed_in_obs_config() {
+        let needle = concat!("std::en", "v::var");
+        let src = format!("//! Doc.\nfn f() {{ let _ = {needle}(\"RAPID_DIAG\"); }}\n");
+        assert!(lint_source("crates/obs/src/config.rs", &src).is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rapid_autograd::optim::{Adam, Optimizer};
+use rapid_autograd::optim::Adam;
 use rapid_autograd::{ParamStore, Tape, Var};
 use rapid_data::Dataset;
 use rapid_nn::{Activation, Mlp};
@@ -209,20 +209,16 @@ impl ReRanker for Rapid {
         let mut optimizer = Adam::new(self.config.lr);
         let mut order: Vec<usize> = (0..lists.len()).collect();
         let mut tape = Tape::new();
-        let mut batches = 0usize;
-        let reg = rapid_obs::global();
-        let fit_span = rapid_obs::Span::enter("fit");
-        let model = self.name();
-        let batch_metric = format!("fit.{model}.batch_ms");
-        let mut epoch_loss = rapid_rerankers::EpochLoss::new(
-            model,
-            lists.len().div_ceil(self.config.batch.max(1)).max(1),
-        );
+        // This loop differs from `fit_listwise` only in the
+        // reparameterization noise fed through `train_scores`; the
+        // backward/update path is the shared `TrainStep`.
+        let mut step =
+            rapid_rerankers::TrainStep::new(self.name(), lists.len(), self.config.batch, Some(5.0));
         use rand::seq::SliceRandom;
         for _ in 0..self.config.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(self.config.batch.max(1)) {
-                let batch_start = std::time::Instant::now();
+                step.begin_batch();
                 tape.clear();
                 let mut losses = Vec::with_capacity(chunk.len());
                 for &i in chunk {
@@ -239,39 +235,10 @@ impl ReRanker for Rapid {
                 }
                 let stacked = tape.concat_cols(&losses);
                 let total = tape.mean_all(stacked);
-                if cfg!(debug_assertions) && batches == 0 {
-                    // First-batch graph validation, mirroring
-                    // `fit_listwise` (this loop differs only in the
-                    // reparameterization noise).
-                    let check_start = std::time::Instant::now();
-                    if let Err(errors) = rapid_check::check_tape(&tape) {
-                        panic!(
-                            "Rapid::fit_prepared recorded an invalid graph: {}",
-                            errors[0]
-                        );
-                    }
-                    reg.observe(
-                        "fit.graph_check_ms",
-                        check_start.elapsed().as_secs_f64() * 1e3,
-                    );
-                }
-                epoch_loss.push(tape.value(total).get(0, 0));
-                tape.backward(total, &mut self.store);
-                self.store.clip_grad_norm(5.0);
-                optimizer.step_and_zero(&mut self.store);
-                batches += 1;
-                reg.observe(&batch_metric, batch_start.elapsed().as_secs_f64() * 1e3);
+                step.step(&mut tape, total, &mut self.store, &mut optimizer);
             }
         }
-        let elapsed = fit_span.finish();
-        rapid_obs::event!(
-            rapid_obs::Level::Info,
-            "fit",
-            "{model}: {batches} batches / {} epochs in {:.1} ms",
-            self.config.epochs,
-            elapsed.as_secs_f64() * 1e3
-        );
-        FitReport::new(batches)
+        step.finish(self.config.epochs)
     }
 
     fn rerank_prepared(&self, ds: &Dataset, prep: &PreparedList) -> Vec<usize> {

@@ -70,7 +70,12 @@ impl Pipeline {
     /// Each stage runs under a `prepare/...` span (`generate`, `ranker`,
     /// `feedback`, `features`) in the global `rapid-obs` registry, so
     /// pipeline start-up cost is attributable without ad-hoc timers.
+    ///
+    /// When `RAPID_OBS_ADDR=host:port` is set, the first `prepare` call
+    /// also starts the live telemetry endpoint (`/metrics`, `/healthz`,
+    /// `/snapshot`) for the rest of the process.
     pub fn prepare(config: ExperimentConfig) -> Self {
+        rapid_obs::install_from_env();
         let prepare_span = rapid_obs::Span::enter("prepare");
         let (ds, _) = rapid_obs::time("generate", || generate(&config.data));
         let dcm = Dcm::standard(config.data.list_len, config.lambda);

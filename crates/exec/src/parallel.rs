@@ -9,7 +9,7 @@
 //! call/item counters, per-chunk sizes, per-worker busy time and spawn
 //! wait, and a per-call utilization ratio (total busy / workers × wall).
 
-use std::time::Instant;
+use rapid_obs::clock;
 
 /// Number of workers the parallel maps use: the `RAPID_WORKERS`
 /// environment variable when set to a positive integer, otherwise
@@ -101,14 +101,14 @@ where
     let f = &f;
     let mut out = Vec::with_capacity(items.len());
     let mut stats = Vec::with_capacity(workers);
-    let call_start = Instant::now();
+    let call_start = clock::now();
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .map(|c| {
-                let spawned_at = Instant::now();
+                let spawned_at = clock::now();
                 s.spawn(move || {
-                    let started = Instant::now();
+                    let started = clock::now();
                     let part = c.iter().map(f).collect::<Vec<R>>();
                     let stat = WorkerStat {
                         wait_ns: started.saturating_duration_since(spawned_at).as_nanos(),
@@ -164,14 +164,14 @@ where
     let f = &f;
     let mut out = Vec::with_capacity(n);
     let mut stats = Vec::with_capacity(workers);
-    let call_start = Instant::now();
+    let call_start = clock::now();
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks_mut(chunk)
             .map(|c| {
-                let spawned_at = Instant::now();
+                let spawned_at = clock::now();
                 s.spawn(move || {
-                    let started = Instant::now();
+                    let started = clock::now();
                     let part = c.iter_mut().map(f).collect::<Vec<R>>();
                     let stat = WorkerStat {
                         wait_ns: started.saturating_duration_since(spawned_at).as_nanos(),

@@ -1,0 +1,93 @@
+//! The workspace's single clock.
+//!
+//! Every timestamp in the telemetry layer — span durations, timeline
+//! begin/end marks, training-trace rows — flows through this module, so
+//! all exporters (Chrome trace, Prometheus, NDJSON) agree on one time
+//! base and the `centralized-clock` lint rule can confine raw
+//! `Instant::now()` / `SystemTime::now()` calls to `rapid-obs`.
+//!
+//! Two reference points:
+//!
+//! * [`now`] — a monotonic instant for measuring durations (a thin
+//!   wrapper over `Instant::now`, re-exported so call sites outside
+//!   this crate never name the std clock directly).
+//! * [`wall_micros`] — microseconds since the **process anchor**, the
+//!   first moment any part of this module was used. Trace-event
+//!   timestamps are relative to this anchor; Perfetto and the Chrome
+//!   trace viewer only need a consistent origin, not wall-clock time.
+//!
+//! [`thread_ordinal`] assigns small dense ids (1, 2, 3, …) to threads
+//! in first-use order — stable within a process and far more readable
+//! in a trace viewer than the opaque `ThreadId` debug form.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process anchor: initialised on first use of any clock function.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// A monotonic instant for duration measurement. The only sanctioned
+/// way to start a stopwatch outside `rapid-obs`.
+pub fn now() -> Instant {
+    // Touch the anchor so the first duration measured in a process also
+    // pins the trace origin before it.
+    let _ = anchor();
+    Instant::now()
+}
+
+/// Microseconds elapsed since the process anchor. Monotonic and
+/// non-negative; the time base of every timeline/trace timestamp.
+pub fn wall_micros() -> u64 {
+    anchor().elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// A small dense id for the calling thread (1-based, assigned in
+/// first-use order). Used as the `tid` of timeline records.
+pub fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ORDINAL: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+    ORDINAL.with(|o| {
+        if o.get() == 0 {
+            o.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        o.get()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_micros_is_monotone() {
+        let a = wall_micros();
+        std::hint::black_box(vec![0u8; 1 << 16]);
+        let b = wall_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn now_measures_nonnegative_durations() {
+        let t0 = now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+
+    #[test]
+    fn thread_ordinals_are_stable_and_distinct() {
+        let mine = thread_ordinal();
+        assert_eq!(mine, thread_ordinal(), "same thread, same ordinal");
+        let other = std::thread::scope(|s| {
+            s.spawn(thread_ordinal)
+                .join()
+                .expect("ordinal thread panicked")
+        });
+        assert_ne!(mine, other);
+        assert!(mine >= 1 && other >= 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Runtime configuration of the observability layer.
+//!
+//! All environment knobs introduced by the diagnostics/serving work are
+//! resolved here — and only here — so the `no-env-var` lint keeps every
+//! other crate free of ad-hoc `std::env` reads:
+//!
+//! * `RAPID_DIAG` — `1`/`true`/`on`/`yes` enables per-parameter training
+//!   diagnostics (grad norms, weight norms, update ratios) written as an
+//!   NDJSON trace under the output directory.
+//! * `RAPID_OUT_DIR` — where telemetry artifacts (training traces,
+//!   Chrome traces, NDJSON dumps) land. Defaults to `results`.
+//! * `RAPID_OBS_ADDR` — a `host:port` to serve live telemetry on
+//!   (`/metrics`, `/healthz`, `/snapshot`); unset means no server.
+//!
+//! Every knob has a programmatic setter that takes precedence over the
+//! environment — binaries wire CLI flags through them (`bench_exec
+//! --out-dir`) and tests flip them without mutating the process
+//! environment.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Tri-state for lazily resolved boolean knobs.
+const UNSET: u8 = 2;
+
+static DIAG: AtomicU8 = AtomicU8::new(UNSET);
+static OUT_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+static SERVE_ADDR: Mutex<Option<Option<String>>> = Mutex::new(None);
+
+fn env_truthy(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "1" | "true" | "on" | "yes"
+        ),
+        Err(_) => false,
+    }
+}
+
+/// Whether per-parameter training diagnostics are enabled
+/// (`RAPID_DIAG`, or a prior [`set_diag_enabled`] call).
+pub fn diag_enabled() -> bool {
+    match DIAG.load(Ordering::Relaxed) {
+        UNSET => {
+            let resolved = env_truthy("RAPID_DIAG");
+            // A racing first read resolves identically; last store wins.
+            DIAG.store(u8::from(resolved), Ordering::Relaxed);
+            resolved
+        }
+        v => v == 1,
+    }
+}
+
+/// Forces training diagnostics on or off, overriding `RAPID_DIAG`.
+pub fn set_diag_enabled(enabled: bool) {
+    DIAG.store(u8::from(enabled), Ordering::Relaxed);
+}
+
+/// The directory telemetry artifacts are written to (`RAPID_OUT_DIR`, a
+/// prior [`set_out_dir`] call, or `results`). Not created here; writers
+/// call [`ensure_out_dir`] when they actually emit a file.
+pub fn out_dir() -> PathBuf {
+    let mut guard = match OUT_DIR.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    guard
+        .get_or_insert_with(|| {
+            std::env::var("RAPID_OUT_DIR")
+                .ok()
+                .filter(|v| !v.trim().is_empty())
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("results"))
+        })
+        .clone()
+}
+
+/// Overrides the telemetry output directory (e.g. from a CLI flag).
+pub fn set_out_dir(dir: impl Into<PathBuf>) {
+    let mut guard = match OUT_DIR.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *guard = Some(dir.into());
+}
+
+/// Creates the output directory if needed and returns it. Writers call
+/// this right before emitting an artifact so an unused configuration
+/// never touches the filesystem.
+pub fn ensure_out_dir() -> std::io::Result<PathBuf> {
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// The `host:port` to serve live telemetry on, if configured
+/// (`RAPID_OBS_ADDR` or a prior [`set_serve_addr`] call).
+pub fn serve_addr() -> Option<String> {
+    let mut guard = match SERVE_ADDR.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    guard
+        .get_or_insert_with(|| {
+            std::env::var("RAPID_OBS_ADDR")
+                .ok()
+                .map(|v| v.trim().to_string())
+                .filter(|v| !v.is_empty())
+        })
+        .clone()
+}
+
+/// Overrides the telemetry serving address (`None` disables serving).
+pub fn set_serve_addr(addr: Option<String>) {
+    let mut guard = match SERVE_ADDR.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *guard = Some(addr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Config state is process-global; this single test exercises the
+    // override paths end to end so no two tests race on it.
+    #[test]
+    fn overrides_take_precedence_and_stick() {
+        set_diag_enabled(true);
+        assert!(diag_enabled());
+        set_diag_enabled(false);
+        assert!(!diag_enabled());
+
+        set_out_dir("custom_results");
+        assert_eq!(out_dir(), PathBuf::from("custom_results"));
+        set_out_dir("results");
+        assert_eq!(out_dir(), PathBuf::from("results"));
+
+        set_serve_addr(Some("127.0.0.1:0".to_string()));
+        assert_eq!(serve_addr().as_deref(), Some("127.0.0.1:0"));
+        set_serve_addr(None);
+        assert_eq!(serve_addr(), None);
+    }
+}

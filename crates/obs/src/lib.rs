@@ -25,20 +25,47 @@
 //!   NDJSON ([`Snapshot::to_ndjson`]), parseable back
 //!   ([`Snapshot::from_ndjson`]) into an identical snapshot, and
 //!   renderable as a human-readable [`Snapshot::summary_table`].
+//! * [`clock`] — the workspace's single time source: monotonic
+//!   [`clock::now`], trace timestamps ([`clock::wall_micros`]), and
+//!   dense thread ordinals. The `centralized-clock` lint confines raw
+//!   `Instant::now`/`SystemTime::now` calls to this crate.
+//! * **Timeline + exporters** — every completed [`Span`] also leaves a
+//!   [`TimelineEvent`] (begin time, duration, thread) in a bounded
+//!   ring; [`Snapshot::to_chrome_trace`] renders the ring as Chrome
+//!   trace-event JSON (Perfetto-loadable) and
+//!   [`Snapshot::to_prometheus`] renders the aggregates as Prometheus
+//!   text exposition.
+//! * [`serve`] — a std-only HTTP endpoint (`/metrics`, `/healthz`,
+//!   `/snapshot`, `/trace`) on `std::net::TcpListener`, started by
+//!   binaries via [`install_from_env`] when `RAPID_OBS_ADDR` is set.
+//! * Config knobs — [`diag_enabled`] (`RAPID_DIAG`), [`out_dir`]
+//!   (`RAPID_OUT_DIR`, default `results`), and [`serve_addr`]
+//!   (`RAPID_OBS_ADDR`), each with a programmatic override for CLI
+//!   flags and tests.
 //!
 //! The crate has **zero dependencies** (not even workspace-internal
-//! ones) so that `rapid-autograd` can optionally link it for op-level
-//! profiling (`obs-profile` feature) without cycles, and so the whole
-//! layer keeps working in the air-gapped build.
+//! ones) so that `rapid-autograd` can link it for training diagnostics
+//! and op-level profiling without cycles, and so the whole layer keeps
+//! working in the air-gapped build.
 
+pub mod clock;
+mod config;
 mod event;
 mod hist;
 mod ndjson;
+mod prom;
 mod registry;
+pub mod serve;
 mod span;
+mod timeline;
 
+pub use config::{
+    diag_enabled, ensure_out_dir, out_dir, serve_addr, set_diag_enabled, set_out_dir,
+    set_serve_addr,
+};
 pub use event::{level_from_str, log, log_to, set_level, should_log, stderr_enabled, Level};
 pub use hist::Histogram;
 pub use ndjson::ParseError;
-pub use registry::{global, EventRecord, Registry, Snapshot, SpanStat};
+pub use registry::{global, EventRecord, Registry, Snapshot, SpanStat, TimelineEvent};
+pub use serve::{install_from_env, ServeHandle};
 pub use span::{time, time_in, Span};

@@ -9,6 +9,7 @@
 //! {"type":"gauge","name":"exec.workers","value":4}
 //! {"type":"hist","name":"fit.batch_ms","count":2,"sum":3.5,"min":1.5,"max":2,"buckets":[[5,1],[8,1]]}
 //! {"type":"span","path":"bench/train","count":1,"total_ns":1500000,"count_h":1,...}
+//! {"type":"timeline","path":"bench/train","start_us":120,"dur_us":1500,"tid":1}
 //! {"type":"event","seq":0,"level":"warn","component":"exec","message":"..."}
 //! ```
 //!
@@ -25,7 +26,7 @@ use std::fmt::Write as _;
 
 use crate::event::level_from_name;
 use crate::hist::Histogram;
-use crate::registry::{EventRecord, Snapshot, SpanStat};
+use crate::registry::{EventRecord, Snapshot, SpanStat, TimelineEvent};
 
 /// Why an NDJSON document failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,8 +52,8 @@ impl Snapshot {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{{\"type\":\"meta\",\"events_dropped\":{}}}",
-            self.events_dropped
+            "{{\"type\":\"meta\",\"events_dropped\":{},\"timeline_dropped\":{}}}",
+            self.events_dropped, self.timeline_dropped
         );
         for (name, value) in &self.counters {
             let _ = writeln!(
@@ -85,6 +86,16 @@ impl Snapshot {
                 stat.count,
                 stat.total_ns,
                 hist_fields(&stat.hist)
+            );
+        }
+        for t in &self.timeline {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"timeline\",\"path\":{},\"start_us\":{},\"dur_us\":{},\"tid\":{}}}",
+                escape(&t.path),
+                t.start_us,
+                t.dur_us,
+                t.tid
             );
         }
         for e in &self.events {
@@ -169,6 +180,14 @@ impl Snapshot {
                 );
             }
         }
+        if !self.timeline.is_empty() || self.timeline_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "\ntimeline: {} records retained, {} evicted",
+                self.timeline.len(),
+                self.timeline_dropped
+            );
+        }
         if !self.events.is_empty() || self.events_dropped > 0 {
             let _ = writeln!(
                 out,
@@ -228,7 +247,8 @@ fn fnum(v: f64) -> String {
 }
 
 /// JSON string escaping per RFC 8259 (quotes included in the output).
-fn escape(s: &str) -> String {
+/// Shared with the Chrome trace exporter in [`crate::timeline`].
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -534,6 +554,11 @@ fn decode_line(line: &str, snap: &mut Snapshot) -> Result<(), String> {
     match tag.as_str() {
         "meta" => {
             snap.events_dropped = obj.req("events_dropped")?.as_u64()?;
+            // Absent in pre-timeline telemetry files; default 0.
+            snap.timeline_dropped = match obj.get("timeline_dropped") {
+                Some(v) => v.as_u64()?,
+                None => 0,
+            };
         }
         "counter" => {
             let name = obj.req("name")?.as_str()?.to_string();
@@ -555,6 +580,14 @@ fn decode_line(line: &str, snap: &mut Snapshot) -> Result<(), String> {
                 hist: hist_from_obj(&obj)?,
             };
             snap.spans.insert(path, stat);
+        }
+        "timeline" => {
+            snap.timeline.push(TimelineEvent {
+                path: obj.req("path")?.as_str()?.to_string(),
+                start_us: obj.req("start_us")?.as_u64()?,
+                dur_us: obj.req("dur_us")?.as_u64()?,
+                tid: obj.req("tid")?.as_u64()?,
+            });
         }
         "event" => {
             let level_name = obj.req("level")?.as_str()?.to_string();
@@ -633,6 +666,33 @@ mod tests {
     fn unknown_line_type_is_an_error() {
         let err = Snapshot::from_ndjson("{\"type\":\"mystery\"}\n").unwrap_err();
         assert!(err.message.contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn pre_timeline_meta_lines_still_parse() {
+        // Telemetry emitted before the timeline existed has no
+        // `timeline_dropped` field; it must read as 0, not error.
+        let snap = Snapshot::from_ndjson("{\"type\":\"meta\",\"events_dropped\":3}\n").unwrap();
+        assert_eq!(snap.events_dropped(), 3);
+        assert_eq!(snap.timeline_dropped(), 0);
+    }
+
+    #[test]
+    fn timeline_lines_round_trip() {
+        let r = crate::Registry::new();
+        r.record_span_timed(
+            "a/b \"quoted\"",
+            std::time::Duration::from_micros(1234),
+            77,
+            2,
+        );
+        let snap = r.snapshot();
+        let text = snap.to_ndjson();
+        assert!(text.contains("\"type\":\"timeline\""), "{text}");
+        let parsed = Snapshot::from_ndjson(&text).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.timeline().len(), 1);
+        assert_eq!(parsed.timeline()[0].start_us, 77);
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Prometheus text-format rendering of a [`Snapshot`].
+//!
+//! [`Snapshot::to_prometheus`] produces version 0.0.4 text exposition —
+//! what a Prometheus server scrapes from `/metrics` (served by
+//! [`crate::serve`]). The workspace's free-form metric names (dots,
+//! slashes, per-model segments) are carried as a `name`/`path` *label*
+//! under a small set of fixed metric families, so arbitrary recorded
+//! names never have to be mangled into metric-name charset rules:
+//!
+//! ```text
+//! rapid_counter_total{name="exec.batches"} 400
+//! rapid_gauge{name="exec.workers"} 4
+//! rapid_hist{name="fit.batch_ms",quantile="0.5"} 1.5
+//! rapid_hist_sum{name="fit.batch_ms"} 3.5
+//! rapid_hist_count{name="fit.batch_ms"} 2
+//! rapid_span_seconds{path="bench/train",quantile="0.99"} 0.0015
+//! ```
+//!
+//! Histograms and spans render as Prometheus *summaries* (quantile
+//! label + `_sum`/`_count`) rather than Prometheus histograms: the
+//! registry's log-scale buckets answer quantile queries directly, and a
+//! summary keeps the exposition compact. Span durations are converted
+//! to seconds per Prometheus base-unit convention.
+
+use std::fmt::Write as _;
+
+use crate::registry::Snapshot;
+
+/// The quantiles exposed for every histogram/span summary.
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")];
+
+/// Escapes a label value per the Prometheus text format: backslash,
+/// double-quote, and newline must be backslash-escaped.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a sample value: finite shortest-round-trip, or the
+/// Prometheus spellings of the non-finite values.
+fn sample(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+impl Snapshot {
+    /// Renders this snapshot in the Prometheus text exposition format
+    /// (version 0.0.4). Deterministic: families in a fixed order,
+    /// series in the registry's sorted-name order.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        if !self.counters.is_empty() {
+            family(
+                &mut out,
+                "rapid_counter_total",
+                "counter",
+                "Registry counters, keyed by recorded name.",
+            );
+            for (name, value) in &self.counters {
+                let _ = writeln!(
+                    out,
+                    "rapid_counter_total{{name=\"{}\"}} {value}",
+                    escape_label(name)
+                );
+            }
+        }
+
+        if !self.gauges.is_empty() {
+            family(
+                &mut out,
+                "rapid_gauge",
+                "gauge",
+                "Registry gauges, keyed by recorded name.",
+            );
+            for (name, value) in &self.gauges {
+                let _ = writeln!(
+                    out,
+                    "rapid_gauge{{name=\"{}\"}} {}",
+                    escape_label(name),
+                    sample(*value)
+                );
+            }
+        }
+
+        if !self.hists.is_empty() {
+            family(
+                &mut out,
+                "rapid_hist",
+                "summary",
+                "Registry histograms as summaries, keyed by recorded name.",
+            );
+            for (name, h) in &self.hists {
+                let label = escape_label(name);
+                for (q, qs) in QUANTILES {
+                    let _ = writeln!(
+                        out,
+                        "rapid_hist{{name=\"{label}\",quantile=\"{qs}\"}} {}",
+                        sample(h.quantile(q))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "rapid_hist_sum{{name=\"{label}\"}} {}",
+                    sample(h.sum())
+                );
+                let _ = writeln!(out, "rapid_hist_count{{name=\"{label}\"}} {}", h.count());
+            }
+        }
+
+        if !self.spans.is_empty() {
+            family(
+                &mut out,
+                "rapid_span_seconds",
+                "summary",
+                "Span durations in seconds, keyed by nested span path.",
+            );
+            for (path, stat) in &self.spans {
+                let label = escape_label(path);
+                for (q, qs) in QUANTILES {
+                    let _ = writeln!(
+                        out,
+                        "rapid_span_seconds{{path=\"{label}\",quantile=\"{qs}\"}} {}",
+                        sample(stat.hist.quantile(q) / 1e9)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "rapid_span_seconds_sum{{path=\"{label}\"}} {}",
+                    sample(stat.total_ns as f64 / 1e9)
+                );
+                let _ = writeln!(
+                    out,
+                    "rapid_span_seconds_count{{path=\"{label}\"}} {}",
+                    stat.count
+                );
+            }
+        }
+
+        family(
+            &mut out,
+            "rapid_events_dropped_total",
+            "counter",
+            "Events dropped after the retention cap filled.",
+        );
+        let _ = writeln!(out, "rapid_events_dropped_total {}", self.events_dropped);
+        family(
+            &mut out,
+            "rapid_timeline_dropped_total",
+            "counter",
+            "Timeline records evicted from the bounded ring.",
+        );
+        let _ = writeln!(
+            out,
+            "rapid_timeline_dropped_total {}",
+            self.timeline_dropped
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use crate::Registry;
+
+    #[test]
+    fn families_render_with_help_and_type() {
+        let r = Registry::new();
+        r.counter_add("exec.batches", 400);
+        r.gauge_set("exec.workers", 4.0);
+        r.observe("fit.batch_ms", 1.5);
+        r.record_span("bench/train", Duration::from_micros(1500));
+        let text = r.snapshot().to_prometheus();
+        for needle in [
+            "# TYPE rapid_counter_total counter",
+            "rapid_counter_total{name=\"exec.batches\"} 400",
+            "# TYPE rapid_gauge gauge",
+            "rapid_gauge{name=\"exec.workers\"} 4",
+            "# TYPE rapid_hist summary",
+            "rapid_hist_count{name=\"fit.batch_ms\"} 1",
+            "rapid_hist_sum{name=\"fit.batch_ms\"} 1.5",
+            "# TYPE rapid_span_seconds summary",
+            "rapid_span_seconds_count{path=\"bench/train\"} 1",
+            "rapid_events_dropped_total 0",
+            "rapid_timeline_dropped_total 0",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn span_seconds_sum_is_exact_nanoseconds_over_1e9() {
+        let r = Registry::new();
+        r.record_span("s", Duration::from_nanos(2_500_000));
+        let text = r.snapshot().to_prometheus();
+        assert!(
+            text.contains("rapid_span_seconds_sum{path=\"s\"} 0.0025"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_add("weird\"name\\with\nspecials", 1);
+        let text = r.snapshot().to_prometheus();
+        assert!(
+            text.contains(r#"rapid_counter_total{name="weird\"name\\with\nspecials"} 1"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_still_exposes_drop_counters() {
+        let text = crate::Snapshot::default().to_prometheus();
+        assert!(text.contains("rapid_events_dropped_total 0"));
+        assert!(text.contains("rapid_timeline_dropped_total 0"));
+    }
+}

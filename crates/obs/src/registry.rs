@@ -1,6 +1,6 @@
 //! The thread-safe metric registry and its point-in-time [`Snapshot`].
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
@@ -10,6 +10,11 @@ use crate::Level;
 /// Retained events are capped so a chatty component cannot grow the
 /// process without bound; overflow is counted, not silently dropped.
 const MAX_EVENTS: usize = 4096;
+
+/// Retained timeline records are a ring: when it fills, the *oldest*
+/// record is evicted (the recent past is what a live trace viewer
+/// wants) and the eviction is counted.
+const MAX_TIMELINE: usize = 8192;
 
 /// Aggregated statistics of one span path.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -27,6 +32,23 @@ impl SpanStat {
     pub fn total_ms(&self) -> f64 {
         self.total_ns as f64 / 1e6
     }
+}
+
+/// One completed span occurrence on the process timeline: where it ran
+/// (thread), when it began, and how long it took. Timestamps are
+/// microseconds since the [`crate::clock`] process anchor, so every
+/// record in a process shares one time base and the set renders
+/// directly as Chrome trace events ([`Snapshot::to_chrome_trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Full nested span path (`bench/train/PRM`).
+    pub path: String,
+    /// Begin time, µs since the process anchor.
+    pub start_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// Dense thread ordinal from [`crate::clock::thread_ordinal`].
+    pub tid: u64,
 }
 
 /// One retained structured event.
@@ -48,6 +70,8 @@ struct Inner {
     gauges: BTreeMap<String, f64>,
     hists: BTreeMap<String, Histogram>,
     spans: BTreeMap<String, SpanStat>,
+    timeline: VecDeque<TimelineEvent>,
+    timeline_dropped: u64,
     events: Vec<EventRecord>,
     events_dropped: u64,
     next_seq: u64,
@@ -99,7 +123,9 @@ impl Registry {
             .record(v);
     }
 
-    /// Records one completed span at `path`.
+    /// Records one completed span at `path` into the aggregates only
+    /// (no timeline record — used when begin time / thread are unknown,
+    /// e.g. replaying parsed telemetry).
     pub fn record_span(&self, path: &str, dur: Duration) {
         let ns = dur.as_nanos().min(u64::MAX as u128) as u64;
         let mut inner = self.lock();
@@ -107,6 +133,30 @@ impl Registry {
         stat.count += 1;
         stat.total_ns += ns;
         stat.hist.record(ns as f64);
+    }
+
+    /// Records one completed span into both the aggregates and the
+    /// bounded timeline ring, under a single lock acquisition.
+    /// `start_us` is the begin time in µs since the process anchor and
+    /// `tid` the recording thread's ordinal ([`crate::Span`] passes
+    /// both automatically).
+    pub fn record_span_timed(&self, path: &str, dur: Duration, start_us: u64, tid: u64) {
+        let ns = dur.as_nanos().min(u64::MAX as u128) as u64;
+        let mut inner = self.lock();
+        let stat = inner.spans.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_ns += ns;
+        stat.hist.record(ns as f64);
+        if inner.timeline.len() >= MAX_TIMELINE {
+            inner.timeline.pop_front();
+            inner.timeline_dropped += 1;
+        }
+        inner.timeline.push_back(TimelineEvent {
+            path: path.to_string(),
+            start_us,
+            dur_us: ns / 1_000,
+            tid,
+        });
     }
 
     /// Appends an event to the bounded buffer.
@@ -141,6 +191,8 @@ impl Registry {
             gauges: inner.gauges.clone(),
             hists: inner.hists.clone(),
             spans: inner.spans.clone(),
+            timeline: inner.timeline.iter().cloned().collect(),
+            timeline_dropped: inner.timeline_dropped,
             events: inner.events.clone(),
             events_dropped: inner.events_dropped,
         }
@@ -174,6 +226,8 @@ pub struct Snapshot {
     pub(crate) gauges: BTreeMap<String, f64>,
     pub(crate) hists: BTreeMap<String, Histogram>,
     pub(crate) spans: BTreeMap<String, SpanStat>,
+    pub(crate) timeline: Vec<TimelineEvent>,
+    pub(crate) timeline_dropped: u64,
     pub(crate) events: Vec<EventRecord>,
     pub(crate) events_dropped: u64,
 }
@@ -204,6 +258,17 @@ impl Snapshot {
         self.spans.keys().map(String::as_str).collect()
     }
 
+    /// The retained timeline records (completed span occurrences), in
+    /// recording order.
+    pub fn timeline(&self) -> &[TimelineEvent] {
+        &self.timeline
+    }
+
+    /// Timeline records evicted after the ring filled.
+    pub fn timeline_dropped(&self) -> u64 {
+        self.timeline_dropped
+    }
+
     /// The retained events, in emission order.
     pub fn events(&self) -> &[EventRecord] {
         &self.events
@@ -220,6 +285,7 @@ impl Snapshot {
             && self.gauges.is_empty()
             && self.hists.is_empty()
             && self.spans.is_empty()
+            && self.timeline.is_empty()
             && self.events.is_empty()
     }
 }
@@ -268,6 +334,36 @@ mod tests {
         assert_eq!(stat.count, 2);
         assert_eq!(stat.total_ns, 5_000_000);
         assert_eq!(stat.hist.count(), 2);
+    }
+
+    #[test]
+    fn timed_spans_land_in_aggregates_and_timeline() {
+        let r = Registry::new();
+        r.record_span_timed("a/b", Duration::from_micros(2500), 100, 1);
+        r.record_span("a/b", Duration::from_micros(500));
+        let s = r.snapshot();
+        let stat = s.span("a/b").expect("span recorded");
+        assert_eq!(stat.count, 2, "both entry points feed the aggregate");
+        assert_eq!(s.timeline().len(), 1, "only the timed path adds a record");
+        let t = &s.timeline()[0];
+        assert_eq!(
+            (t.path.as_str(), t.start_us, t.dur_us, t.tid),
+            ("a/b", 100, 2500, 1)
+        );
+        assert_eq!(s.timeline_dropped(), 0);
+    }
+
+    #[test]
+    fn timeline_ring_evicts_oldest_and_counts() {
+        let r = Registry::new();
+        for i in 0..(MAX_TIMELINE as u64 + 5) {
+            r.record_span_timed("s", Duration::from_micros(1), i, 1);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.timeline().len(), MAX_TIMELINE);
+        assert_eq!(s.timeline_dropped(), 5);
+        // The oldest records were evicted; the survivors are the tail.
+        assert_eq!(s.timeline()[0].start_us, 5);
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! A dependency-free HTTP endpoint serving live telemetry.
+//!
+//! [`serve`] binds a `std::net::TcpListener` and answers four `GET`
+//! routes from a background thread, each rendered from a fresh
+//! [`Registry::snapshot`] at request time:
+//!
+//! * `/healthz` — liveness probe, plain `ok`.
+//! * `/metrics` — Prometheus text exposition
+//!   ([`crate::Snapshot::to_prometheus`]).
+//! * `/snapshot` — the full NDJSON dump
+//!   ([`crate::Snapshot::to_ndjson`]).
+//! * `/trace` — Chrome trace-event JSON of the span timeline
+//!   ([`crate::Snapshot::to_chrome_trace`]).
+//!
+//! The listener is non-blocking and polled, so [`ServeHandle::stop`]
+//! can shut the thread down promptly without a self-connect trick.
+//! Request parsing is deliberately minimal — read until the header
+//! terminator, split the request line — because the only supported
+//! clients are `curl`, Prometheus scrapers, and the smoke tests.
+//!
+//! [`install_from_env`] is the one-liner for binaries: it starts a
+//! server on the global registry when `RAPID_OBS_ADDR` (or
+//! [`crate::set_serve_addr`]) names an address, once per process, and
+//! leaks the handle so the endpoint lives for the process lifetime.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use crate::registry::{global, Registry};
+
+/// How long the accept loop sleeps between polls. Shutdown latency and
+/// idle cost both scale with this; 10 ms keeps either negligible.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Per-connection I/O budget, so one stalled client cannot wedge the
+/// single serving thread.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A running telemetry server. Dropping the handle detaches the thread
+/// (it keeps serving); call [`ServeHandle::stop`] for orderly shutdown.
+#[derive(Debug)]
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address — with an OS-assigned port when the caller
+    /// bound `:0`.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the serving thread to exit and joins it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts a telemetry server for `registry` on `addr` (e.g.
+/// `127.0.0.1:9464`, or port `0` for an OS-assigned one). Returns once
+/// the socket is bound, so a subsequent request cannot race the bind.
+pub fn serve(registry: &'static Registry, addr: &str) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("rapid-obs-serve".to_string())
+        .spawn(move || accept_loop(listener, registry, &stop_flag))?;
+    Ok(ServeHandle {
+        addr: local,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+/// Starts serving the [`global`] registry if `RAPID_OBS_ADDR` (or a
+/// programmatic [`crate::set_serve_addr`]) names an address. Idempotent:
+/// only the first call can start a server; every call returns the bound
+/// address if one is live. Bind failures are reported as a `warn` event
+/// rather than aborting the host process.
+pub fn install_from_env() -> Option<SocketAddr> {
+    static INSTALLED: OnceLock<Option<SocketAddr>> = OnceLock::new();
+    *INSTALLED.get_or_init(|| {
+        let addr = crate::config::serve_addr()?;
+        match serve(global(), &addr) {
+            Ok(handle) => {
+                let bound = handle.addr();
+                crate::event!(
+                    crate::Level::Info,
+                    "obs",
+                    "serving /metrics /healthz /snapshot /trace on http://{bound}"
+                );
+                // Serve for the life of the process.
+                std::mem::forget(handle);
+                Some(bound)
+            }
+            Err(e) => {
+                crate::event!(
+                    crate::Level::Warn,
+                    "obs",
+                    "RAPID_OBS_ADDR={addr}: bind failed ({e}); telemetry not served"
+                );
+                None
+            }
+        }
+    })
+}
+
+fn accept_loop(listener: TcpListener, registry: &'static Registry, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => handle_connection(stream, registry),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some(request_line) = read_request_line(&mut stream) else {
+        return;
+    };
+    let (status, content_type, body) = route(&request_line, registry);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Reads up to the end of the request headers and returns the request
+/// line (`GET /metrics HTTP/1.1`). `None` on timeout, oversized
+/// headers, or malformed input — the connection is simply dropped.
+fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let line = text.lines().next()?.trim().to_string();
+    if line.is_empty() {
+        None
+    } else {
+        Some(line)
+    }
+}
+
+/// Maps a request line to `(status, content-type, body)`.
+fn route(request_line: &str, registry: &Registry) -> (&'static str, &'static str, String) {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        );
+    }
+    match path {
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.snapshot().to_prometheus(),
+        ),
+        "/snapshot" => (
+            "200 OK",
+            "application/x-ndjson; charset=utf-8",
+            registry.snapshot().to_ndjson(),
+        ),
+        "/trace" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            registry.snapshot().to_chrome_trace(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /healthz /metrics /snapshot /trace\n".to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A static registry distinct from the global one, so these tests
+    /// never observe unrelated instrumentation.
+    fn test_registry() -> &'static Registry {
+        static REG: OnceLock<Registry> = OnceLock::new();
+        REG.get_or_init(Registry::new)
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect to telemetry server");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_all_routes_from_a_live_socket() {
+        let reg = test_registry();
+        reg.counter_add("serve.test", 3);
+        reg.record_span_timed("serve/span", Duration::from_micros(42), 0, 1);
+        let handle = serve(reg, "127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = handle.addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.contains("text/plain; version=0.0.4"), "{metrics}");
+        assert!(
+            metrics.contains("rapid_counter_total{name=\"serve.test\"} 3"),
+            "{metrics}"
+        );
+
+        let snapshot = get(addr, "/snapshot");
+        assert!(snapshot.contains("\"type\":\"meta\""), "{snapshot}");
+        assert!(snapshot.contains("serve.test"), "{snapshot}");
+
+        let trace = get(addr, "/trace");
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+        assert!(trace.contains("serve/span"), "{trace}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        handle.stop();
+        // After stop, connections are refused (or reset mid-handshake).
+        assert!(TcpStream::connect(addr).is_err() || get_may_fail(addr));
+    }
+
+    /// Post-stop the port may still accept briefly on some stacks; a
+    /// dropped/failed exchange is the accepted outcome either way.
+    fn get_may_fail(addr: SocketAddr) -> bool {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            return true;
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let _ = write!(stream, "GET /healthz HTTP/1.1\r\n\r\n");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).is_err() || out.is_empty()
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let (status, _, body) = route("POST /metrics HTTP/1.1", test_registry());
+        assert!(status.starts_with("405"), "{status}: {body}");
+    }
+
+    #[test]
+    fn query_strings_do_not_break_routing() {
+        let (status, _, _) = route("GET /healthz?probe=1 HTTP/1.1", test_registry());
+        assert_eq!(status, "200 OK");
+    }
+}

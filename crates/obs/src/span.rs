@@ -9,10 +9,16 @@
 //! the registry. Callers that also report timings elsewhere (the bench
 //! binary's JSON) reuse that value, which makes the JSON and the
 //! emitted telemetry agree exactly — not within tolerance, exactly.
+//!
+//! Beyond the per-path aggregates, each completed span also leaves a
+//! [`crate::TimelineEvent`] (begin time, duration, thread ordinal) in
+//! the registry's bounded timeline ring — the raw material for the
+//! Chrome trace-event export ([`crate::Snapshot::to_chrome_trace`]).
 
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
+use crate::clock;
 use crate::registry::{global, Registry};
 
 thread_local! {
@@ -31,6 +37,8 @@ pub struct Span<'a> {
     /// robustly even if inner spans outlive outer ones.
     depth: usize,
     start: Instant,
+    /// Begin time in µs since the process anchor, for the timeline.
+    start_us: u64,
     recorded: bool,
 }
 
@@ -59,7 +67,8 @@ impl<'a> Span<'a> {
             registry,
             path,
             depth,
-            start: Instant::now(),
+            start: clock::now(),
+            start_us: clock::wall_micros(),
             recorded: false,
         }
     }
@@ -79,7 +88,12 @@ impl<'a> Span<'a> {
         let elapsed = self.start.elapsed();
         if !self.recorded {
             self.recorded = true;
-            self.registry.record_span(&self.path, elapsed);
+            self.registry.record_span_timed(
+                &self.path,
+                elapsed,
+                self.start_us,
+                clock::thread_ordinal(),
+            );
             STACK.with(|stack| {
                 let mut stack = stack.borrow_mut();
                 // Truncate rather than pop: if an inner span leaked past
@@ -194,6 +208,24 @@ mod tests {
         let stat = stat.span("calc").unwrap();
         assert_eq!(stat.count, 1);
         assert_eq!(stat.total_ns, dur.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    #[test]
+    fn finished_spans_leave_timeline_records() {
+        let r = Registry::new();
+        let outer = Span::enter_in(&r, "outer");
+        Span::enter_in(&r, "inner").finish();
+        let dur = outer.finish();
+        let s = r.snapshot();
+        assert_eq!(s.timeline().len(), 2);
+        // Records land in completion order: inner first.
+        assert_eq!(s.timeline()[0].path, "outer/inner");
+        assert_eq!(s.timeline()[1].path, "outer");
+        let rec = &s.timeline()[1];
+        assert_eq!(rec.dur_us, dur.as_micros() as u64);
+        assert!(rec.tid >= 1);
+        // The child begins at or after the parent on the shared clock.
+        assert!(s.timeline()[0].start_us >= rec.start_us);
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Chrome trace-event export of the span timeline.
+//!
+//! [`Snapshot::to_chrome_trace`] renders the retained
+//! [`TimelineEvent`](crate::TimelineEvent) ring as a JSON object in the
+//! Trace Event Format — the `{"traceEvents":[...]}` shape that both
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//! directly. Each completed span becomes one *complete* event
+//! (`"ph":"X"`): begin timestamp `ts` and `dur`, both in microseconds
+//! on the shared [`crate::clock`] time base, laid out per thread via
+//! the recorded thread ordinal.
+//!
+//! Complete events are used instead of `B`/`E` pairs because each
+//! timeline record already carries its duration — a single event per
+//! span cannot produce unbalanced begin/end markers by construction.
+
+use std::fmt::Write as _;
+
+use crate::ndjson::escape;
+use crate::registry::Snapshot;
+
+impl Snapshot {
+    /// Renders the span timeline as Chrome trace-event JSON (one
+    /// complete `"X"` event per record). The output parses as a single
+    /// JSON object and loads in Perfetto / `chrome://tracing`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, t) in self.timeline.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{{\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                escape(&t.path),
+                t.start_us,
+                t.dur_us,
+                t.tid
+            );
+        }
+        let _ = write!(
+            out,
+            "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"timeline_dropped\":{}}}}}\n",
+            self.timeline_dropped
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use crate::Registry;
+
+    #[test]
+    fn trace_contains_one_complete_event_per_record() {
+        let r = Registry::new();
+        r.record_span_timed("bench/train", Duration::from_micros(1500), 10, 1);
+        r.record_span_timed("bench/infer", Duration::from_micros(300), 1600, 2);
+        let trace = r.snapshot().to_chrome_trace();
+        assert_eq!(trace.matches("\"ph\":\"X\"").count(), 2);
+        assert!(trace.contains("\"name\":\"bench/train\""));
+        assert!(trace.contains("\"ts\":1600"));
+        assert!(trace.contains("\"tid\":2"));
+    }
+
+    #[test]
+    fn empty_timeline_still_renders_a_valid_envelope() {
+        let trace = crate::Snapshot::default().to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"timeline_dropped\":0"));
+    }
+
+    #[test]
+    fn span_paths_are_json_escaped() {
+        let r = Registry::new();
+        r.record_span_timed("odd\"name\\x", Duration::from_micros(5), 0, 1);
+        let trace = r.snapshot().to_chrome_trace();
+        assert!(trace.contains(r#""name":"odd\"name\\x""#), "{trace}");
+    }
+}

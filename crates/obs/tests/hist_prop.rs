@@ -1,0 +1,90 @@
+//! Property tests of [`Histogram`]: the merge/concatenation identity
+//! the cross-thread telemetry aggregation relies on, and monotonicity
+//! of the quantile estimator.
+
+use proptest::prelude::*;
+use rapid_obs::Histogram;
+
+fn filled(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Strategy: a batch of samples spanning several orders of magnitude —
+/// negatives and exact zeros (the dedicated non-positive bucket),
+/// sub-unit values, and values up to 1e9.
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, 0..80).prop_map(|units| {
+        units
+            .into_iter()
+            .enumerate()
+            .map(|(i, u)| match i % 5 {
+                0 => u * 10.0 - 10.0, // negative
+                1 => 0.0,             // exactly zero
+                2 => u,               // sub-unit
+                3 => 1.0 + u * 999.0, // mid-range
+                _ => 1e3 + u * 1e9,   // large
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Merging N independently-filled histograms is bucket-identical to
+    /// one histogram fed the concatenated samples: same buckets, count,
+    /// min, and max; sums agree up to f64 summation-order error.
+    #[test]
+    fn merge_of_parts_equals_concatenation(parts in proptest::collection::vec(samples(), 1..6)) {
+        let mut merged = Histogram::new();
+        for part in &parts {
+            merged.merge(&filled(part));
+        }
+        let all: Vec<f64> = parts.iter().flatten().copied().collect();
+        let whole = filled(&all);
+
+        prop_assert_eq!(merged.bucket_pairs(), whole.bucket_pairs());
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        let tol = 1e-9 * (1.0 + whole.sum().abs());
+        prop_assert!((merged.sum() - whole.sum()).abs() <= tol,
+            "sum {} vs {}", merged.sum(), whole.sum());
+    }
+
+    /// The quantile estimate never decreases as `q` increases, and is
+    /// always inside the exact `[min, max]` envelope.
+    #[test]
+    fn quantiles_are_monotone_in_q(values in samples()) {
+        if values.is_empty() {
+            return;
+        }
+        let h = filled(&values);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            let est = h.quantile(q);
+            prop_assert!(est >= prev, "quantile({q}) = {est} < {prev}");
+            prop_assert!(est >= h.min() && est <= h.max(),
+                "quantile({q}) = {est} outside [{}, {}]", h.min(), h.max());
+            prev = est;
+        }
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    /// Merging is order-independent at the bucket level.
+    #[test]
+    fn merge_is_commutative_on_buckets(a in samples(), b in samples()) {
+        let (ha, hb) = (filled(&a), filled(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.bucket_pairs(), ba.bucket_pairs());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+    }
+}

@@ -24,6 +24,8 @@ fn populated_registry() -> Registry {
         r.record_span("bench/train/PRM", Duration::from_micros(900 + i * 13));
     }
     r.record_span("bench/train/PRM/epoch", Duration::from_nanos(u64::MAX));
+    r.record_span_timed("bench/infer", Duration::from_micros(321), 42, 1);
+    r.record_span_timed("bench/infer", Duration::from_micros(123), 99_999, 2);
     r.record_event(
         Level::Warn,
         "exec",
@@ -54,8 +56,8 @@ fn ndjson_lines_are_individually_valid() {
         assert!(!line.contains('\n'));
     }
     // One line per record: meta + 2 counters + 3 gauges + 2 hists
-    // + 3 spans + 3 events.
-    assert_eq!(text.lines().count(), 14);
+    // + 4 spans + 2 timeline records + 3 events.
+    assert_eq!(text.lines().count(), 17);
 }
 
 #[test]

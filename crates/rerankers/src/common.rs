@@ -74,18 +74,13 @@ pub fn fit_listwise(
         &PreparedList,
     ) -> rapid_autograd::Var,
 ) -> FitReport {
-    use rapid_autograd::optim::{Adam, Optimizer};
+    use rapid_autograd::optim::Adam;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut optimizer = Adam::new(lr);
     let mut tape = rapid_autograd::Tape::new();
-    let mut batches = 0usize;
-    let reg = rapid_obs::global();
-    let fit_span = rapid_obs::Span::enter("fit");
-    let batch_metric = format!("fit.{model}.batch_ms");
-    let batches_per_epoch = lists.len().div_ceil(batch.max(1)).max(1);
-    let mut epoch = EpochLoss::new(model, batches_per_epoch);
+    let mut step = TrainStep::new(model, lists.len(), batch, Some(5.0));
     for_each_batch(lists, epochs, batch, &mut rng, |chunk| {
-        let batch_start = std::time::Instant::now();
+        step.begin_batch();
         tape.clear();
         let mut losses = Vec::with_capacity(chunk.len());
         for prep in chunk {
@@ -106,34 +101,167 @@ pub fn fit_listwise(
         }
         let stacked = tape.concat_cols(&losses);
         let total = tape.mean_all(stacked);
-        if cfg!(debug_assertions) && batches == 0 {
+        step.step(&mut tape, total, store, &mut optimizer);
+    });
+    step.finish(epochs)
+}
+
+/// The shared per-batch backward/update path of every neural training
+/// loop — `fit_listwise`, `Rapid::fit_prepared`, and
+/// `PdGan::fit_prepared` all drive one of these, so telemetry
+/// (`fit.<model>.batch_ms`, `fit.<model>.epoch_loss`), training
+/// diagnostics (`RAPID_DIAG` norm traces via
+/// [`rapid_autograd::diag::TrainDiag`]), first-batch graph validation,
+/// and the NaN/Inf fail-fast live in exactly one place.
+///
+/// Per batch the owning loop calls [`TrainStep::begin_batch`], records
+/// its forward pass and loss onto the tape, then hands the scalar loss
+/// node to [`TrainStep::step`]; [`TrainStep::finish`] closes the `fit`
+/// span and returns the [`FitReport`].
+///
+/// # Panics
+///
+/// [`TrainStep::step`] aborts the run — naming the model, the epoch,
+/// and (for gradients) the offending parameter — when the loss or any
+/// accumulated gradient goes non-finite. Every optimizer step after
+/// such a state would corrupt weights irreversibly, so failing fast is
+/// strictly better than training on.
+pub struct TrainStep {
+    model: &'static str,
+    batch_metric: String,
+    batches_per_epoch: usize,
+    batches: usize,
+    /// Global grad-norm clip applied after backward; `None` for loops
+    /// that deliberately train unclipped (PD-GAN).
+    clip: Option<f32>,
+    epoch_loss: EpochLoss,
+    diag: rapid_autograd::diag::TrainDiag,
+    fit_span: Option<rapid_obs::Span<'static>>,
+    batch_start: Option<std::time::Instant>,
+}
+
+impl TrainStep {
+    /// A step driver for `model` training on `num_lists` lists in
+    /// mini-batches of `batch`, clipping the global gradient norm to
+    /// `clip` (when given) before each update. Opens the `fit` span.
+    pub fn new(model: &'static str, num_lists: usize, batch: usize, clip: Option<f32>) -> Self {
+        let batches_per_epoch = num_lists.div_ceil(batch.max(1)).max(1);
+        Self {
+            model,
+            batch_metric: format!("fit.{model}.batch_ms"),
+            batches_per_epoch,
+            batches: 0,
+            clip,
+            epoch_loss: EpochLoss::new(model, batches_per_epoch),
+            diag: rapid_autograd::diag::TrainDiag::new(model),
+            fit_span: Some(rapid_obs::Span::enter("fit")),
+            batch_start: None,
+        }
+    }
+
+    /// The 0-based epoch the *next* [`TrainStep::step`] belongs to.
+    pub fn epoch(&self) -> usize {
+        self.batches / self.batches_per_epoch
+    }
+
+    /// Optimizer steps taken so far.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Starts the per-batch latency clock. Call at the top of the batch
+    /// body, before the forward pass.
+    pub fn begin_batch(&mut self) {
+        self.batch_start = Some(rapid_obs::clock::now());
+    }
+
+    /// Backward + update for one recorded batch whose summed scalar
+    /// loss is `total`: validates the first batch graph (debug builds),
+    /// fail-fasts on non-finite loss/gradients, publishes the epoch
+    /// loss, clips, steps the optimizer, and records diagnostics on
+    /// epoch boundaries.
+    pub fn step(
+        &mut self,
+        tape: &mut rapid_autograd::Tape,
+        total: rapid_autograd::Var,
+        store: &mut rapid_autograd::ParamStore,
+        optimizer: &mut dyn rapid_autograd::optim::Optimizer,
+    ) {
+        let reg = rapid_obs::global();
+        let epoch = self.epoch();
+        if cfg!(debug_assertions) && self.batches == 0 {
             // Validate the first recorded batch graph (shape
             // consistency, no dangling parents) before any gradient
             // flows; later batches replay the same graph structure.
-            let check_start = std::time::Instant::now();
-            if let Err(errors) = rapid_check::check_tape(&tape) {
-                panic!("fit_listwise recorded an invalid graph: {}", errors[0]);
+            let check_start = rapid_obs::clock::now();
+            if let Err(errors) = rapid_check::check_tape(tape) {
+                panic!(
+                    "{}: fit recorded an invalid graph: {}",
+                    self.model, errors[0]
+                );
             }
             reg.observe(
                 "fit.graph_check_ms",
                 check_start.elapsed().as_secs_f64() * 1e3,
             );
         }
-        epoch.push(tape.value(total).get(0, 0));
+        let loss = tape.value(total).get(0, 0);
+        if !loss.is_finite() {
+            panic!(
+                "{}: non-finite loss ({loss}) at epoch {epoch} (batch {}); aborting \
+                 before the update corrupts the weights",
+                self.model, self.batches
+            );
+        }
+        self.epoch_loss.push(loss);
         tape.backward(total, store);
-        store.clip_grad_norm(5.0);
+        if let Some(param) = rapid_autograd::diag::find_nonfinite_grad(store) {
+            panic!(
+                "{}: non-finite gradient in parameter `{param}` at epoch {epoch} \
+                 (batch {}); aborting before the update corrupts the weights",
+                self.model, self.batches
+            );
+        }
+        if let Some(max_norm) = self.clip {
+            store.clip_grad_norm(max_norm);
+        }
+        // The last batch of each epoch carries the diagnostics sample:
+        // one row per parameter per epoch keeps traces readable and the
+        // overhead off every other batch. `%` rather than
+        // `is_multiple_of`: the workspace MSRV (1.75) predates its
+        // stabilisation.
+        #[allow(clippy::manual_is_multiple_of)]
+        let boundary = (self.batches + 1) % self.batches_per_epoch == 0;
+        if boundary && self.diag.enabled() {
+            self.diag.record_pre_step(store, epoch);
+        }
         optimizer.step_and_zero(store);
-        batches += 1;
-        reg.observe(&batch_metric, batch_start.elapsed().as_secs_f64() * 1e3);
-    });
-    let elapsed = fit_span.finish();
-    rapid_obs::event!(
-        rapid_obs::Level::Info,
-        "fit",
-        "{model}: {batches} batches / {epochs} epochs in {:.1} ms",
-        elapsed.as_secs_f64() * 1e3
-    );
-    FitReport::new(batches)
+        if boundary {
+            self.diag.record_post_step(store);
+        }
+        self.batches += 1;
+        if let Some(start) = self.batch_start.take() {
+            reg.observe(&self.batch_metric, start.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+
+    /// Closes the `fit` span, emits the run summary event, and returns
+    /// the [`FitReport`].
+    pub fn finish(mut self, epochs: usize) -> FitReport {
+        let batches = self.batches;
+        let elapsed = match self.fit_span.take() {
+            Some(span) => span.finish(),
+            None => std::time::Duration::ZERO,
+        };
+        rapid_obs::event!(
+            rapid_obs::Level::Info,
+            "fit",
+            "{}: {batches} batches / {epochs} epochs in {:.1} ms",
+            self.model,
+            elapsed.as_secs_f64() * 1e3
+        );
+        FitReport::new(batches)
+    }
 }
 
 /// Accumulates per-batch losses and publishes the mean once per epoch as

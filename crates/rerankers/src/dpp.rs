@@ -2,7 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rapid_autograd::optim::{Adam, Optimizer};
+use rapid_autograd::optim::Adam;
 use rapid_autograd::{ParamStore, Tape, Var};
 use rapid_data::Dataset;
 use rapid_diversity::{greedy_map, DppKernel};
@@ -174,17 +174,13 @@ impl ReRanker for PdGan {
         let mut optimizer = Adam::new(self.config.lr);
         let (epochs, batch) = (self.config.epochs, self.config.batch);
         // Pointwise BCE on clicks (quality model only; no listwise
-        // context by design).
+        // context by design). The quality MLP trains unclipped.
         let mlp = self.mlp.clone();
         let store = &mut self.store;
         let mut tape = Tape::new();
-        let mut batches = 0usize;
-        let reg = rapid_obs::global();
-        let fit_span = rapid_obs::Span::enter("fit");
-        let mut epoch_loss =
-            crate::common::EpochLoss::new("PD-GAN", lists.len().div_ceil(batch.max(1)).max(1));
+        let mut step = crate::common::TrainStep::new("PD-GAN", lists.len(), batch, None);
         for_each_batch(lists, epochs, batch, &mut rng, |chunk| {
-            let batch_start = std::time::Instant::now();
+            step.begin_batch();
             tape.clear();
             let mut losses = Vec::with_capacity(chunk.len());
             for prep in chunk {
@@ -200,36 +196,9 @@ impl ReRanker for PdGan {
             }
             let total = tape.concat_cols(&losses);
             let loss = tape.mean_all(total);
-            if cfg!(debug_assertions) && batches == 0 {
-                let check_start = std::time::Instant::now();
-                if let Err(errors) = rapid_check::check_tape(&tape) {
-                    panic!(
-                        "PdGan::fit_prepared recorded an invalid graph: {}",
-                        errors[0]
-                    );
-                }
-                reg.observe(
-                    "fit.graph_check_ms",
-                    check_start.elapsed().as_secs_f64() * 1e3,
-                );
-            }
-            epoch_loss.push(tape.value(loss).get(0, 0));
-            tape.backward(loss, store);
-            optimizer.step_and_zero(store);
-            batches += 1;
-            reg.observe(
-                "fit.PD-GAN.batch_ms",
-                batch_start.elapsed().as_secs_f64() * 1e3,
-            );
+            step.step(&mut tape, loss, store, &mut optimizer);
         });
-        let elapsed = fit_span.finish();
-        rapid_obs::event!(
-            rapid_obs::Level::Info,
-            "fit",
-            "PD-GAN: {batches} batches / {epochs} epochs in {:.1} ms",
-            elapsed.as_secs_f64() * 1e3
-        );
-        FitReport::new(batches)
+        step.finish(epochs)
     }
 
     fn rerank_prepared(&self, ds: &Dataset, prep: &PreparedList) -> Vec<usize> {

@@ -50,7 +50,9 @@ mod ssd;
 pub(crate) mod test_support;
 mod types;
 
-pub use common::{item_feature_dim, item_features, list_feature_matrix, tune_parameter, EpochLoss};
+pub use common::{
+    item_feature_dim, item_features, list_feature_matrix, tune_parameter, EpochLoss, TrainStep,
+};
 pub use desa::{Desa, DesaConfig};
 pub use dlcm::{Dlcm, DlcmConfig};
 pub use dpp::{DppReranker, PdGan, PdGanConfig};

@@ -69,7 +69,7 @@ pub trait ReRanker: Send + Sync {
         let span = rapid_obs::Span::enter("rerank_batch");
         let metric = format!("rerank.{}.list_ms", self.name());
         let out = rapid_exec::par_map(lists, |p| {
-            let t0 = std::time::Instant::now();
+            let t0 = rapid_obs::clock::now();
             let perm = self.rerank_prepared(ds, p);
             rapid_obs::global().observe(&metric, t0.elapsed().as_secs_f64() * 1e3);
             perm

@@ -1,0 +1,202 @@
+//! Acceptance tests for the training-diagnostics layer: `RAPID_DIAG`
+//! per-epoch norm traces and the non-finite fail-fast in the shared
+//! training step.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rapid::autograd::optim::Adam;
+use rapid::autograd::{ParamStore, Tape};
+use rapid::core::{Rapid, RapidConfig};
+use rapid::data::Flavor;
+use rapid::eval::{ExperimentConfig, Pipeline, Scale};
+use rapid::exec::FeatureCache;
+use rapid::rerankers::{Prm, PrmConfig, ReRanker, TrainStep};
+use rapid::tensor::Matrix;
+
+fn config() -> ExperimentConfig {
+    let mut c = ExperimentConfig::new(Flavor::MovieLens, Scale::Quick);
+    c.data.num_users = 20;
+    c.data.num_items = 100;
+    c.data.ranker_train_interactions = 400;
+    c.data.rerank_train_requests = 12;
+    c.data.test_requests = 4;
+    c.epochs = 2;
+    c
+}
+
+/// The `"key":"value"` / `"key":number` field of a one-line JSON row.
+/// The diag rows contain no nested objects, so a flat scan suffices and
+/// the root crate needs no JSON parser dependency.
+fn field<'a>(row: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let start = row
+        .find(&pat)
+        .unwrap_or_else(|| panic!("row missing field {key}: {row}"))
+        + pat.len();
+    let rest = &row[start..];
+    if let Some(s) = rest.strip_prefix('"') {
+        &s[..s.find('"').expect("terminated string")]
+    } else {
+        let end = rest
+            .find([',', '}'])
+            .unwrap_or_else(|| panic!("unterminated field {key}: {row}"));
+        &rest[..end]
+    }
+}
+
+/// Asserts one model's trace file holds a row per (epoch, parameter)
+/// pair with finite norms, plus one `diag_epoch` summary row per epoch,
+/// and returns the parameter names it covered.
+fn assert_trace_complete(path: &std::path::Path, model: &str, epochs: usize) -> BTreeSet<String> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("missing diag trace {}: {e}", path.display()));
+    let mut per_epoch: Vec<BTreeSet<String>> = vec![BTreeSet::new(); epochs];
+    let mut epoch_rows = 0usize;
+    for row in text.lines() {
+        assert_eq!(field(row, "model"), model, "foreign model in {row}");
+        let epoch: usize = field(row, "epoch").parse().expect("numeric epoch");
+        assert!(epoch < epochs, "epoch {epoch} out of range in {row}");
+        match field(row, "type") {
+            "diag" => {
+                let param = field(row, "param").to_string();
+                for key in ["grad_norm", "weight_norm", "update_norm", "update_ratio"] {
+                    let v: f64 = field(row, key).parse().expect("numeric norm");
+                    assert!(v.is_finite() && v >= 0.0, "bad {key} in {row}");
+                }
+                assert!(
+                    per_epoch[epoch].insert(param),
+                    "duplicate (epoch, param) row: {row}"
+                );
+            }
+            "diag_epoch" => {
+                let params: usize = field(row, "params").parse().expect("numeric params");
+                assert_eq!(params, per_epoch[epoch].len(), "bad param count in {row}");
+                let g: f64 = field(row, "global_grad_norm").parse().expect("numeric");
+                assert!(g.is_finite(), "bad global_grad_norm in {row}");
+                epoch_rows += 1;
+            }
+            other => panic!("unexpected row type {other:?} in {row}"),
+        }
+    }
+    assert_eq!(epoch_rows, epochs, "{model}: one diag_epoch row per epoch");
+    let all: BTreeSet<String> = per_epoch.iter().flatten().cloned().collect();
+    assert!(!all.is_empty(), "{model}: trace covered no parameters");
+    for (e, params) in per_epoch.iter().enumerate() {
+        assert_eq!(
+            params, &all,
+            "{model}: epoch {e} did not cover every named parameter"
+        );
+    }
+    all
+}
+
+/// `RAPID_DIAG=1` (via the programmatic override) writes a per-epoch
+/// NDJSON trace with grad-norm/weight-norm/update-ratio rows for every
+/// named parameter of RAPID and of the PRM baseline.
+#[test]
+fn diag_traces_cover_every_parameter_of_rapid_and_a_baseline() {
+    let out_dir = std::path::Path::new("target").join("diag-acceptance");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    rapid::obs::set_out_dir(&out_dir);
+    rapid::obs::set_diag_enabled(true);
+
+    let cfg = config();
+    let epochs = cfg.epochs;
+    let pipeline = Pipeline::prepare(cfg);
+    let ds = pipeline.dataset();
+    let cache = FeatureCache::from_samples(ds, pipeline.train_samples());
+
+    let mut rapid_model = Rapid::new(
+        ds,
+        RapidConfig {
+            epochs,
+            ..RapidConfig::probabilistic()
+        },
+    );
+    rapid_model.fit_prepared(ds, &cache);
+
+    let mut prm = Prm::new(
+        ds,
+        PrmConfig {
+            epochs,
+            ..PrmConfig::default()
+        },
+    );
+    prm.fit_prepared(ds, &cache);
+
+    rapid::obs::set_diag_enabled(false);
+
+    let rapid_params = assert_trace_complete(
+        &out_dir.join("train_trace_rapid_pro.ndjson"),
+        "RAPID-pro",
+        epochs,
+    );
+    let prm_params = assert_trace_complete(&out_dir.join("train_trace_prm.ndjson"), "PRM", epochs);
+    // Distinct models trace distinct parameter sets.
+    assert!(rapid_params.len() > 1 && prm_params.len() > 1);
+    assert_ne!(rapid_params, prm_params);
+}
+
+/// A NaN slipped into a gradient aborts the shared training step naming
+/// the model, the parameter, and the epoch — before the optimizer can
+/// corrupt the weights.
+#[test]
+fn nan_gradient_fails_fast_naming_model_parameter_and_epoch() {
+    let mut store = ParamStore::new();
+    store.add("fine.bias", Matrix::ones(1, 1));
+    let bad = store.add("scorer.w1", Matrix::row_vector(&[1.0, 2.0]));
+    // Backward *accumulates* into existing gradients, so a pre-poisoned
+    // slot stays NaN through the first batch and trips the guard.
+    store.grad_mut(bad).as_mut_slice()[1] = f32::NAN;
+
+    let mut tape = Tape::new();
+    let wv = tape.param(&store, bad);
+    let target = Matrix::row_vector(&[0.0, 0.0]);
+    let loss = tape.mse(wv, &target);
+
+    let mut step = TrainStep::new("NAN-TEST", 1, 1, Some(5.0));
+    let mut opt = Adam::new(0.01);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        step.step(&mut tape, loss, &mut store, &mut opt);
+    }))
+    .expect_err("a NaN gradient must abort the step");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("NAN-TEST"), "panic must name the model: {msg}");
+    assert!(
+        msg.contains("scorer.w1"),
+        "panic must name the param: {msg}"
+    );
+    assert!(msg.contains("epoch 0"), "panic must name the epoch: {msg}");
+    // The weights were not touched by the aborted update.
+    assert_eq!(store.value(bad).as_slice(), &[1.0, 2.0]);
+}
+
+/// A non-finite loss aborts before backward even runs. The NaN node is
+/// injected with `push_unchecked` because in debug builds the tape's own
+/// push-time assert would fire first — this test targets the release-mode
+/// safety net in the shared training step.
+#[test]
+fn nan_loss_fails_fast_naming_model_and_epoch() {
+    use rapid::autograd::op::Op;
+
+    let mut store = ParamStore::new();
+    let w = store.add("w", Matrix::row_vector(&[1.0]));
+    let mut tape = Tape::new();
+    let wv = tape.param(&store, w);
+    let loss = tape.push_unchecked(Matrix::row_vector(&[f32::NAN]), Op::Relu(wv));
+
+    let mut step = TrainStep::new("LOSS-TEST", 1, 1, None);
+    let mut opt = Adam::new(0.01);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        step.step(&mut tape, loss, &mut store, &mut opt);
+    }))
+    .expect_err("a NaN loss must abort the step");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("LOSS-TEST"),
+        "panic must name the model: {msg}"
+    );
+    assert!(msg.contains("non-finite loss"), "{msg}");
+    assert!(msg.contains("epoch 0"), "panic must name the epoch: {msg}");
+}
