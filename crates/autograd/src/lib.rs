@@ -24,6 +24,10 @@
 //!   non-finite fail-fast scans the training loops call.
 //! * [`gradcheck`] — central-difference verification used by the tests
 //!   of this crate and of `rapid-nn`.
+//! * [`Checkpoint`] / [`Checkpointer`] — versioned, CRC-protected,
+//!   atomically-written training checkpoints carrying parameters,
+//!   optimizer state, and the epoch cursor, so an interrupted run can
+//!   resume bit-identically.
 //!
 //! # Tape reuse and epoch safety
 //!
@@ -70,4 +74,5 @@ mod serialize;
 mod tape;
 
 pub use params::{ParamId, ParamStore};
+pub use serialize::{Checkpoint, CheckpointConfig, Checkpointer};
 pub use tape::{Tape, Var};

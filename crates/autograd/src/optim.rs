@@ -6,6 +6,20 @@
 use crate::params::ParamStore;
 use rapid_tensor::Matrix;
 
+/// A snapshot of an optimizer's internal state, taken for checkpointing
+/// so a resumed run updates parameters bit-identically to one that was
+/// never interrupted. The fields mirror Adam's state — simpler
+/// optimizers either have none (SGD) or map a subset.
+#[derive(Debug, Clone, Default)]
+pub struct OptimState {
+    /// Steps taken so far (drives Adam's bias correction).
+    pub t: u64,
+    /// First-moment estimate per parameter, in store registration order.
+    pub m: Vec<Matrix>,
+    /// Second-moment estimate per parameter, same order as `m`.
+    pub v: Vec<Matrix>,
+}
+
 /// A parameter-update rule. `step` consumes the gradients currently
 /// accumulated in the store and applies one update; callers are expected
 /// to `zero_grads()` afterwards (or use [`Optimizer::step_and_zero`]).
@@ -17,6 +31,22 @@ pub trait Optimizer {
     fn step_and_zero(&mut self, store: &mut ParamStore) {
         self.step(store);
         store.zero_grads();
+    }
+
+    /// The optimizer's checkpointable state, or `None` when it carries
+    /// nothing worth persisting (the default; SGD is stateless).
+    fn state(&self) -> Option<OptimState> {
+        None
+    }
+
+    /// Replaces the optimizer's state with a checkpointed snapshot.
+    ///
+    /// # Errors
+    /// Returns a message when this optimizer cannot restore state (the
+    /// default) or when the snapshot is internally inconsistent; the
+    /// optimizer is left unchanged in that case.
+    fn restore(&mut self, _state: OptimState) -> Result<(), String> {
+        Err("this optimizer does not carry restorable state".to_string())
     }
 }
 
@@ -144,6 +174,41 @@ impl Optimizer for Adam {
             store.value_mut(id).add_scaled_assign(&update, -self.lr);
         }
     }
+
+    fn state(&self) -> Option<OptimState> {
+        Some(OptimState {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        })
+    }
+
+    /// Restores `t` and the moment estimates from a checkpoint. The
+    /// snapshot is validated (matching `m`/`v` counts, pairwise-equal
+    /// shapes) before anything is overwritten, so a rejected restore
+    /// leaves the optimizer usable.
+    fn restore(&mut self, state: OptimState) -> Result<(), String> {
+        if state.m.len() != state.v.len() {
+            return Err(format!(
+                "Adam restore: {} first moments vs {} second moments",
+                state.m.len(),
+                state.v.len()
+            ));
+        }
+        for (i, (m, v)) in state.m.iter().zip(&state.v).enumerate() {
+            if m.shape() != v.shape() {
+                return Err(format!(
+                    "Adam restore: moment {i} shape mismatch {:?} vs {:?}",
+                    m.shape(),
+                    v.shape()
+                ));
+            }
+        }
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +276,61 @@ mod tests {
             "panic must name the param: {msg}"
         );
         assert!(msg.contains("step 1"), "panic must name the step: {msg}");
+    }
+
+    #[test]
+    fn adam_restore_resumes_bit_identically() {
+        let target = Matrix::row_vector(&[3.0, -1.0]);
+        let step_once = |store: &mut ParamStore, opt: &mut Adam| {
+            let w = store.ids().next().unwrap();
+            let mut tape = Tape::new();
+            let wv = tape.param(store, w);
+            let loss = tape.mse(wv, &target);
+            tape.backward(loss, store);
+            opt.step_and_zero(store);
+        };
+        let mut store = ParamStore::new();
+        store.add("w", Matrix::row_vector(&[0.0, 10.0]));
+        let mut opt = Adam::new(0.05);
+        for _ in 0..3 {
+            step_once(&mut store, &mut opt);
+        }
+        // Snapshot mid-run, then continue the original...
+        let snap = opt.state().expect("Adam has state");
+        let mut resumed_store = store.clone();
+        for _ in 0..2 {
+            step_once(&mut store, &mut opt);
+        }
+        // ...and a fresh Adam restored from the snapshot.
+        let mut resumed = Adam::new(0.05);
+        resumed.restore(snap).expect("restore valid state");
+        for _ in 0..2 {
+            step_once(&mut resumed_store, &mut resumed);
+        }
+        let a = store.value(store.ids().next().unwrap()).as_slice().to_vec();
+        let b = resumed_store
+            .value(resumed_store.ids().next().unwrap())
+            .as_slice()
+            .to_vec();
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "restored Adam must continue bit-identically"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state_and_stateless_optimizers() {
+        let mut adam = Adam::new(0.01);
+        let bad = OptimState {
+            t: 1,
+            m: vec![Matrix::zeros(1, 2)],
+            v: vec![Matrix::zeros(2, 1)],
+        };
+        assert!(adam.restore(bad).is_err());
+        let mut sgd = Sgd::new(0.1);
+        assert!(sgd.state().is_none());
+        assert!(sgd.restore(OptimState::default()).is_err());
     }
 
     #[test]

@@ -29,7 +29,14 @@
 //! by `Span::finish()`, so the span totals in `telemetry.ndjson` agree
 //! with `BENCH_exec.json` by construction (the CI gate allows 5% but
 //! single-count spans match exactly).
+//!
+//! The run also prices crash safety: RAPID trains once more with
+//! per-epoch atomic checkpoints, recording the write cost
+//! (`ckpt_overhead_frac`, gated < 5% by `rapid-bench --check`) and the
+//! cost of resuming from the finished checkpoint, and asserts that
+//! neither checkpointing nor resuming perturbs the learned model.
 
+use rapid_autograd::CheckpointConfig;
 use rapid_bench::{ms, Cli};
 use rapid_core::{Rapid, RapidConfig};
 use rapid_data::Flavor;
@@ -108,6 +115,22 @@ struct BenchReport {
     /// it divides by the fan-out.
     multi_model_par_ms: f64,
     multi_model_speedup: f64,
+    /// Checkpoint cadence of the crash-safety bench (1 = every epoch,
+    /// the worst case).
+    ckpt_every_epochs: usize,
+    /// Atomic checkpoint writes performed during the checkpointed train.
+    ckpt_writes: u64,
+    /// Total time inside those writes (serialize + fsync + rename),
+    /// from the `ckpt.write_ms` histogram.
+    ckpt_write_ms_total: f64,
+    /// Wall-clock of the checkpointed RAPID training run.
+    ckpt_train_ms: f64,
+    /// `ckpt_write_ms_total / ckpt_train_ms` — gated < 5% by
+    /// `rapid-bench --check`.
+    ckpt_overhead_frac: f64,
+    /// Cost of resuming from the finished checkpoint: load + CRC verify
+    /// + param/Adam restore + RNG replay, with no epochs left to run.
+    ckpt_resume_ms: f64,
 }
 
 fn main() {
@@ -219,6 +242,53 @@ fn main() {
     std::hint::black_box(pipeline.evaluate_all(&mut par_models));
     let multi_model_par_ms = ms(span.finish());
 
+    // Checkpointing overhead and crash-resume cost. A fresh RAPID model
+    // trains with per-epoch atomic checkpoints (the worst-case cadence);
+    // the write cost comes from the `ckpt.write_ms` histogram the
+    // Checkpointer feeds, so the overhead fraction is measured against
+    // the very wall-clock it taxed. A second model then resumes from the
+    // finished checkpoint — timing the pure load/verify/restore path —
+    // and both must re-rank exactly like the uncheckpointed model
+    // trained above (checkpointing must not perturb training).
+    let ckpt_every_epochs = 1usize;
+    let out_dir = rapid_obs::ensure_out_dir().expect("create --out-dir");
+    let ckpt_cfg = CheckpointConfig::new(out_dir.join("bench_rapid.ckpt"), ckpt_every_epochs);
+    let rapid_cfg = || RapidConfig {
+        hidden,
+        epochs,
+        seed: cli.seed,
+        ..RapidConfig::probabilistic()
+    };
+    let hist_sum =
+        |s: &rapid_obs::Snapshot| s.histogram("ckpt.write_ms").map(|h| h.sum()).unwrap_or(0.0);
+    let before = rapid_obs::global().snapshot();
+    let mut ckpt_model = Rapid::new(ds, rapid_cfg());
+    let span = Span::enter("train_checkpointed/RAPID-pro");
+    ckpt_model.fit_resumable(ds, &train_cache, &ckpt_cfg);
+    let ckpt_train_ms = ms(span.finish());
+    let after = rapid_obs::global().snapshot();
+    let ckpt_writes = after.counter("ckpt.writes") - before.counter("ckpt.writes");
+    let ckpt_write_ms_total = hist_sum(&after) - hist_sum(&before);
+    let ckpt_overhead_frac = ckpt_write_ms_total / ckpt_train_ms.max(1e-9);
+
+    let mut resumed = Rapid::new(ds, rapid_cfg());
+    let span = Span::enter("resume_restore/RAPID-pro");
+    resumed.fit_resumable(ds, &train_cache, &ckpt_cfg);
+    let ckpt_resume_ms = ms(span.finish());
+
+    assert_eq!(models[2].name(), "RAPID-pro");
+    let plain_perms = models[2].rerank_batch(ds, &test_cache);
+    assert_eq!(
+        plain_perms,
+        ckpt_model.rerank_batch(ds, &test_cache),
+        "checkpointed training must not perturb the learned model"
+    );
+    assert_eq!(
+        plain_perms,
+        resumed.rerank_batch(ds, &test_cache),
+        "resuming a finished checkpoint must reproduce the model exactly"
+    );
+
     let report = BenchReport {
         scale: cli.scale_tag().to_string(),
         seed: cli.seed,
@@ -235,6 +305,12 @@ fn main() {
         multi_model_seq_ms,
         multi_model_par_ms,
         multi_model_speedup: multi_model_seq_ms / multi_model_par_ms.max(1e-9),
+        ckpt_every_epochs,
+        ckpt_writes,
+        ckpt_write_ms_total,
+        ckpt_train_ms,
+        ckpt_overhead_frac,
+        ckpt_resume_ms,
     };
 
     println!(
@@ -244,6 +320,14 @@ fn main() {
     println!(
         "multi-model eval: {:.1} ms sequential, {:.1} ms fanned, {:.2}x",
         report.multi_model_seq_ms, report.multi_model_par_ms, report.multi_model_speedup
+    );
+    println!(
+        "checkpointing: {} writes, {:.1} ms of {:.1} ms train ({:.2}% overhead), resume {:.1} ms",
+        report.ckpt_writes,
+        report.ckpt_write_ms_total,
+        report.ckpt_train_ms,
+        report.ckpt_overhead_frac * 100.0,
+        report.ckpt_resume_ms
     );
 
     let json = serde_json::to_string_pretty(&report).expect("bench report serialises");

@@ -7,11 +7,23 @@
 //! by deterministic optimizer work (same seed, same batch count), so a
 //! large ratio there means real regression rather than noise. The
 //! default tolerance is 25%.
+//!
+//! The gate additionally bounds *checkpointing overhead*: the current
+//! report's `ckpt_overhead_frac` (time spent in atomic checkpoint
+//! writes as a fraction of the checkpointed training wall-clock) must
+//! stay under [`MAX_CKPT_OVERHEAD_FRAC`]. This is an absolute budget
+//! rather than a baseline ratio — the write cost is measured against
+//! the *same run's* training time, which cancels host-speed noise —
+//! and reports that predate the field (older baselines) are tolerated.
 
 use serde_json::{parse_value, Value};
 
 /// Default allowed per-model `train_cached_ms` growth (25%).
 pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Ceiling on `ckpt_overhead_frac`: per-epoch checkpointing may cost at
+/// most 5% of the training wall-clock it protects.
+pub const MAX_CKPT_OVERHEAD_FRAC: f64 = 0.05;
 
 /// One model's baseline-vs-current comparison.
 #[derive(Debug, Clone)]
@@ -36,12 +48,18 @@ pub struct CheckOutcome {
     pub deltas: Vec<ModelDelta>,
     /// The tolerance the rows were judged against.
     pub tolerance: f64,
+    /// The current report's `ckpt_overhead_frac`, when it carries one
+    /// (reports predating the checkpoint bench have no such field).
+    pub ckpt_overhead_frac: Option<f64>,
+    /// Whether the checkpoint-overhead budget was blown.
+    pub ckpt_regressed: bool,
 }
 
 impl CheckOutcome {
-    /// `true` when no model regressed.
+    /// `true` when no model regressed and the checkpoint-overhead
+    /// budget held.
     pub fn passed(&self) -> bool {
-        self.deltas.iter().all(|d| !d.regressed)
+        self.deltas.iter().all(|d| !d.regressed) && !self.ckpt_regressed
     }
 
     /// Human-readable per-model table plus verdict line.
@@ -61,15 +79,33 @@ impl CheckOutcome {
                 if d.regressed { "REGRESSED" } else { "ok" }
             ));
         }
+        match self.ckpt_overhead_frac {
+            Some(frac) => out.push_str(&format!(
+                "checkpoint overhead: {:.2}% of train wall-clock (budget {:.0}%)  {}\n",
+                frac * 100.0,
+                MAX_CKPT_OVERHEAD_FRAC * 100.0,
+                if self.ckpt_regressed {
+                    "OVER BUDGET"
+                } else {
+                    "ok"
+                }
+            )),
+            None => out.push_str("checkpoint overhead: not reported (pre-checkpoint bench)\n"),
+        }
         let verdict = if self.passed() {
             format!(
                 "PASS: all models within {:.0}% of baseline train_cached_ms",
                 self.tolerance * 100.0
             )
-        } else {
+        } else if self.deltas.iter().any(|d| d.regressed) {
             format!(
                 "FAIL: train_cached_ms regression beyond {:.0}% tolerance",
                 self.tolerance * 100.0
+            )
+        } else {
+            format!(
+                "FAIL: checkpoint overhead above the {:.0}% budget",
+                MAX_CKPT_OVERHEAD_FRAC * 100.0
             )
         };
         out.push_str(&verdict);
@@ -142,7 +178,23 @@ pub fn check_regression(
             ratio,
         });
     }
-    Ok(CheckOutcome { deltas, tolerance })
+
+    // The checkpoint-overhead budget judges the current run against
+    // itself; the baseline is not consulted, so pre-checkpoint baselines
+    // keep working. A current report without the field is tolerated too
+    // (it predates the checkpoint bench).
+    let ckpt_overhead_frac = current
+        .field("ckpt_overhead_frac")
+        .ok()
+        .and_then(|v| v.as_f64().ok());
+    let ckpt_regressed = ckpt_overhead_frac.is_some_and(|f| f > MAX_CKPT_OVERHEAD_FRAC);
+
+    Ok(CheckOutcome {
+        deltas,
+        tolerance,
+        ckpt_overhead_frac,
+        ckpt_regressed,
+    })
 }
 
 #[cfg(test)]
@@ -157,6 +209,14 @@ mod tests {
         format!(
             "{{\"scale\":\"quick\",\"models\":[{}],\"total_after_ms\":1.0}}",
             rows.join(",")
+        )
+    }
+
+    fn report_with_ckpt(times: &[(&str, f64)], frac: f64) -> String {
+        let base = report(times);
+        format!(
+            "{},\"ckpt_overhead_frac\":{frac}}}",
+            base.strip_suffix('}').unwrap()
         )
     }
 
@@ -229,6 +289,36 @@ mod tests {
         assert!(check_regression("not json", &good, DEFAULT_TOLERANCE).is_err());
         assert!(check_regression(&good, "{\"models\":[]}", DEFAULT_TOLERANCE).is_err());
         assert!(check_regression(&good, "{}", DEFAULT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn ckpt_overhead_within_budget_passes() {
+        let base = report(&[("PRM", 100.0)]);
+        let cur = report_with_ckpt(&[("PRM", 100.0)], 0.02);
+        let out = check_regression(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.ckpt_overhead_frac, Some(0.02));
+        assert!(out.render().contains("checkpoint overhead: 2.00%"));
+    }
+
+    #[test]
+    fn ckpt_overhead_over_budget_fails() {
+        let base = report(&[("PRM", 100.0)]);
+        let cur = report_with_ckpt(&[("PRM", 100.0)], 0.12);
+        let out = check_regression(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert!(!out.passed());
+        assert!(out.ckpt_regressed);
+        assert!(out.render().contains("checkpoint overhead above"));
+    }
+
+    #[test]
+    fn reports_without_ckpt_field_are_tolerated() {
+        // Old baselines and old current reports simply skip the budget.
+        let j = report(&[("PRM", 100.0)]);
+        let out = check_regression(&j, &j, DEFAULT_TOLERANCE).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.ckpt_overhead_frac, None);
+        assert!(out.render().contains("not reported"));
     }
 
     #[test]

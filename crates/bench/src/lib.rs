@@ -35,7 +35,9 @@ use rapid_eval::Scale;
 
 pub mod check;
 
-pub use check::{check_regression, CheckOutcome, ModelDelta, DEFAULT_TOLERANCE};
+pub use check::{
+    check_regression, CheckOutcome, ModelDelta, DEFAULT_TOLERANCE, MAX_CKPT_OVERHEAD_FRAC,
+};
 
 /// Parsed common CLI options.
 #[derive(Debug, Clone)]

@@ -14,9 +14,10 @@
 //!   diagnostic, not "called unwrap on None".
 //! * `no-env-var` — process environment reads are confined to
 //!   `exec::parallel` (the `RAPID_WORKERS` override), `obs::event`
-//!   (the `RAPID_LOG` threshold), and `obs::config` (the `RAPID_DIAG` /
-//!   `RAPID_OUT_DIR` / `RAPID_OBS_ADDR` knobs); configuration
-//!   everywhere else flows through typed config structs.
+//!   (the `RAPID_LOG` threshold), `obs::config` (the `RAPID_DIAG` /
+//!   `RAPID_OUT_DIR` / `RAPID_OBS_ADDR` knobs), and `faults` (the
+//!   `RAPID_FAULTS` chaos spec); configuration everywhere else flows
+//!   through typed config structs.
 //! * `centralized-clock` — `Instant::now` / `SystemTime::now` are read
 //!   only inside `crates/obs/src` (the `rapid_obs::clock` module);
 //!   everything else takes timestamps through `rapid_obs::clock::now` /
@@ -33,6 +34,11 @@
 //! * `doc-header` — every source file opens with a `//!` module doc
 //!   before its first code line (the workspace's `missing_docs`
 //!   equivalent for air-gapped builds).
+//! * `no-expect-in-serve` — no `.unwrap()` / `.expect(` in the
+//!   degradation-critical serving files (`obs::serve`,
+//!   `exec::parallel`): these are exactly the paths that promise to
+//!   survive faults rather than panic, so even "can't happen" unwraps
+//!   are banned there independently of the hot-crate rule.
 //!
 //! ## Scope heuristics
 //!
@@ -86,13 +92,21 @@ const HOT_CRATES: [&str; 4] = [
 ];
 
 /// The only files allowed to read the process environment: the
-/// `RAPID_WORKERS` override, the `RAPID_LOG` threshold, and the
-/// observability knobs (`RAPID_DIAG`, `RAPID_OUT_DIR`, `RAPID_OBS_ADDR`).
-const ENV_ALLOWED_FILES: [&str; 3] = [
+/// `RAPID_WORKERS` override, the `RAPID_LOG` threshold, the
+/// observability knobs (`RAPID_DIAG`, `RAPID_OUT_DIR`, `RAPID_OBS_ADDR`),
+/// and the `RAPID_FAULTS` chaos spec.
+const ENV_ALLOWED_FILES: [&str; 4] = [
     "crates/exec/src/parallel.rs",
     "crates/obs/src/event.rs",
     "crates/obs/src/config.rs",
+    "crates/faults/src/lib.rs",
 ];
+
+/// Files on the graceful-degradation serving path, where a panic means
+/// a dropped request instead of a failed unit test: `.unwrap()` /
+/// `.expect(` are banned outright (`no-expect-in-serve`), even where
+/// the hot-crate `no-unwrap` rule does not reach.
+const SERVE_NO_EXPECT_FILES: [&str; 2] = ["crates/obs/src/serve.rs", "crates/exec/src/parallel.rs"];
 
 /// The only crate allowed to read the process clocks directly; everyone
 /// else goes through `rapid_obs::clock` so timestamps share one epoch.
@@ -137,6 +151,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
     let env_needle: &str = concat!("std::en", "v::var");
 
     let unwrap_applies = HOT_CRATES.iter().any(|c| path.starts_with(c));
+    let serve_expect_applies = SERVE_NO_EXPECT_FILES.contains(&path);
     let env_applies = !ENV_ALLOWED_FILES.contains(&path);
     let print_applies = PRINT_FREE_CRATES.iter().any(|c| path.starts_with(c));
     let clock_applies = !path.starts_with(CLOCK_ALLOWED_PREFIX);
@@ -192,6 +207,23 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                         message: format!(
                             "`{needle}…` in hot-crate library code; return an error or \
                              panic with a specific message (or `lint:allow(no-unwrap)`)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if serve_expect_applies && !allow("no-expect-in-serve") {
+            for needle in [".unwrap()", ".expect("] {
+                if code.contains(needle) {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: "no-expect-in-serve",
+                        message: format!(
+                            "`{needle}…` on the graceful-degradation serving path; \
+                             handle the error (a panic here drops a request) or \
+                             `lint:allow(no-expect-in-serve)`"
                         ),
                     });
                 }
@@ -461,6 +493,36 @@ mod tests {
             rules(&lint_source("crates/obs/src/registry.rs", &src)),
             vec!["no-env-var"]
         );
+    }
+
+    #[test]
+    fn expect_banned_on_the_serving_path() {
+        let src = "//! Doc.\nfn f() { x.unwrap(); y.expect(\"boom\"); }\n";
+        // serve.rs sits outside the hot crates, so only the new rule fires.
+        assert_eq!(
+            rules(&lint_source("crates/obs/src/serve.rs", src)),
+            vec!["no-expect-in-serve", "no-expect-in-serve"]
+        );
+        // parallel.rs is also a hot-crate file: both rules apply there.
+        let found = rules(&lint_source("crates/exec/src/parallel.rs", src));
+        assert!(found.contains(&"no-unwrap") && found.contains(&"no-expect-in-serve"));
+        // Other obs files stay exempt, as before.
+        assert!(lint_source("crates/obs/src/registry.rs", src).is_empty());
+        // Test modules and allow directives are honoured.
+        let src = "//! Doc.\n#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }\n";
+        assert!(lint_source("crates/obs/src/serve.rs", src).is_empty());
+        let src = "//! Doc.\nfn f() { x.unwrap(); } // lint:allow(no-expect-in-serve) infallible\n";
+        assert!(lint_source("crates/obs/src/serve.rs", src).is_empty());
+        // `unwrap_or_else` is not `unwrap`.
+        let src = "//! Doc.\nfn f() { m.lock().unwrap_or_else(|p| p.into_inner()); }\n";
+        assert!(lint_source("crates/obs/src/serve.rs", src).is_empty());
+    }
+
+    #[test]
+    fn env_var_allowed_in_faults() {
+        let needle = concat!("std::en", "v::var");
+        let src = format!("//! Doc.\nfn f() {{ let _ = {needle}(\"RAPID_FAULTS\"); }}\n");
+        assert!(lint_source("crates/faults/src/lib.rs", &src).is_empty());
     }
 
     #[test]

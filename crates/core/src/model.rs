@@ -196,28 +196,61 @@ impl Rapid {
     pub fn scores(&self, ds: &Dataset, input: &RerankInput) -> Vec<f32> {
         self.scores_prepared(ds, &PreparedList::from_input(ds, input.clone()))
     }
-}
 
-impl ReRanker for Rapid {
-    fn name(&self) -> &'static str {
-        self.config.variant_name()
-    }
-
-    fn fit_prepared(&mut self, ds: &Dataset, lists: &[PreparedList]) -> FitReport {
+    /// The shared training body behind `fit_prepared` (no checkpointing)
+    /// and `fit_resumable` (crash-safe periodic checkpoints + resume).
+    ///
+    /// Resume is *fast-forward replay*: the checkpoint restores
+    /// parameters, Adam state, and the epoch cursor, then both RNG
+    /// streams — the epoch shuffle and (probabilistic head only) the
+    /// reparameterization noise — are recreated from their seeds and
+    /// advanced through the completed epochs' draws, so the remaining
+    /// epochs are bit-identical to an uninterrupted run's.
+    fn fit_impl(
+        &mut self,
+        ds: &Dataset,
+        lists: &[PreparedList],
+        ckpt: Option<&rapid_autograd::CheckpointConfig>,
+    ) -> FitReport {
+        use rand::seq::SliceRandom;
+        let mut optimizer = Adam::new(self.config.lr);
+        let checkpointer = ckpt.map(|c| rapid_autograd::Checkpointer::new(c.clone()));
+        let start_epoch = rapid_rerankers::resume_into(
+            checkpointer.as_ref(),
+            self.name(),
+            &mut self.store,
+            &mut optimizer,
+        )
+        .min(self.config.epochs);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut noise_rng = StdRng::seed_from_u64(self.config.seed ^ 0xdead_beef);
-        let mut optimizer = Adam::new(self.config.lr);
         let mut order: Vec<usize> = (0..lists.len()).collect();
+        let batch = self.config.batch.max(1);
+        for _ in 0..start_epoch {
+            order.shuffle(&mut rng);
+            if self.head_std.is_some() {
+                // Replay the per-list noise draws of the completed
+                // epochs in chunk order, discarding the samples.
+                for chunk in order.chunks(batch) {
+                    for &i in chunk {
+                        let _ = Matrix::rand_normal(lists[i].len(), 1, 0.0, 1.0, &mut noise_rng);
+                    }
+                }
+            }
+        }
         let mut tape = Tape::new();
-        // This loop differs from `fit_listwise` only in the
+        // This loop differs from `fit_listwise_opts` only in the
         // reparameterization noise fed through `train_scores`; the
         // backward/update path is the shared `TrainStep`.
         let mut step =
             rapid_rerankers::TrainStep::new(self.name(), lists.len(), self.config.batch, Some(5.0));
-        use rand::seq::SliceRandom;
-        for _ in 0..self.config.epochs {
+        if let Some(ck) = checkpointer {
+            step = step.with_checkpointer(ck);
+        }
+        step.resume_from(start_epoch);
+        for _ in start_epoch..self.config.epochs {
             order.shuffle(&mut rng);
-            for chunk in order.chunks(self.config.batch.max(1)) {
+            for chunk in order.chunks(batch) {
                 step.begin_batch();
                 tape.clear();
                 let mut losses = Vec::with_capacity(chunk.len());
@@ -239,6 +272,25 @@ impl ReRanker for Rapid {
             }
         }
         step.finish(self.config.epochs)
+    }
+}
+
+impl ReRanker for Rapid {
+    fn name(&self) -> &'static str {
+        self.config.variant_name()
+    }
+
+    fn fit_prepared(&mut self, ds: &Dataset, lists: &[PreparedList]) -> FitReport {
+        self.fit_impl(ds, lists, None)
+    }
+
+    fn fit_resumable(
+        &mut self,
+        ds: &Dataset,
+        lists: &[PreparedList],
+        ckpt: &rapid_autograd::CheckpointConfig,
+    ) -> FitReport {
+        self.fit_impl(ds, lists, Some(ckpt))
     }
 
     fn rerank_prepared(&self, ds: &Dataset, prep: &PreparedList) -> Vec<usize> {

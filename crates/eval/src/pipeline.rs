@@ -73,9 +73,13 @@ impl Pipeline {
     ///
     /// When `RAPID_OBS_ADDR=host:port` is set, the first `prepare` call
     /// also starts the live telemetry endpoint (`/metrics`, `/healthz`,
-    /// `/snapshot`) for the rest of the process.
+    /// `/snapshot`) for the rest of the process. Likewise,
+    /// `RAPID_FAULTS=<spec>` arms the chaos-injection plan for the whole
+    /// run (see the `rapid-faults` crate), so replayable fault drills
+    /// need no code changes.
     pub fn prepare(config: ExperimentConfig) -> Self {
         rapid_obs::install_from_env();
+        rapid_faults::init_from_env();
         let prepare_span = rapid_obs::Span::enter("prepare");
         let (ds, _) = rapid_obs::time("generate", || generate(&config.data));
         let dcm = Dcm::standard(config.data.list_len, config.lambda);

@@ -18,13 +18,16 @@
 //!   deterministic output ordering; worker count comes from
 //!   [`worker_count`], overridable via the `RAPID_WORKERS` environment
 //!   variable.
+//! * [`par_map_degraded`] — the serving-path variant that degrades on
+//!   worker panics (sequential retry, then per-item fallback) instead
+//!   of aborting the batch.
 
 mod input;
 mod parallel;
 mod prepared;
 
 pub use input::{RerankInput, TrainSample};
-pub use parallel::{par_map, par_map_mut, worker_count};
+pub use parallel::{par_map, par_map_degraded, par_map_mut, worker_count};
 pub use prepared::{
     item_feature_dim, item_features, list_feature_matrix, FeatureCache, PreparedList,
 };

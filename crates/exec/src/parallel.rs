@@ -8,6 +8,15 @@
 //! Every parallel call reports to the global `rapid-obs` registry:
 //! call/item counters, per-chunk sizes, per-worker busy time and spawn
 //! wait, and a per-call utilization ratio (total busy / workers × wall).
+//!
+//! Two failure philosophies coexist. [`par_map`] and [`par_map_mut`]
+//! re-raise worker panics — training wants fail-fast, a half-trained
+//! model is worthless. [`par_map_degraded`] is for serving-shaped work
+//! (re-ranking a batch of requests): a panicking chunk is retried once
+//! sequentially, and if it fails again those items fall back to a
+//! caller-supplied per-item fallback instead of aborting the batch.
+//! The ladder is parallel → sequential retry → fallback, each rung
+//! counted (`exec.degraded_*`) and the first warned about.
 
 use rapid_obs::clock;
 
@@ -202,6 +211,125 @@ where
     out
 }
 
+/// Runs one chunk, absorbing panics (the worker's own and injected
+/// `exec.chunk` faults alike). `None` means the chunk failed.
+fn run_chunk<T, R>(chunk: &[T], f: &(impl Fn(&T) -> R + Sync)) -> Option<Vec<R>> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rapid_faults::fire("exec.chunk");
+        chunk.iter().map(f).collect::<Vec<R>>()
+    }))
+    .ok()
+}
+
+/// Like [`par_map`], but a worker panic degrades instead of aborting:
+/// the failed chunk is retried once sequentially, and if that fails too
+/// each of its items gets `fallback(&item)` (for re-ranking, the
+/// initial ordering). The output is always full-length and
+/// order-preserving, so a batch of requests is never lost to one
+/// poisoned list.
+///
+/// Degradation telemetry: `exec.degraded_chunks` / `exec.degraded_requests`
+/// count what left the parallel fast path, `exec.retry_recovered` items
+/// the sequential retry saved, `exec.fallback_requests` items answered
+/// by the fallback — plus a `warn` event per degraded chunk.
+pub fn par_map_degraded<T, R, F, G>(items: &[T], f: F, fallback: G) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    G: Fn(&T) -> R,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let reg = rapid_obs::global();
+    let workers = worker_count().min(items.len());
+    let chunk = items.len().div_ceil(workers.max(1));
+    let f = &f;
+    let call_start = clock::now();
+    let mut stats = Vec::with_capacity(workers);
+    // One result slot per chunk; `None` marks a chunk whose worker
+    // panicked (or whose result never arrived), to be repaired below.
+    let mut parts: Vec<Option<Vec<R>>> = Vec::with_capacity(workers);
+    if workers <= 1 {
+        parts.push(run_chunk(items, f));
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|c| {
+                    let spawned_at = clock::now();
+                    s.spawn(move || {
+                        let started = clock::now();
+                        let part = run_chunk(c, f);
+                        let stat = WorkerStat {
+                            wait_ns: started.saturating_duration_since(spawned_at).as_nanos(),
+                            busy_ns: started.elapsed().as_nanos(),
+                            chunk_len: c.len(),
+                        };
+                        (part, stat)
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok((part, stat)) => {
+                        parts.push(part);
+                        stats.push(stat);
+                    }
+                    // run_chunk already absorbs worker panics, so a
+                    // join error can only come from a panicking Drop in
+                    // the payload — treat the chunk as failed rather
+                    // than aborting the batch.
+                    Err(_) => parts.push(None),
+                }
+            }
+        });
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for (idx, part) in parts.into_iter().enumerate() {
+        let chunk_items = &items[idx * chunk..(idx * chunk + chunk).min(items.len())];
+        match part {
+            Some(part) => out.extend(part),
+            None => {
+                reg.counter_add("exec.degraded_chunks", 1);
+                reg.counter_add("exec.degraded_requests", chunk_items.len() as u64);
+                rapid_obs::event!(
+                    rapid_obs::Level::Warn,
+                    "exec",
+                    "worker panicked on chunk {idx} ({} items); retrying sequentially",
+                    chunk_items.len()
+                );
+                match run_chunk(chunk_items, f) {
+                    Some(part) => {
+                        reg.counter_add("exec.retry_recovered", chunk_items.len() as u64);
+                        out.extend(part);
+                    }
+                    None => {
+                        reg.counter_add("exec.fallback_requests", chunk_items.len() as u64);
+                        rapid_obs::event!(
+                            rapid_obs::Level::Warn,
+                            "exec",
+                            "chunk {idx} failed again sequentially; \
+                             answering {} items with the fallback",
+                            chunk_items.len()
+                        );
+                        out.extend(chunk_items.iter().map(&fallback));
+                    }
+                }
+            }
+        }
+    }
+    record_call(
+        "par_map_degraded",
+        items.len(),
+        workers,
+        call_start.elapsed().as_nanos(),
+        &stats,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +388,70 @@ mod tests {
         let snap = rapid_obs::global().snapshot();
         assert!(snap.counter("exec.par_map.calls") > before);
         assert!(snap.counter("exec.par_map.items") >= 64);
+    }
+
+    #[test]
+    fn par_map_degraded_matches_par_map_when_nothing_fails() {
+        let items: Vec<usize> = (0..500).collect();
+        let out = par_map_degraded(&items, |&x| x * 3, |_| usize::MAX);
+        assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+        assert!(!out.contains(&usize::MAX), "no item fell back");
+    }
+
+    #[test]
+    fn panicking_items_degrade_to_the_fallback_without_aborting() {
+        let items: Vec<usize> = (0..100).collect();
+        let before = rapid_obs::global().snapshot();
+        let out = par_map_degraded(
+            &items,
+            |&x| {
+                assert!(x != 41, "poisoned item");
+                x * 2
+            },
+            |&x| x + 1_000_000,
+        );
+        assert_eq!(out.len(), items.len(), "degraded output is full-length");
+        // Items outside the poisoned chunk are computed normally; item
+        // 41's chunk (parallel AND sequential retry both panic) answers
+        // with the fallback.
+        assert!(out.contains(&1_000_041));
+        for (i, v) in out.iter().enumerate() {
+            assert!(
+                *v == i * 2 || *v == i + 1_000_000,
+                "item {i} must be computed or fallback, got {v}"
+            );
+        }
+        let snap = rapid_obs::global().snapshot();
+        assert!(snap.counter("exec.degraded_chunks") > before.counter("exec.degraded_chunks"));
+        assert!(snap.counter("exec.degraded_requests") > before.counter("exec.degraded_requests"));
+        assert!(snap.counter("exec.fallback_requests") > before.counter("exec.fallback_requests"));
+    }
+
+    #[test]
+    fn transient_panics_recover_on_the_sequential_retry() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Panics only on its first call for item 7 — the parallel pass
+        // fails, the sequential retry succeeds.
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..8).collect();
+        let before = rapid_obs::global()
+            .snapshot()
+            .counter("exec.retry_recovered");
+        let out = par_map_degraded(
+            &items,
+            |&x| {
+                if x == 7 && CALLS.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient failure");
+                }
+                x * 10
+            },
+            |_| usize::MAX,
+        );
+        assert_eq!(out, (0..8).map(|x| x * 10).collect::<Vec<_>>());
+        let after = rapid_obs::global()
+            .snapshot()
+            .counter("exec.retry_recovered");
+        assert!(after > before, "retry recovery must be counted");
     }
 
     #[test]

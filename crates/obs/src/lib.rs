@@ -67,5 +67,5 @@ pub use event::{level_from_str, log, log_to, set_level, should_log, stderr_enabl
 pub use hist::Histogram;
 pub use ndjson::ParseError;
 pub use registry::{global, EventRecord, Registry, Snapshot, SpanStat, TimelineEvent};
-pub use serve::{install_from_env, ServeHandle};
+pub use serve::{install_from_env, set_request_hook, ServeHandle};
 pub use span::{time, time_in, Span};

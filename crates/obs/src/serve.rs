@@ -17,6 +17,15 @@
 //! Request parsing is deliberately minimal — read until the header
 //! terminator, split the request line — because the only supported
 //! clients are `curl`, Prometheus scrapers, and the smoke tests.
+//! Minimal is still hardened: headers are capped at
+//! [`MAX_HEADER_BYTES`] (oversized requests are dropped unparsed),
+//! non-`GET` methods get `405`, unknown paths get a `404` listing the
+//! routes, and a panic while handling one connection is caught so the
+//! serving thread survives (`obs.request_panics` counts them).
+//!
+//! [`set_request_hook`] lets a fault-injection layer (`rapid-faults`)
+//! interpose on the request path without this crate depending on it:
+//! a hook returning `true` drops the connection before routing.
 //!
 //! [`install_from_env`] is the one-liner for binaries: it starts a
 //! server on the global registry when `RAPID_OBS_ADDR` (or
@@ -38,6 +47,31 @@ const POLL_INTERVAL: Duration = Duration::from_millis(10);
 /// Per-connection I/O budget, so one stalled client cannot wedge the
 /// single serving thread.
 const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Hard cap on request-header bytes. Anything larger is dropped without
+/// parsing — no legitimate client of these four routes sends 8 KiB of
+/// headers, and the cap bounds what a hostile peer can make us buffer.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// The fault-injection interposer, if any. A plain `fn` pointer (not a
+/// closure) keeps this dependency-free and trivially `Send`.
+static REQUEST_HOOK: std::sync::Mutex<Option<fn() -> bool>> = std::sync::Mutex::new(None);
+
+/// Installs (or with `None` removes) a hook consulted before each
+/// request is routed; returning `true` drops the connection, counted as
+/// `obs.requests_dropped`. Used by `rapid-faults` to chaos-test clients
+/// of the telemetry endpoint.
+pub fn set_request_hook(hook: Option<fn() -> bool>) {
+    *REQUEST_HOOK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner()) = hook;
+}
+
+fn request_hook() -> Option<fn() -> bool> {
+    *REQUEST_HOOK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// A running telemetry server. Dropping the handle detaches the thread
 /// (it keeps serving); call [`ServeHandle::stop`] for orderly shutdown.
@@ -119,7 +153,20 @@ pub fn install_from_env() -> Option<SocketAddr> {
 fn accept_loop(listener: TcpListener, registry: &'static Registry, stop: &AtomicBool) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _peer)) => handle_connection(stream, registry),
+            Ok((stream, _peer)) => {
+                // One bad request (or an injected fault) must never
+                // take the serving thread down with it.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if request_hook().is_some_and(|hook| hook()) {
+                        registry.counter_add("obs.requests_dropped", 1);
+                    } else {
+                        handle_connection(stream, registry);
+                    }
+                }));
+                if outcome.is_err() {
+                    registry.counter_add("obs.request_panics", 1);
+                }
+            }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
             }
@@ -155,7 +202,13 @@ fn read_request_line(stream: &mut TcpStream) -> Option<String> {
             Ok(0) => break,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                if buf.len() > MAX_HEADER_BYTES {
+                    // Oversized headers are dropped, not parsed: a
+                    // request line salvaged from a rejected request
+                    // would still route it.
+                    return None;
+                }
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
                     break;
                 }
             }
@@ -220,6 +273,14 @@ mod tests {
         REG.get_or_init(Registry::new)
     }
 
+    /// The request hook is process-global; live-socket tests serialise
+    /// on this lock so a hook installed by one cannot drop another's
+    /// connections.
+    fn live_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     fn get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect to telemetry server");
         write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
@@ -230,6 +291,7 @@ mod tests {
 
     #[test]
     fn serves_all_routes_from_a_live_socket() {
+        let _live = live_lock();
         let reg = test_registry();
         reg.counter_add("serve.test", 3);
         reg.record_span_timed("serve/span", Duration::from_micros(42), 0, 1);
@@ -277,13 +339,76 @@ mod tests {
 
     #[test]
     fn non_get_methods_are_rejected() {
-        let (status, _, body) = route("POST /metrics HTTP/1.1", test_registry());
-        assert!(status.starts_with("405"), "{status}: {body}");
+        for method in ["POST", "PUT", "DELETE", "HEAD", "PATCH"] {
+            let (status, _, body) = route(&format!("{method} /metrics HTTP/1.1"), test_registry());
+            assert!(status.starts_with("405"), "{method}: {status}: {body}");
+        }
+    }
+
+    #[test]
+    fn unknown_paths_get_404_listing_the_routes() {
+        let (status, _, body) = route("GET /nope HTTP/1.1", test_registry());
+        assert!(status.starts_with("404"), "{status}");
+        for known in ["/healthz", "/metrics", "/snapshot", "/trace"] {
+            assert!(body.contains(known), "404 body must list {known}: {body}");
+        }
     }
 
     #[test]
     fn query_strings_do_not_break_routing() {
         let (status, _, _) = route("GET /healthz?probe=1 HTTP/1.1", test_registry());
         assert_eq!(status, "200 OK");
+    }
+
+    #[test]
+    fn oversized_headers_are_dropped_without_a_response() {
+        let _live = live_lock();
+        let handle = serve(test_registry(), "127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = handle.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        // A valid request line buried under > MAX_HEADER_BYTES of
+        // header padding: the server must close without answering.
+        write!(stream, "GET /healthz HTTP/1.1\r\n").unwrap();
+        let filler = format!("X-Pad: {}\r\n", "a".repeat(1024));
+        for _ in 0..(MAX_HEADER_BYTES / 1024 + 2) {
+            if stream.write_all(filler.as_bytes()).is_err() {
+                break; // server already hung up mid-write — fine
+            }
+        }
+        let _ = stream.write_all(b"\r\n");
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(
+            out.is_empty(),
+            "oversized request must get no response: {out}"
+        );
+        // And the server is still healthy for well-formed requests.
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        handle.stop();
+    }
+
+    #[test]
+    fn request_hook_can_drop_connections_and_panics_are_survived() {
+        let _live = live_lock();
+        let reg = test_registry();
+        let handle = serve(reg, "127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = handle.addr();
+
+        set_request_hook(Some(|| true));
+        let dropped_before = reg.snapshot().counter("obs.requests_dropped");
+        assert!(get_may_fail(addr), "hooked request must be dropped");
+        set_request_hook(Some(|| panic!("injected request panic")));
+        assert!(get_may_fail(addr), "panicking hook must not answer");
+        set_request_hook(None);
+
+        // The serving thread survived both and the counters moved.
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        let snap = reg.snapshot();
+        assert!(snap.counter("obs.requests_dropped") > dropped_before);
+        assert!(snap.counter("obs.request_panics") >= 1);
+        handle.stop();
     }
 }

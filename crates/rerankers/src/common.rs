@@ -68,6 +68,50 @@ pub fn fit_listwise(
     lr: f32,
     seed: u64,
     loss_kind: ListLoss,
+    forward: impl FnMut(
+        &mut rapid_autograd::Tape,
+        &rapid_autograd::ParamStore,
+        &PreparedList,
+    ) -> rapid_autograd::Var,
+) -> FitReport {
+    fit_listwise_opts(
+        model,
+        store,
+        lists,
+        epochs,
+        batch,
+        lr,
+        seed,
+        loss_kind,
+        Some(5.0),
+        None,
+        forward,
+    )
+}
+
+/// The full-control variant of [`fit_listwise`]: callers choose the
+/// gradient clip (PD-GAN trains unclipped) and may attach a
+/// [`CheckpointConfig`](rapid_autograd::CheckpointConfig) for crash-safe
+/// periodic checkpointing with resume.
+///
+/// Resume is *fast-forward replay*: the checkpoint carries parameters,
+/// Adam state, and the epoch cursor, while the shuffle RNG is recreated
+/// from `seed` and advanced through the completed epochs' draws. A run
+/// killed after epoch N and resumed therefore sees exactly the batch
+/// sequence — and produces bit-identical parameters — as one that was
+/// never interrupted.
+#[allow(clippy::too_many_arguments)]
+pub fn fit_listwise_opts(
+    model: &'static str,
+    store: &mut rapid_autograd::ParamStore,
+    lists: &[PreparedList],
+    epochs: usize,
+    batch: usize,
+    lr: f32,
+    seed: u64,
+    loss_kind: ListLoss,
+    clip: Option<f32>,
+    ckpt: Option<&rapid_autograd::CheckpointConfig>,
     mut forward: impl FnMut(
         &mut rapid_autograd::Tape,
         &rapid_autograd::ParamStore,
@@ -75,35 +119,105 @@ pub fn fit_listwise(
     ) -> rapid_autograd::Var,
 ) -> FitReport {
     use rapid_autograd::optim::Adam;
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut optimizer = Adam::new(lr);
+    let checkpointer = ckpt.map(|c| rapid_autograd::Checkpointer::new(c.clone()));
+    let start_epoch = resume_into(checkpointer.as_ref(), model, store, &mut optimizer).min(epochs);
+    // Replay the completed epochs' RNG consumption so the remaining
+    // shuffles match the uninterrupted run draw-for-draw.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..lists.len()).collect();
+    for _ in 0..start_epoch {
+        order.shuffle(&mut rng);
+    }
     let mut tape = rapid_autograd::Tape::new();
-    let mut step = TrainStep::new(model, lists.len(), batch, Some(5.0));
-    for_each_batch(lists, epochs, batch, &mut rng, |chunk| {
-        step.begin_batch();
-        tape.clear();
-        let mut losses = Vec::with_capacity(chunk.len());
-        for prep in chunk {
-            let logits = forward(&mut tape, store, prep);
-            let labels: Vec<f32> = prep
-                .labels()
-                .iter()
-                .map(|&c| if c { 1.0 } else { 0.0 })
-                .collect();
-            let loss = match loss_kind {
-                ListLoss::Bce => {
-                    let targets = Matrix::from_vec(labels.len(), 1, labels);
-                    tape.bce_with_logits(logits, &targets)
-                }
-                ListLoss::Pairwise => tape.pairwise_logistic(logits, &labels),
-            };
-            losses.push(loss);
+    let mut step = TrainStep::new(model, lists.len(), batch, clip);
+    if let Some(ck) = checkpointer {
+        step = step.with_checkpointer(ck);
+    }
+    step.resume_from(start_epoch);
+    for _ in start_epoch..epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(batch.max(1)) {
+            step.begin_batch();
+            tape.clear();
+            let mut losses = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                let prep = &lists[i];
+                let logits = forward(&mut tape, store, prep);
+                let labels: Vec<f32> = prep
+                    .labels()
+                    .iter()
+                    .map(|&c| if c { 1.0 } else { 0.0 })
+                    .collect();
+                let loss = match loss_kind {
+                    ListLoss::Bce => {
+                        let targets = Matrix::from_vec(labels.len(), 1, labels);
+                        tape.bce_with_logits(logits, &targets)
+                    }
+                    ListLoss::Pairwise => tape.pairwise_logistic(logits, &labels),
+                };
+                losses.push(loss);
+            }
+            let stacked = tape.concat_cols(&losses);
+            let total = tape.mean_all(stacked);
+            step.step(&mut tape, total, store, &mut optimizer);
         }
-        let stacked = tape.concat_cols(&losses);
-        let total = tape.mean_all(stacked);
-        step.step(&mut tape, total, store, &mut optimizer);
-    });
+    }
     step.finish(epochs)
+}
+
+/// Applies a resumable checkpoint (if `ck` is attached and holds one) to
+/// a model's store and optimizer, returning the number of epochs already
+/// completed — 0 when starting fresh. Parameters are restored into a
+/// clone first, so a checkpoint that does not match the architecture is
+/// rejected with a warning and the model trains from scratch unchanged.
+pub fn resume_into(
+    ck: Option<&rapid_autograd::Checkpointer>,
+    model: &str,
+    store: &mut rapid_autograd::ParamStore,
+    optimizer: &mut dyn rapid_autograd::optim::Optimizer,
+) -> usize {
+    let Some(ck) = ck else { return 0 };
+    let Some(cp) = ck.resume() else { return 0 };
+    let Some(state) = cp.optimizer else { return 0 };
+    let mut candidate = store.clone();
+    if let Err(e) = candidate.restore_from(&cp.params) {
+        rapid_obs::event!(
+            rapid_obs::Level::Warn,
+            "ckpt",
+            "{model}: checkpoint does not match the architecture ({e}); \
+             training from scratch"
+        );
+        return 0;
+    }
+    if !state.m.is_empty() && state.m.len() != candidate.len() {
+        rapid_obs::event!(
+            rapid_obs::Level::Warn,
+            "ckpt",
+            "{model}: checkpoint optimizer tracks {} parameters, model has {}; \
+             training from scratch",
+            state.m.len(),
+            candidate.len()
+        );
+        return 0;
+    }
+    if let Err(e) = optimizer.restore(state) {
+        rapid_obs::event!(
+            rapid_obs::Level::Warn,
+            "ckpt",
+            "{model}: optimizer rejected checkpoint state ({e}); training from scratch"
+        );
+        return 0;
+    }
+    *store = candidate;
+    rapid_obs::event!(
+        rapid_obs::Level::Info,
+        "ckpt",
+        "{model}: resumed from checkpoint at epoch {} ({} batches done)",
+        cp.epochs_done,
+        cp.batches_done
+    );
+    cp.epochs_done as usize
 }
 
 /// The shared per-batch backward/update path of every neural training
@@ -131,9 +245,14 @@ pub struct TrainStep {
     batch_metric: String,
     batches_per_epoch: usize,
     batches: usize,
+    /// Batches already accounted for by a resumed checkpoint; the
+    /// [`FitReport`] counts only the steps this run actually took.
+    start_batches: usize,
     /// Global grad-norm clip applied after backward; `None` for loops
     /// that deliberately train unclipped (PD-GAN).
     clip: Option<f32>,
+    /// Writes a checkpoint every K epoch boundaries when attached.
+    checkpointer: Option<rapid_autograd::Checkpointer>,
     epoch_loss: EpochLoss,
     diag: rapid_autograd::diag::TrainDiag,
     fit_span: Option<rapid_obs::Span<'static>>,
@@ -151,12 +270,31 @@ impl TrainStep {
             batch_metric: format!("fit.{model}.batch_ms"),
             batches_per_epoch,
             batches: 0,
+            start_batches: 0,
             clip,
+            checkpointer: None,
             epoch_loss: EpochLoss::new(model, batches_per_epoch),
             diag: rapid_autograd::diag::TrainDiag::new(model),
             fit_span: Some(rapid_obs::Span::enter("fit")),
             batch_start: None,
         }
+    }
+
+    /// Attaches a checkpointer: every K-th epoch boundary writes a
+    /// crash-safe checkpoint of the store and optimizer.
+    pub fn with_checkpointer(mut self, ck: rapid_autograd::Checkpointer) -> Self {
+        self.checkpointer = Some(ck);
+        self
+    }
+
+    /// Fast-forwards the step counters past `epochs_done` completed
+    /// epochs restored from a checkpoint, so epoch numbering, boundary
+    /// detection, and the final [`FitReport`] line up with an
+    /// uninterrupted run.
+    pub fn resume_from(&mut self, epochs_done: usize) {
+        self.batches = epochs_done * self.batches_per_epoch;
+        self.start_batches = self.batches;
+        self.epoch_loss.skip_to_epoch(epochs_done);
     }
 
     /// The 0-based epoch the *next* [`TrainStep::step`] belongs to.
@@ -205,7 +343,10 @@ impl TrainStep {
                 check_start.elapsed().as_secs_f64() * 1e3,
             );
         }
-        let loss = tape.value(total).get(0, 0);
+        let mut loss = tape.value(total).get(0, 0);
+        if let Some(nan) = rapid_faults::inject_nan("train.loss") {
+            loss = nan;
+        }
         if !loss.is_finite() {
             panic!(
                 "{}: non-finite loss ({loss}) at epoch {epoch} (batch {}); aborting \
@@ -243,12 +384,23 @@ impl TrainStep {
         if let Some(start) = self.batch_start.take() {
             reg.observe(&self.batch_metric, start.elapsed().as_secs_f64() * 1e3);
         }
+        if boundary {
+            let epochs_done = (self.batches / self.batches_per_epoch) as u64;
+            if let Some(ck) = &self.checkpointer {
+                ck.on_epoch_end(epochs_done, self.batches as u64, store, &*optimizer);
+            }
+            // The injected crash fires AFTER the checkpoint write, so a
+            // `crash-at-epoch:N` run dies holding epoch N's checkpoint
+            // and its resume (starting past N) never re-fires.
+            rapid_faults::epoch_boundary("train.epoch", epochs_done.saturating_sub(1));
+        }
     }
 
     /// Closes the `fit` span, emits the run summary event, and returns
-    /// the [`FitReport`].
+    /// the [`FitReport`] (counting only this run's steps, not those a
+    /// resumed checkpoint already paid for).
     pub fn finish(mut self, epochs: usize) -> FitReport {
-        let batches = self.batches;
+        let batches = self.batches - self.start_batches;
         let elapsed = match self.fit_span.take() {
             Some(span) => span.finish(),
             None => std::time::Duration::ZERO,
@@ -285,6 +437,14 @@ impl EpochLoss {
             n: 0,
             epoch: 0,
         }
+    }
+
+    /// Jumps the epoch numbering past checkpoint-restored epochs so a
+    /// resumed run's loss events continue the original numbering.
+    pub fn skip_to_epoch(&mut self, epoch: usize) {
+        self.epoch = epoch;
+        self.sum = 0.0;
+        self.n = 0;
     }
 
     /// Records one batch loss; emits the epoch mean on epoch boundaries.

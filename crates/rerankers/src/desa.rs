@@ -15,7 +15,7 @@ use rapid_autograd::{ParamStore, Tape, Var};
 use rapid_data::Dataset;
 use rapid_nn::{self_attention, Activation, Linear, Mlp, TransformerEncoderLayer};
 
-use crate::common::{fit_listwise, item_feature_dim, perm_by_scores, ListLoss};
+use crate::common::{fit_listwise_opts, item_feature_dim, perm_by_scores, ListLoss};
 use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// DESA hyper-parameters.
@@ -124,6 +124,29 @@ impl Desa {
             head: self.head.clone(),
         }
     }
+
+    /// The shared training body behind `fit_prepared` (no checkpointing)
+    /// and `fit_resumable` (crash-safe periodic checkpoints + resume).
+    fn fit_impl(
+        &mut self,
+        lists: &[PreparedList],
+        ckpt: Option<&rapid_autograd::CheckpointConfig>,
+    ) -> FitReport {
+        let layers = self.layers();
+        fit_listwise_opts(
+            "DESA",
+            &mut self.store,
+            lists,
+            self.config.epochs,
+            self.config.batch,
+            self.config.lr,
+            self.config.seed,
+            ListLoss::Pairwise,
+            Some(5.0),
+            ckpt,
+            |tape, store, prep| Self::forward(&layers, tape, store, prep),
+        )
+    }
 }
 
 struct DesaLayers {
@@ -139,18 +162,16 @@ impl ReRanker for Desa {
     }
 
     fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
-        let layers = self.layers();
-        fit_listwise(
-            self.name(),
-            &mut self.store,
-            lists,
-            self.config.epochs,
-            self.config.batch,
-            self.config.lr,
-            self.config.seed,
-            ListLoss::Pairwise,
-            |tape, store, prep| Self::forward(&layers, tape, store, prep),
-        )
+        self.fit_impl(lists, None)
+    }
+
+    fn fit_resumable(
+        &mut self,
+        _ds: &Dataset,
+        lists: &[PreparedList],
+        ckpt: &rapid_autograd::CheckpointConfig,
+    ) -> FitReport {
+        self.fit_impl(lists, Some(ckpt))
     }
 
     fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {

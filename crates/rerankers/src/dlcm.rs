@@ -10,7 +10,7 @@ use rapid_autograd::{ParamStore, Tape, Var};
 use rapid_data::Dataset;
 use rapid_nn::{Activation, Gru, Mlp};
 
-use crate::common::{fit_listwise, item_feature_dim, perm_by_scores, ListLoss};
+use crate::common::{fit_listwise_opts, item_feature_dim, perm_by_scores, ListLoss};
 use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// DLCM hyper-parameters.
@@ -95,6 +95,30 @@ impl Dlcm {
         let logits = Self::forward(&self.gru, &self.head, &mut tape, &self.store, prep);
         tape.value(logits).as_slice().to_vec()
     }
+
+    /// The shared training body behind `fit_prepared` (no checkpointing)
+    /// and `fit_resumable` (crash-safe periodic checkpoints + resume).
+    fn fit_impl(
+        &mut self,
+        lists: &[PreparedList],
+        ckpt: Option<&rapid_autograd::CheckpointConfig>,
+    ) -> FitReport {
+        let gru = self.gru.clone();
+        let head = self.head.clone();
+        fit_listwise_opts(
+            "DLCM",
+            &mut self.store,
+            lists,
+            self.config.epochs,
+            self.config.batch,
+            self.config.lr,
+            self.config.seed,
+            ListLoss::Bce,
+            Some(5.0),
+            ckpt,
+            |tape, store, prep| Self::forward(&gru, &head, tape, store, prep),
+        )
+    }
 }
 
 impl ReRanker for Dlcm {
@@ -103,19 +127,16 @@ impl ReRanker for Dlcm {
     }
 
     fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
-        let gru = self.gru.clone();
-        let head = self.head.clone();
-        fit_listwise(
-            self.name(),
-            &mut self.store,
-            lists,
-            self.config.epochs,
-            self.config.batch,
-            self.config.lr,
-            self.config.seed,
-            ListLoss::Bce,
-            |tape, store, prep| Self::forward(&gru, &head, tape, store, prep),
-        )
+        self.fit_impl(lists, None)
+    }
+
+    fn fit_resumable(
+        &mut self,
+        _ds: &Dataset,
+        lists: &[PreparedList],
+        ckpt: &rapid_autograd::CheckpointConfig,
+    ) -> FitReport {
+        self.fit_impl(lists, Some(ckpt))
     }
 
     fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {

@@ -2,14 +2,12 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rapid_autograd::optim::Adam;
 use rapid_autograd::{ParamStore, Tape, Var};
 use rapid_data::Dataset;
 use rapid_diversity::{greedy_map, DppKernel};
 use rapid_nn::{Activation, Mlp};
-use rapid_tensor::Matrix;
 
-use crate::common::{for_each_batch, item_feature_dim, offline_clicks_at_k, tune_parameter};
+use crate::common::{item_feature_dim, offline_clicks_at_k, tune_parameter};
 use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// DPP greedy-MAP re-ranker: quality from the initial ranker's scores,
@@ -162,6 +160,34 @@ impl PdGan {
         let propensity = favored / m as f32;
         self.config.theta * (1.5 - propensity)
     }
+
+    /// The shared training body behind `fit_prepared` (no checkpointing)
+    /// and `fit_resumable` (crash-safe periodic checkpoints + resume).
+    /// Pointwise BCE on clicks (quality model only; no listwise context
+    /// by design) — the quality MLP trains unclipped.
+    fn fit_impl(
+        &mut self,
+        lists: &[PreparedList],
+        ckpt: Option<&rapid_autograd::CheckpointConfig>,
+    ) -> FitReport {
+        let mlp = self.mlp.clone();
+        crate::common::fit_listwise_opts(
+            "PD-GAN",
+            &mut self.store,
+            lists,
+            self.config.epochs,
+            self.config.batch,
+            self.config.lr,
+            self.config.seed,
+            crate::common::ListLoss::Bce,
+            None,
+            ckpt,
+            |tape, store, prep| {
+                let x = tape.constant(prep.features_without_score());
+                mlp.forward(tape, store, x)
+            },
+        )
+    }
 }
 
 impl ReRanker for PdGan {
@@ -170,35 +196,16 @@ impl ReRanker for PdGan {
     }
 
     fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut optimizer = Adam::new(self.config.lr);
-        let (epochs, batch) = (self.config.epochs, self.config.batch);
-        // Pointwise BCE on clicks (quality model only; no listwise
-        // context by design). The quality MLP trains unclipped.
-        let mlp = self.mlp.clone();
-        let store = &mut self.store;
-        let mut tape = Tape::new();
-        let mut step = crate::common::TrainStep::new("PD-GAN", lists.len(), batch, None);
-        for_each_batch(lists, epochs, batch, &mut rng, |chunk| {
-            step.begin_batch();
-            tape.clear();
-            let mut losses = Vec::with_capacity(chunk.len());
-            for prep in chunk {
-                let x = tape.constant(prep.features_without_score());
-                let logits = mlp.forward(&mut tape, store, x);
-                let clicks = prep.labels();
-                let targets = Matrix::from_vec(
-                    clicks.len(),
-                    1,
-                    clicks.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect(),
-                );
-                losses.push(tape.bce_with_logits(logits, &targets));
-            }
-            let total = tape.concat_cols(&losses);
-            let loss = tape.mean_all(total);
-            step.step(&mut tape, loss, store, &mut optimizer);
-        });
-        step.finish(epochs)
+        self.fit_impl(lists, None)
+    }
+
+    fn fit_resumable(
+        &mut self,
+        _ds: &Dataset,
+        lists: &[PreparedList],
+        ckpt: &rapid_autograd::CheckpointConfig,
+    ) -> FitReport {
+        self.fit_impl(lists, Some(ckpt))
     }
 
     fn rerank_prepared(&self, ds: &Dataset, prep: &PreparedList) -> Vec<usize> {

@@ -51,7 +51,8 @@ pub(crate) mod test_support;
 mod types;
 
 pub use common::{
-    item_feature_dim, item_features, list_feature_matrix, tune_parameter, EpochLoss, TrainStep,
+    fit_listwise, fit_listwise_opts, for_each_batch, item_feature_dim, item_features,
+    list_feature_matrix, resume_into, tune_parameter, EpochLoss, TrainStep,
 };
 pub use desa::{Desa, DesaConfig};
 pub use dlcm::{Dlcm, DlcmConfig};

@@ -9,7 +9,7 @@ use rapid_data::Dataset;
 use rapid_nn::{Activation, Linear, Mlp, TransformerEncoderLayer};
 use rapid_tensor::Matrix;
 
-use crate::common::{fit_listwise, item_feature_dim, perm_by_scores, ListLoss};
+use crate::common::{fit_listwise_opts, item_feature_dim, perm_by_scores, ListLoss};
 use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// PRM hyper-parameters.
@@ -132,6 +132,34 @@ impl Prm {
         );
         tape.value(logits).as_slice().to_vec()
     }
+
+    /// The shared training body behind `fit_prepared` (no checkpointing)
+    /// and `fit_resumable` (crash-safe periodic checkpoints + resume).
+    fn fit_impl(
+        &mut self,
+        lists: &[PreparedList],
+        ckpt: Option<&rapid_autograd::CheckpointConfig>,
+    ) -> FitReport {
+        let input_proj = self.input_proj.clone();
+        let pos_embed = self.pos_embed;
+        let encoders = self.encoders.clone();
+        let head = self.head.clone();
+        fit_listwise_opts(
+            "PRM",
+            &mut self.store,
+            lists,
+            self.config.epochs,
+            self.config.batch,
+            self.config.lr,
+            self.config.seed,
+            ListLoss::Bce,
+            Some(5.0),
+            ckpt,
+            |tape, store, prep| {
+                Self::forward(&input_proj, pos_embed, &encoders, &head, tape, store, prep)
+            },
+        )
+    }
 }
 
 impl ReRanker for Prm {
@@ -140,23 +168,16 @@ impl ReRanker for Prm {
     }
 
     fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
-        let input_proj = self.input_proj.clone();
-        let pos_embed = self.pos_embed;
-        let encoders = self.encoders.clone();
-        let head = self.head.clone();
-        fit_listwise(
-            self.name(),
-            &mut self.store,
-            lists,
-            self.config.epochs,
-            self.config.batch,
-            self.config.lr,
-            self.config.seed,
-            ListLoss::Bce,
-            |tape, store, prep| {
-                Self::forward(&input_proj, pos_embed, &encoders, &head, tape, store, prep)
-            },
-        )
+        self.fit_impl(lists, None)
+    }
+
+    fn fit_resumable(
+        &mut self,
+        _ds: &Dataset,
+        lists: &[PreparedList],
+        ckpt: &rapid_autograd::CheckpointConfig,
+    ) -> FitReport {
+        self.fit_impl(lists, Some(ckpt))
     }
 
     fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {

@@ -10,7 +10,7 @@ use rapid_data::Dataset;
 use rapid_nn::{Activation, Linear, Mlp};
 use rapid_tensor::Matrix;
 
-use crate::common::{fit_listwise, item_feature_dim, perm_by_scores, ListLoss};
+use crate::common::{fit_listwise_opts, item_feature_dim, perm_by_scores, ListLoss};
 use crate::types::{FitReport, PreparedList, ReRanker};
 
 /// SRGA hyper-parameters.
@@ -159,6 +159,30 @@ impl Srga {
             head: self.head.clone(),
         }
     }
+
+    /// The shared training body behind `fit_prepared` (no checkpointing)
+    /// and `fit_resumable` (crash-safe periodic checkpoints + resume).
+    fn fit_impl(
+        &mut self,
+        lists: &[PreparedList],
+        ckpt: Option<&rapid_autograd::CheckpointConfig>,
+    ) -> FitReport {
+        let layers = self.layers();
+        let radius = self.config.local_radius;
+        fit_listwise_opts(
+            "SRGA",
+            &mut self.store,
+            lists,
+            self.config.epochs,
+            self.config.batch,
+            self.config.lr,
+            self.config.seed,
+            ListLoss::Bce,
+            Some(5.0),
+            ckpt,
+            |tape, store, prep| Self::forward(&layers, radius, tape, store, prep),
+        )
+    }
 }
 
 /// The cloneable layer handles of SRGA (ids into the param store).
@@ -177,19 +201,16 @@ impl ReRanker for Srga {
     }
 
     fn fit_prepared(&mut self, _ds: &Dataset, lists: &[PreparedList]) -> FitReport {
-        let layers = self.layers();
-        let radius = self.config.local_radius;
-        fit_listwise(
-            self.name(),
-            &mut self.store,
-            lists,
-            self.config.epochs,
-            self.config.batch,
-            self.config.lr,
-            self.config.seed,
-            ListLoss::Bce,
-            |tape, store, prep| Self::forward(&layers, radius, tape, store, prep),
-        )
+        self.fit_impl(lists, None)
+    }
+
+    fn fit_resumable(
+        &mut self,
+        _ds: &Dataset,
+        lists: &[PreparedList],
+        ckpt: &rapid_autograd::CheckpointConfig,
+    ) -> FitReport {
+        self.fit_impl(lists, Some(ckpt))
     }
 
     fn rerank_prepared(&self, _ds: &Dataset, prep: &PreparedList) -> Vec<usize> {

@@ -43,6 +43,22 @@ pub trait ReRanker: Send + Sync {
     /// models may no-op. Returns what the run actually did.
     fn fit_prepared(&mut self, ds: &Dataset, lists: &[PreparedList]) -> FitReport;
 
+    /// Crash-safe training: like [`ReRanker::fit_prepared`] but
+    /// checkpointing the parameters, optimizer state, and epoch cursor
+    /// to `ckpt` every K epochs, and resuming from that file when one
+    /// is already there. A resumed run is bit-identical to an
+    /// uninterrupted one for every neural model (heuristics fall back
+    /// to a plain fit — they finish in one pass and keep no optimizer).
+    fn fit_resumable(
+        &mut self,
+        ds: &Dataset,
+        lists: &[PreparedList],
+        ckpt: &rapid_autograd::CheckpointConfig,
+    ) -> FitReport {
+        let _ = ckpt;
+        self.fit_prepared(ds, lists)
+    }
+
     /// Returns a permutation of one prepared list:
     /// `result[rank] = index into the list`.
     fn rerank_prepared(&self, ds: &Dataset, prep: &PreparedList) -> Vec<usize>;
@@ -65,15 +81,26 @@ pub trait ReRanker: Send + Sync {
     /// The batch runs under a `rerank_batch` span and records per-list
     /// inference latency as `rerank.<name>.list_ms` in the global
     /// `rapid-obs` registry.
+    ///
+    /// Serving-path semantics: a worker panic while scoring degrades
+    /// instead of aborting the batch — the failed chunk is retried
+    /// sequentially, and lists that still fail answer with their
+    /// *initial* ranking (the identity permutation), counted as
+    /// `exec.degraded_requests` / `exec.fallback_requests`. The output
+    /// therefore always holds one valid permutation per input list.
     fn rerank_batch(&self, ds: &Dataset, lists: &[PreparedList]) -> Vec<Vec<usize>> {
         let span = rapid_obs::Span::enter("rerank_batch");
         let metric = format!("rerank.{}.list_ms", self.name());
-        let out = rapid_exec::par_map(lists, |p| {
-            let t0 = rapid_obs::clock::now();
-            let perm = self.rerank_prepared(ds, p);
-            rapid_obs::global().observe(&metric, t0.elapsed().as_secs_f64() * 1e3);
-            perm
-        });
+        let out = rapid_exec::par_map_degraded(
+            lists,
+            |p| {
+                let t0 = rapid_obs::clock::now();
+                let perm = self.rerank_prepared(ds, p);
+                rapid_obs::global().observe(&metric, t0.elapsed().as_secs_f64() * 1e3);
+                perm
+            },
+            |p| (0..p.len()).collect(),
+        );
         rapid_obs::global()
             .counter_add(&format!("rerank.{}.lists", self.name()), lists.len() as u64);
         span.finish();

@@ -30,6 +30,8 @@
 //! * [`eval`] — the end-to-end experiment pipeline.
 //! * [`obs`] — dependency-free telemetry: counters, gauges, histograms,
 //!   RAII spans, leveled events, NDJSON export.
+//! * [`faults`] — deterministic fault injection (`RAPID_FAULTS`) for
+//!   chaos-testing crash recovery and graceful degradation.
 
 pub use rapid_autograd as autograd;
 pub use rapid_bandit as bandit;
@@ -39,6 +41,7 @@ pub use rapid_data as data;
 pub use rapid_diversity as diversity;
 pub use rapid_eval as eval;
 pub use rapid_exec as exec;
+pub use rapid_faults as faults;
 pub use rapid_gbdt as gbdt;
 pub use rapid_metrics as metrics;
 pub use rapid_nn as nn;
