@@ -6,6 +6,16 @@ use rapid_tensor::Matrix;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
 
+impl ParamId {
+    /// Position of this parameter in its store, for diagnostics that
+    /// only have tape-level access (e.g. the `rapid-check` dead-parameter
+    /// report, which names parameters `param#<index>` because a recorded
+    /// graph carries ids, not the model's private store).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// A named trainable parameter with its accumulated gradient.
 #[derive(Debug, Clone)]
 struct Param {

@@ -542,6 +542,7 @@ impl Checkpointer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(not(miri))]
     use proptest::prelude::*;
 
     fn sample_store() -> ParamStore {
@@ -746,6 +747,9 @@ mod tests {
         assert!(ck.resume().is_none(), "corrupt → fresh start");
     }
 
+    // Fuzz-style property tests are too slow under Miri (the nightly
+    // job covers the deterministic unit tests above).
+    #[cfg(not(miri))]
     proptest! {
         #[test]
         fn load_never_panics_on_hostile_bytes(

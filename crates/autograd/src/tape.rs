@@ -201,6 +201,34 @@ impl Tape {
         self.nodes[i].param
     }
 
+    /// Shape of node `i`'s gradient buffer, or `None` when no gradient
+    /// has been accumulated there (the node is outside the loss cone or
+    /// [`Tape::backward`] has not run). Panics if `i` is out of range.
+    pub fn node_grad_shape(&self, i: usize) -> Option<(usize, usize)> {
+        self.nodes[i].grad.as_ref().map(|g| g.shape())
+    }
+
+    /// Total bytes currently held by the tape's value buffers (`f32`
+    /// elements; shape metadata is not counted). The measured side of
+    /// the `rapid-check` liveness/memory-planning bound.
+    pub fn value_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.value.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Total bytes currently held by allocated gradient buffers. Zero
+    /// before [`Tape::backward`]; afterwards, exactly the nodes the
+    /// reverse sweep touched.
+    pub fn grad_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter_map(|n| n.grad.as_ref())
+            .map(|g| g.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
     /// Handle to node `idx` at the current epoch, without range checking.
     /// Intended for graph tooling and tests that need to reference nodes
     /// by index (e.g. to build deliberately malformed graphs).

@@ -1,0 +1,397 @@
+//! Whole-model audit reports: one record per re-ranker graph combining
+//! the gradient-flow, liveness, and stability passes, plus the golden
+//! NDJSON report format the `rapid-audit` binary and CI gate share.
+//!
+//! The NDJSON is emitted and parsed by this module (one object per
+//! line, fixed key order, no escapes in model names), so the golden
+//! comparison needs no external JSON dependency.
+//! [`compare_with_golden`] defines the regression policy: a model
+//! disappearing or appearing, a **new dead parameter**, a
+//! **train-peak-bytes jump above 10%**, or a per-rule increase in
+//! stability findings all fail the gate; improvements (fewer findings,
+//! less memory) pass, so the golden only needs refreshing when the
+//! graphs genuinely change.
+
+use rapid_autograd::Tape;
+
+use crate::dataflow::analyze_gradient_flow;
+use crate::liveness::analyze_liveness;
+use crate::stability::lint_stability;
+
+/// Allowed relative growth of `train_peak_bytes` before the gate fails.
+pub const PEAK_MEMORY_TOLERANCE: f64 = 0.10;
+
+/// The audit record for one model's recorded first-batch graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelAudit {
+    /// Zoo display name (e.g. `"RAPID-pro"`).
+    pub model: String,
+    /// Nodes on the recorded tape.
+    pub nodes: usize,
+    /// Nodes inside the loss's backward cone.
+    pub live_nodes: usize,
+    /// Distinct parameters receiving gradient.
+    pub trained_params: usize,
+    /// `ParamId::index()` of every dead parameter (sorted).
+    pub dead_params: Vec<usize>,
+    /// Nodes recorded outside the backward cone.
+    pub detached_nodes: usize,
+    /// Constant non-leaf nodes recomputed every pass.
+    pub foldable_nodes: usize,
+    /// Forward-only peak under the buffer-reuse plan, bytes.
+    pub fwd_peak_bytes: usize,
+    /// Forward + backward peak on the retain-everything tape, bytes.
+    pub train_peak_bytes: usize,
+    /// Stability findings as (rule, count), sorted by rule.
+    pub stability: Vec<(String, usize)>,
+}
+
+/// Runs all three dataflow passes over one recorded graph.
+pub fn audit_tape(model: &str, tape: &Tape, root: usize) -> ModelAudit {
+    let flow = analyze_gradient_flow(tape, root);
+    let mem = analyze_liveness(tape, root);
+    let mut dead_params: Vec<usize> = flow.dead_params.iter().map(|d| d.param).collect();
+    dead_params.sort_unstable();
+    let mut stability: Vec<(String, usize)> = Vec::new();
+    for f in lint_stability(tape) {
+        match stability.iter_mut().find(|(r, _)| *r == f.rule) {
+            Some((_, n)) => *n += 1,
+            None => stability.push((f.rule.to_string(), 1)),
+        }
+    }
+    stability.sort();
+    ModelAudit {
+        model: model.to_string(),
+        nodes: tape.len(),
+        live_nodes: flow.live_nodes,
+        trained_params: flow.trained_params,
+        dead_params,
+        detached_nodes: flow.detached_nodes(),
+        foldable_nodes: flow.foldable_nodes,
+        fwd_peak_bytes: mem.fwd_peak_bytes,
+        train_peak_bytes: mem.train_peak_bytes,
+        stability,
+    }
+}
+
+/// Renders the human-readable audit table (fixed-width columns, one row
+/// per model, header + rule legend).
+pub fn render_table(audits: &[ModelAudit]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>6} {:>7} {:>5} {:>8} {:>8} {:>12} {:>12}  {}\n",
+        "model",
+        "nodes",
+        "live",
+        "params",
+        "dead",
+        "detached",
+        "foldable",
+        "fwd-peak-B",
+        "train-peak-B",
+        "stability"
+    ));
+    for a in audits {
+        let stab = if a.stability.is_empty() {
+            "-".to_string()
+        } else {
+            a.stability
+                .iter()
+                .map(|(r, n)| format!("{r}:{n}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>6} {:>7} {:>5} {:>8} {:>8} {:>12} {:>12}  {}\n",
+            a.model,
+            a.nodes,
+            a.live_nodes,
+            a.trained_params,
+            a.dead_params.len(),
+            a.detached_nodes,
+            a.foldable_nodes,
+            a.fwd_peak_bytes,
+            a.train_peak_bytes,
+            stab
+        ));
+    }
+    out
+}
+
+/// Serializes audits to NDJSON (one object per line, stable key order).
+pub fn to_ndjson(audits: &[ModelAudit]) -> String {
+    let mut out = String::new();
+    for a in audits {
+        let dead = a
+            .dead_params
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let stab = a
+            .stability
+            .iter()
+            .map(|(r, n)| format!("\"{r}\":{n}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "{{\"model\":\"{}\",\"nodes\":{},\"live_nodes\":{},\"trained_params\":{},\
+             \"dead_params\":[{}],\"detached_nodes\":{},\"foldable_nodes\":{},\
+             \"fwd_peak_bytes\":{},\"train_peak_bytes\":{},\"stability\":{{{}}}}}\n",
+            a.model,
+            a.nodes,
+            a.live_nodes,
+            a.trained_params,
+            dead,
+            a.detached_nodes,
+            a.foldable_nodes,
+            a.fwd_peak_bytes,
+            a.train_peak_bytes,
+            stab
+        ));
+    }
+    out
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    Some(&line[start..])
+}
+
+fn parse_usize(line: &str, key: &str) -> Option<usize> {
+    let rest = field(line, key)?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn parse_string(line: &str, key: &str) -> Option<String> {
+    let rest = field(line, key)?;
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn parse_usize_list(line: &str, key: &str) -> Option<Vec<usize>> {
+    let rest = field(line, key)?;
+    let rest = rest.strip_prefix('[')?;
+    let body = &rest[..rest.find(']')?];
+    if body.trim().is_empty() {
+        return Some(vec![]);
+    }
+    body.split(',').map(|s| s.trim().parse().ok()).collect()
+}
+
+fn parse_counts(line: &str, key: &str) -> Option<Vec<(String, usize)>> {
+    let rest = field(line, key)?;
+    let rest = rest.strip_prefix('{')?;
+    let body = &rest[..rest.find('}')?];
+    if body.trim().is_empty() {
+        return Some(vec![]);
+    }
+    body.split(',')
+        .map(|pair| {
+            let (k, v) = pair.split_once(':')?;
+            let rule = k.trim().trim_matches('"').to_string();
+            Some((rule, v.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+/// Parses an NDJSON report back into [`ModelAudit`]s. Lines that do not
+/// parse are returned as errors with their 1-based line number.
+pub fn parse_ndjson(text: &str) -> Result<Vec<ModelAudit>, String> {
+    let mut audits = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parse = || -> Option<ModelAudit> {
+            Some(ModelAudit {
+                model: parse_string(line, "model")?,
+                nodes: parse_usize(line, "nodes")?,
+                live_nodes: parse_usize(line, "live_nodes")?,
+                trained_params: parse_usize(line, "trained_params")?,
+                dead_params: parse_usize_list(line, "dead_params")?,
+                detached_nodes: parse_usize(line, "detached_nodes")?,
+                foldable_nodes: parse_usize(line, "foldable_nodes")?,
+                fwd_peak_bytes: parse_usize(line, "fwd_peak_bytes")?,
+                train_peak_bytes: parse_usize(line, "train_peak_bytes")?,
+                stability: parse_counts(line, "stability")?,
+            })
+        };
+        match parse() {
+            Some(a) => audits.push(a),
+            None => return Err(format!("golden report line {}: unparseable", lineno + 1)),
+        }
+    }
+    Ok(audits)
+}
+
+/// Compares a fresh audit run against the committed golden report and
+/// returns the list of regressions (empty = gate passes).
+pub fn compare_with_golden(current: &[ModelAudit], golden: &[ModelAudit]) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for g in golden {
+        let Some(c) = current.iter().find(|c| c.model == g.model) else {
+            regressions.push(format!("{}: model missing from this run", g.model));
+            continue;
+        };
+        for p in &c.dead_params {
+            if !g.dead_params.contains(p) {
+                regressions.push(format!(
+                    "{}: new dead parameter param#{p} (receives no gradient)",
+                    c.model
+                ));
+            }
+        }
+        let limit = (g.train_peak_bytes as f64 * (1.0 + PEAK_MEMORY_TOLERANCE)) as usize;
+        if c.train_peak_bytes > limit {
+            regressions.push(format!(
+                "{}: train peak {} B exceeds golden {} B by more than {:.0}%",
+                c.model,
+                c.train_peak_bytes,
+                g.train_peak_bytes,
+                PEAK_MEMORY_TOLERANCE * 100.0
+            ));
+        }
+        for (rule, n) in &c.stability {
+            let golden_n = g
+                .stability
+                .iter()
+                .find(|(r, _)| r == rule)
+                .map_or(0, |(_, n)| *n);
+            if *n > golden_n {
+                regressions.push(format!(
+                    "{}: stability findings for {rule} grew {golden_n} -> {n}",
+                    c.model
+                ));
+            }
+        }
+    }
+    for c in current {
+        if !golden.iter().any(|g| g.model == c.model) {
+            regressions.push(format!(
+                "{}: model not in golden report (regenerate results/audit_report.ndjson)",
+                c.model
+            ));
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_autograd::{ParamStore, Tape};
+    use rapid_tensor::Matrix;
+
+    /// A small model graph with a seeded dead parameter and a stability
+    /// hazard, so every report column is exercised.
+    fn fixture_tape() -> (Tape, usize, ParamStore) {
+        let mut store = ParamStore::new();
+        // Varied weights keep `h = x @ w` non-constant per row, so the
+        // zero-eps normalize stays finite at record time.
+        let w = store.add(
+            "w",
+            Matrix::from_vec(4, 4, (0..16).map(|i| i as f32 * 0.1).collect()),
+        );
+        let dead = store.add("dead", Matrix::ones(2, 2));
+        let mut tape = Tape::new();
+        // Non-uniform input keeps row variance nonzero so the zero-eps
+        // normalize below stays finite at record time.
+        let x = tape.constant(Matrix::row_vector(&[1.0, 2.0, 3.0, 4.0]));
+        let wv = tape.param(&store, w);
+        let _unused = tape.param(&store, dead);
+        let h = tape.matmul(x, wv);
+        let n = tape.normalize_rows(h, 0.0); // stability error
+        let loss = tape.sum_all(n);
+        let root = loss.index();
+        (tape, root, store)
+    }
+
+    #[test]
+    fn audit_combines_all_three_passes() {
+        let (tape, root, _store) = fixture_tape();
+        let a = audit_tape("fixture", &tape, root);
+        assert_eq!(a.model, "fixture");
+        assert_eq!(a.nodes, 6);
+        assert_eq!(a.trained_params, 1);
+        assert_eq!(a.dead_params, vec![1], "seeded dead parameter is caught");
+        assert_eq!(a.detached_nodes, 1);
+        assert_eq!(
+            a.stability,
+            vec![("unguarded-normalize-eps".to_string(), 1)]
+        );
+        assert!(a.train_peak_bytes > a.fwd_peak_bytes);
+    }
+
+    #[test]
+    fn ndjson_roundtrips_and_matches_itself() {
+        let (tape, root, _store) = fixture_tape();
+        let audits = vec![audit_tape("fixture", &tape, root)];
+        let text = to_ndjson(&audits);
+        let parsed = parse_ndjson(&text).unwrap();
+        assert_eq!(parsed, audits);
+        assert!(compare_with_golden(&audits, &parsed).is_empty());
+    }
+
+    #[test]
+    fn new_dead_parameter_fails_the_gate() {
+        let (tape, root, _store) = fixture_tape();
+        let current = vec![audit_tape("fixture", &tape, root)];
+        // Golden recorded before the dead parameter crept in.
+        let mut golden = current.clone();
+        golden[0].dead_params.clear();
+        let regressions = compare_with_golden(&current, &golden);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("new dead parameter param#1"));
+    }
+
+    #[test]
+    fn peak_memory_jump_over_ten_percent_fails_the_gate() {
+        let (tape, root, _store) = fixture_tape();
+        let current = vec![audit_tape("fixture", &tape, root)];
+        let mut golden = current.clone();
+        golden[0].dead_params = current[0].dead_params.clone();
+        // Golden had 20% less peak memory: current exceeds the 10% band.
+        golden[0].train_peak_bytes = current[0].train_peak_bytes * 8 / 10;
+        let regressions = compare_with_golden(&current, &golden);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("train peak"));
+
+        // Within the band passes.
+        let mut close = current.clone();
+        close[0].train_peak_bytes = current[0].train_peak_bytes * 95 / 100;
+        assert!(compare_with_golden(&current, &close).is_empty());
+    }
+
+    #[test]
+    fn stability_count_growth_and_model_set_changes_fail_the_gate() {
+        let (tape, root, _store) = fixture_tape();
+        let current = vec![audit_tape("fixture", &tape, root)];
+        let mut golden = current.clone();
+        golden[0].stability.clear();
+        let regressions = compare_with_golden(&current, &golden);
+        assert!(regressions
+            .iter()
+            .any(|r| r.contains("unguarded-normalize-eps") && r.contains("0 -> 1")));
+
+        let missing = compare_with_golden(&[], &golden);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].contains("missing from this run"));
+
+        let unexpected = compare_with_golden(&current, &[]);
+        assert_eq!(unexpected.len(), 1);
+        assert!(unexpected[0].contains("not in golden report"));
+    }
+
+    #[test]
+    fn table_renders_one_row_per_model() {
+        let (tape, root, _store) = fixture_tape();
+        let audits = vec![audit_tape("fixture", &tape, root)];
+        let table = render_table(&audits);
+        assert_eq!(table.lines().count(), 2);
+        assert!(table.contains("fixture"));
+        assert!(table.contains("unguarded-normalize-eps:1"));
+    }
+}

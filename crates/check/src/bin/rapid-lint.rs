@@ -1,17 +1,56 @@
 //! Workspace lint driver: scans `crates/*/src` for project-rule
 //! violations and exits nonzero if any are found.
 //!
-//! Usage: `cargo run -p rapid-check --bin rapid-lint [workspace-root]`.
-//! With no argument the workspace root is the current directory when it
-//! contains a `crates/` directory, falling back to the root this binary
-//! was built from.
+//! Usage:
+//! `cargo run -p rapid-check --bin rapid-lint [--format text|json] [workspace-root]`.
+//!
+//! `--format json` prints one JSON object per finding
+//! (`{"file":…,"line":…,"rule":…,"message":…}`) for CI annotation
+//! tooling; text stays the default. With no root argument the workspace
+//! root is the current directory when it contains a `crates/` directory,
+//! falling back to the root this binary was built from.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn workspace_root() -> PathBuf {
-    if let Some(arg) = std::env::args().nth(1) {
-        return PathBuf::from(arg);
+enum Format {
+    Text,
+    Json,
+}
+
+struct Args {
+    format: Format,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut format = Format::Text;
+    let mut root = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = match argv.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format expects `text` or `json`, got {:?}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                };
+            }
+            _ if root.is_none() => root = Some(PathBuf::from(arg)),
+            _ => return Err(format!("unexpected argument {arg:?}")),
+        }
+    }
+    Ok(Args { format, root })
+}
+
+fn workspace_root(arg: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = arg {
+        return root;
     }
     let cwd = PathBuf::from(".");
     if cwd.join("crates").is_dir() {
@@ -24,19 +63,31 @@ fn workspace_root() -> PathBuf {
 }
 
 fn main() -> ExitCode {
-    let root = workspace_root();
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("rapid-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = workspace_root(args.root);
     match rapid_check::lint_workspace(&root) {
         Err(e) => {
             eprintln!("rapid-lint: cannot scan {}: {e}", root.display());
             ExitCode::from(2)
         }
         Ok(findings) if findings.is_empty() => {
-            println!("rapid-lint: clean");
+            if matches!(args.format, Format::Text) {
+                println!("rapid-lint: clean");
+            }
             ExitCode::SUCCESS
         }
         Ok(findings) => {
             for f in &findings {
-                println!("{f}");
+                match args.format {
+                    Format::Text => println!("{f}"),
+                    Format::Json => println!("{}", f.to_json()),
+                }
             }
             eprintln!("rapid-lint: {} finding(s)", findings.len());
             ExitCode::FAILURE

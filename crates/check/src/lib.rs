@@ -20,7 +20,27 @@
 //! * [`lint`] — a dependency-free workspace source linter (the
 //!   `rapid-lint` binary) enforcing project rules: no `unwrap`/`expect`
 //!   in hot-crate library code, environment reads confined to
-//!   `exec::parallel`, no float-literal `==`, and `//!` doc headers.
+//!   `exec::parallel`, no float-literal `==`, `//!` doc headers, and
+//!   justified `lint:allow` directives.
+//!
+//! On top of the per-node checks sits the whole-graph dataflow suite
+//! (pass pipeline: shapes → gradient-flow → liveness → stability):
+//!
+//! * [`dataflow::analyze_gradient_flow`] — backward reachability from a
+//!   loss node: dead parameters, detached subgraphs, constant-folding
+//!   opportunities.
+//! * [`liveness::analyze_liveness`] — last-use analysis, a greedy
+//!   buffer-reuse plan, and forward / forward+backward peak-live-bytes
+//!   bounds (the input spec for the planned bump-arena tape).
+//! * [`stability::lint_stability`] — numerical-stability pattern rules
+//!   with node/op provenance (unguarded normalize epsilon, degenerate
+//!   pairwise labels, out-of-range BCE targets, extreme scalars,
+//!   saturation-depth tracking).
+//! * [`audit`] — per-model reports combining all passes, the NDJSON
+//!   golden format, and the regression gate. The `rapid-audit` driver
+//!   binary lives in `rapid-eval` (this crate sits *below* the model
+//!   crates — `rapid-rerankers` depends on it for first-batch graph
+//!   validation — so the zoo-walking driver has to live above them).
 //!
 //! The complementary *runtime* guard lives in `rapid-autograd` itself:
 //! every `Var` is epoch-stamped in debug builds, so use-after-`clear`
@@ -41,10 +61,22 @@
 //! assert_eq!(report.nodes, 3);
 //! ```
 
+pub mod audit;
+pub mod dataflow;
 pub mod graph;
 pub mod lint;
+pub mod liveness;
 pub mod shape;
+pub mod stability;
 
+pub use audit::{
+    audit_tape, compare_with_golden, parse_ndjson, render_table, to_ndjson, ModelAudit,
+};
+pub use dataflow::{
+    analyze_gradient_flow, backward_cone, gradient_parents, DeadParam, GradFlowReport,
+};
 pub use graph::{check_tape, GraphError, GraphReport, TapeCheck};
 pub use lint::{lint_source, lint_workspace, Finding};
+pub use liveness::{analyze_liveness, backward_reads, BackwardReads, BufferPlan, MemoryReport};
 pub use shape::{infer_shape, op_name, Shape, ShapeError};
+pub use stability::{lint_stability, Severity, StabilityFinding};

@@ -39,6 +39,10 @@
 //!   `exec::parallel`): these are exactly the paths that promise to
 //!   survive faults rather than panic, so even "can't happen" unwraps
 //!   are banned there independently of the hot-crate rule.
+//! * `allow-needs-reason` — every `lint:allow(rule)` directive must
+//!   carry a trailing justification (`// lint:allow(float-eq) — exact
+//!   sparsity guard`), so a suppression always tells the reviewer why
+//!   it is safe. Applies everywhere, including test code.
 //!
 //! ## Scope heuristics
 //!
@@ -78,6 +82,31 @@ impl fmt::Display for Finding {
             f,
             "{}:{}: {}: {}",
             self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Finding {
+    /// One-line JSON object (`{"file":…,"line":…,"rule":…,"message":…}`)
+    /// for `rapid-lint --format json`, consumable by CI annotation
+    /// tooling without a JSON dependency on either side.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => vec!['\\', '"'],
+                    '\\' => vec!['\\', '\\'],
+                    '\n' => vec!['\\', 'n'],
+                    c => vec![c],
+                })
+                .collect()
+        }
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            escape(&self.path),
+            self.line,
+            self.rule,
+            escape(&self.message)
         )
     }
 }
@@ -167,6 +196,36 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
 
         if trimmed.starts_with("#[cfg(test)") {
             in_tests = true;
+        }
+
+        // allow-needs-reason applies to every comment, test code included:
+        // a suppression without a why is unreviewable wherever it sits.
+        if let Some(tail) = comment_tail(raw) {
+            let mut from = 0;
+            while let Some(rel) = tail[from..].find("lint:allow(") {
+                let start = from + rel + "lint:allow(".len();
+                let Some(close) = tail[start..].find(')') else {
+                    break;
+                };
+                let rest = &tail[start + close + 1..];
+                let justified = rest
+                    .chars()
+                    .find(|c| !c.is_whitespace() && !matches!(c, '—' | '-' | ':' | ',' | '.' | '`'))
+                    .is_some_and(|c| c.is_alphanumeric());
+                if !justified {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: "allow-needs-reason",
+                        message: format!(
+                            "`lint:allow({})` without a trailing justification; say why \
+                             the suppression is safe",
+                            &tail[start..start + close]
+                        ),
+                    });
+                }
+                from = start + close + 1;
+            }
         }
 
         // doc-header: a `//!` line must appear before the first code line.
@@ -399,6 +458,50 @@ fn sanitize(line: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// The `//`-to-end-of-line comment tail of `line`, if it has one, with
+/// string and char literals skipped so a `//` inside a literal does not
+/// open a phantom comment. The inverse of [`sanitize`]: this is the part
+/// of the line where `lint:allow` directives live.
+fn comment_tail(line: &str) -> Option<&str> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    let mut in_string = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            if b == b'\\' {
+                i += 2;
+                continue;
+            }
+            if b == b'"' {
+                in_string = false;
+            }
+            i += 1;
+            continue;
+        }
+        match b {
+            b'"' => {
+                in_string = true;
+                i += 1;
+            }
+            b'\'' => {
+                // Same char-literal vs. lifetime handling as `sanitize`.
+                if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                    let close = bytes[i + 2..].iter().position(|&c| c == b'\'');
+                    i += close.map_or(1, |c| c + 3);
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => return Some(&line[i..]),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
 /// Byte offsets of every standalone occurrence of `op` (not part of a
 /// longer comparison like `<=`/`>=`/`=>`).
 fn match_positions(code: &str, op: &str) -> Vec<usize> {
@@ -617,7 +720,7 @@ mod tests {
         let src = "//! Doc.\n// lint:allow(float-eq) — exact-zero guard\nfn f(x: f32) -> bool { x == 0.0 }\n";
         assert!(lint_source("crates/data/src/a.rs", src).is_empty());
         // The directive reaches exactly one line, not the whole file.
-        let src = "//! Doc.\n// lint:allow(float-eq)\nfn f(x: f32) -> bool { x == 0.0 }\nfn g(x: f32) -> bool { x == 1.0 }\n";
+        let src = "//! Doc.\n// lint:allow(float-eq) guard\nfn f(x: f32) -> bool { x == 0.0 }\nfn g(x: f32) -> bool { x == 1.0 }\n";
         let f = lint_source("crates/data/src/a.rs", src);
         assert_eq!(rules(&f), vec!["float-eq"]);
         assert_eq!(f[0].line, 4);
@@ -639,6 +742,51 @@ mod tests {
         assert_eq!(
             rules(&lint_source("crates/data/src/a.rs", src)),
             vec!["float-eq"]
+        );
+    }
+
+    #[test]
+    fn bare_allow_directives_need_a_reason() {
+        // A bare directive is flagged even though it still suppresses.
+        let src = "//! Doc.\nfn f(x: f32) -> bool { x == 0.0 } // lint:allow(float-eq)\n";
+        assert_eq!(
+            rules(&lint_source("crates/data/src/a.rs", src)),
+            vec!["allow-needs-reason"]
+        );
+        // Punctuation alone is not a justification.
+        let src = "//! Doc.\n// lint:allow(float-eq) —\nfn f(x: f32) -> bool { x == 0.0 }\n";
+        assert_eq!(
+            rules(&lint_source("crates/data/src/a.rs", src)),
+            vec!["allow-needs-reason"]
+        );
+        // A trailing reason satisfies the rule (dash separator optional).
+        let src =
+            "//! Doc.\nfn f(x: f32) -> bool { x == 0.0 } // lint:allow(float-eq) exact guard\n";
+        assert!(lint_source("crates/data/src/a.rs", src).is_empty());
+        // Test code is not exempt from this rule.
+        let src =
+            "//! Doc.\n#[cfg(test)]\nmod tests {\n    // lint:allow(float-eq)\n    fn f() {}\n}\n";
+        assert_eq!(
+            rules(&lint_source("crates/data/src/a.rs", src)),
+            vec!["allow-needs-reason"]
+        );
+        // Directives inside string literals are not comments.
+        let src = "//! Doc.\nfn f() { let d = format!(\"lint:allow({rule})\"); }\n";
+        assert!(lint_source("crates/data/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn finding_serializes_to_json() {
+        let f = Finding {
+            path: "crates/x/src/a.rs".into(),
+            line: 7,
+            rule: "float-eq",
+            message: "say \"why\"".into(),
+        };
+        assert_eq!(
+            f.to_json(),
+            "{\"file\":\"crates/x/src/a.rs\",\"line\":7,\"rule\":\"float-eq\",\
+             \"message\":\"say \\\"why\\\"\"}"
         );
     }
 

@@ -401,6 +401,65 @@ mod tests {
     }
 
     #[test]
+    fn first_batch_memory_stays_within_the_static_liveness_bound() {
+        // Validates `rapid_check::analyze_liveness` against reality:
+        // record the exact graph `fit` builds for one training batch
+        // (probabilistic variant — the largest graph, with both heads
+        // and the reparameterization noise), then check that what the
+        // tape actually allocates after a full backward pass never
+        // exceeds the static peak-live-bytes bound.
+        let ds = tiny_dataset(25);
+        let samples = click_samples(&ds, 8, 5);
+        let config = RapidConfig {
+            epochs: 1,
+            ..RapidConfig::probabilistic()
+        };
+        let batch = config.batch;
+        let mut model = Rapid::new(&ds, config);
+        let lists: Vec<_> = samples
+            .iter()
+            .map(|s| rapid_rerankers::PreparedList::from_sample(&ds, s))
+            .collect();
+        let mut noise_rng = StdRng::seed_from_u64(9);
+
+        let mut tape = Tape::new();
+        let mut losses = Vec::new();
+        for prep in lists.iter().take(batch) {
+            let scores = model.train_scores(&mut tape, &model.store, &ds, prep, &mut noise_rng);
+            let clicks = prep.labels();
+            let targets = Matrix::from_vec(
+                clicks.len(),
+                1,
+                clicks.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect(),
+            );
+            losses.push(tape.bce_with_logits(scores, &targets));
+        }
+        let stacked = tape.concat_cols(&losses);
+        let loss = tape.mean_all(stacked);
+
+        let report = rapid_check::analyze_liveness(&tape, loss.index());
+        assert!(report.fwd_peak_bytes > 0);
+        assert!(report.train_peak_bytes >= report.fwd_peak_bytes);
+
+        tape.backward(loss, &mut model.store);
+        let measured = tape.value_bytes() + tape.grad_bytes();
+        assert!(
+            measured <= report.train_peak_bytes,
+            "measured first-batch allocation {measured} B exceeds the \
+             static bound {} B",
+            report.train_peak_bytes
+        );
+        // The plan's reusable pool should beat keeping every value live
+        // on a graph this deep, or the pass is not planning anything.
+        assert!(
+            report.plan.pool_bytes() < report.total_value_bytes,
+            "buffer reuse saved nothing: pool {} B vs total {} B",
+            report.plan.pool_bytes(),
+            report.total_value_bytes
+        );
+    }
+
+    #[test]
     fn learns_to_beat_the_initial_order() {
         let ds = tiny_dataset(22);
         let samples = click_samples(&ds, 450, 3);

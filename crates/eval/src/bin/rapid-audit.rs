@@ -1,0 +1,122 @@
+//! Dataflow audit driver: records every zoo re-ranker's first-batch
+//! training graph, runs the `rapid-check` analysis suite over each
+//! (gradient-flow, liveness/memory planning, numerical stability), and
+//! writes the report.
+//!
+//! Usage:
+//! `cargo run -p rapid-eval --bin rapid-audit -- [--out-dir DIR] [--check GOLDEN]`
+//!
+//! * Prints the human table to stdout and writes both
+//!   `DIR/audit_report.txt` and `DIR/audit_report.ndjson`
+//!   (default `DIR` = `results/`).
+//! * With `--check GOLDEN`, compares the fresh run against the
+//!   committed golden NDJSON and exits nonzero on any regression: a
+//!   model appearing/disappearing, a new dead parameter, a train-peak
+//!   memory jump above 10%, or growth in any stability-rule count.
+//!   Improvements pass, so the golden only needs regenerating when the
+//!   graphs genuinely change (run without `--check` and commit the new
+//!   files).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rapid_check::{compare_with_golden, parse_ndjson, render_table, to_ndjson};
+use rapid_eval::audit_zoo::run_zoo_audit;
+
+struct Args {
+    out_dir: PathBuf,
+    check: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out_dir = PathBuf::from("results");
+    let mut check = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out-dir" => {
+                out_dir = argv
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--out-dir expects a directory")?;
+            }
+            "--check" => {
+                check = Some(
+                    argv.next()
+                        .map(PathBuf::from)
+                        .ok_or("--check expects a golden NDJSON path")?,
+                );
+            }
+            _ => return Err(format!("unexpected argument {arg:?}")),
+        }
+    }
+    Ok(Args { out_dir, check })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("rapid-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let audits = run_zoo_audit();
+    let table = render_table(&audits);
+    print!("{table}");
+
+    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+        eprintln!("rapid-audit: cannot create {}: {e}", args.out_dir.display());
+        return ExitCode::from(2);
+    }
+    let ndjson_path = args.out_dir.join("audit_report.ndjson");
+    let txt_path = args.out_dir.join("audit_report.txt");
+    if let Err(e) = std::fs::write(&ndjson_path, to_ndjson(&audits))
+        .and_then(|()| std::fs::write(&txt_path, &table))
+    {
+        eprintln!("rapid-audit: cannot write report: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "rapid-audit: wrote {} and {}",
+        ndjson_path.display(),
+        txt_path.display()
+    );
+
+    let Some(golden_path) = args.check else {
+        return ExitCode::SUCCESS;
+    };
+    let golden_text = match std::fs::read_to_string(&golden_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "rapid-audit: cannot read golden {}: {e}",
+                golden_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let golden = match parse_ndjson(&golden_text) {
+        Ok(golden) => golden,
+        Err(e) => {
+            eprintln!("rapid-audit: {}: {e}", golden_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let regressions = compare_with_golden(&audits, &golden);
+    if regressions.is_empty() {
+        println!(
+            "rapid-audit: no regressions vs {} ({} models)",
+            golden_path.display(),
+            golden.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for r in &regressions {
+            eprintln!("rapid-audit: REGRESSION: {r}");
+        }
+        eprintln!("rapid-audit: {} regression(s)", regressions.len());
+        ExitCode::FAILURE
+    }
+}

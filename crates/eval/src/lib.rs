@@ -10,6 +10,10 @@
 //!   per-request metric vectors plus wall-clock timings.
 //! * [`zoo`] — constructors for the full model line-up of Tables II/III
 //!   and the ablation variants of Fig. 3.
+//! * [`audit_zoo`] — the `rapid-audit` driver: records every neural
+//!   model's first-batch training graph and runs the `rapid-check`
+//!   dataflow suite on it (gradient-flow, liveness/memory, stability),
+//!   gated in CI against the golden report under `results/`.
 //! * [`table`] — fixed-width table formatting with significance stars
 //!   (paired t-test vs. a chosen baseline, `p < 0.05`, as in the
 //!   paper).
@@ -26,6 +30,7 @@
 //!   plus bid-weighted `rev@k` — Table III's protocol, where evaluation
 //!   "does not depend on the click model".
 
+pub mod audit_zoo;
 pub mod config;
 pub mod pipeline;
 pub mod report;

@@ -61,6 +61,43 @@ fn every_zoo_model_records_a_valid_graph() {
 }
 
 #[test]
+fn every_zoo_model_records_a_valid_scalar_loss_graph() {
+    let ds = tiny();
+    let prep = prepared(&ds);
+    let mut lineup = full_lineup(&ds, 16, 1, 0);
+    lineup.extend(ablation_lineup(&ds, 16, 1, 0));
+
+    let mut neural = 0usize;
+    for model in &lineup {
+        let mut tape = Tape::new();
+        let Some(loss) = model.record_loss_graph(&ds, &prep, &mut tape) else {
+            continue; // heuristic models never touch a tape
+        };
+        neural += 1;
+        tape.check()
+            .unwrap_or_else(|e| panic!("{}: invalid loss graph: {}", model.name(), e[0]));
+        assert_eq!(
+            tape.value(loss).shape(),
+            (1, 1),
+            "{}: training loss must be a scalar",
+            model.name()
+        );
+        // The loss caps the whole forward pass: gradient-flow analysis
+        // from it must reach at least one trained parameter.
+        let flow = rapid_check::analyze_gradient_flow(&tape, loss.index());
+        assert!(
+            flow.trained_params > 0,
+            "{}: loss graph trains no parameters",
+            model.name()
+        );
+    }
+    assert_eq!(
+        neural, 13,
+        "expected every neural model to record a loss graph"
+    );
+}
+
+#[test]
 fn heuristic_models_record_nothing() {
     let ds = tiny();
     let prep = prepared(&ds);

@@ -181,6 +181,10 @@ impl ReRanker for Desa {
     fn record_graph(&self, _ds: &Dataset, prep: &PreparedList, tape: &mut Tape) -> Option<Var> {
         Some(Self::forward(&self.layers(), tape, &self.store, prep))
     }
+
+    fn loss_kind(&self) -> ListLoss {
+        ListLoss::Pairwise
+    }
 }
 
 #[cfg(test)]

@@ -52,7 +52,7 @@ mod types;
 
 pub use common::{
     fit_listwise, fit_listwise_opts, for_each_batch, item_feature_dim, item_features,
-    list_feature_matrix, resume_into, tune_parameter, EpochLoss, TrainStep,
+    list_feature_matrix, resume_into, tune_parameter, EpochLoss, ListLoss, TrainStep,
 };
 pub use desa::{Desa, DesaConfig};
 pub use dlcm::{Dlcm, DlcmConfig};

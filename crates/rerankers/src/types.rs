@@ -125,6 +125,42 @@ pub trait ReRanker: Send + Sync {
     fn record_graph(&self, _ds: &Dataset, _prep: &PreparedList, _tape: &mut Tape) -> Option<Var> {
         None
     }
+
+    /// Which training loss caps this model's graph. Matches what the
+    /// model passes to `fit_listwise`; only [`Desa`](crate::Desa) trains
+    /// pairwise.
+    fn loss_kind(&self) -> crate::ListLoss {
+        crate::ListLoss::Bce
+    }
+
+    /// Records the model's full first-batch *training* graph — the
+    /// [`ReRanker::record_graph`] forward pass capped by the model's
+    /// training loss ([`ReRanker::loss_kind`]) — and returns the scalar
+    /// loss node. This is the graph the `rapid-audit` dataflow analyses
+    /// run on: with a loss root, gradient-flow reachability is
+    /// meaningful (dead parameters, detached subgraphs).
+    ///
+    /// Labels come from the list's clicks when it is a labeled training
+    /// list; unlabeled lists get a deterministic synthetic labeling
+    /// (every third position clicked) so the recorded graph is
+    /// reproducible. Heuristics return `None` like `record_graph`.
+    fn record_loss_graph(&self, ds: &Dataset, prep: &PreparedList, tape: &mut Tape) -> Option<Var> {
+        let logits = self.record_graph(ds, prep, tape)?;
+        let labels: Vec<f32> = match &prep.clicks {
+            Some(clicks) => clicks.iter().map(|&c| if c { 1.0 } else { 0.0 }).collect(),
+            None => (0..prep.len())
+                .map(|i| if i % 3 == 0 { 1.0 } else { 0.0 })
+                .collect(),
+        };
+        let loss = match self.loss_kind() {
+            crate::ListLoss::Bce => {
+                let targets = rapid_tensor::Matrix::from_vec(labels.len(), 1, labels);
+                tape.bce_with_logits(logits, &targets)
+            }
+            crate::ListLoss::Pairwise => tape.pairwise_logistic(logits, &labels),
+        };
+        Some(loss)
+    }
 }
 
 /// The `Init` row: returns the initial ranking unchanged.

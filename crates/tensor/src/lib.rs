@@ -31,7 +31,10 @@
 mod init;
 mod matrix;
 mod ops;
-#[cfg(test)]
+// Property tests are orders of magnitude too slow under Miri's
+// interpreter; the nightly `cargo miri test` job runs the unit tests
+// only.
+#[cfg(all(test, not(miri)))]
 mod proptests;
 
 pub use init::xavier_bound;
