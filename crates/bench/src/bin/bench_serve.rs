@@ -1,0 +1,188 @@
+//! Serving load test: boots the `rapid-serve` stack end to end —
+//! train a checkpoint artifact, hot-load it into a [`ServeModel`],
+//! start the HTTP server on a loopback port — then drives the seeded
+//! random-entity load generator against it and writes
+//! `BENCH_serve.json` (repo root, the committed gate report) plus
+//! `telemetry_serve.ndjson` under `--out-dir`.
+//!
+//! The load has two phases (see `rapid_serve::loadgen`): batched
+//! `/events` ingest covering ≥ 100k *distinct* simulated users
+//! (SplitMix64 ids — distinctness by construction), then `/rerank` at
+//! a fixed open-loop arrival rate where latency is measured from each
+//! request's *scheduled* instant, so server-side queueing counts
+//! against the recorded p50/p99 exactly as it would for independent
+//! real clients.
+//!
+//! The report is judged by `rapid-bench --check --serve
+//! BENCH_serve.json` against absolute budgets (p50/p99 ≤ 50 ms,
+//! ≥ 100k distinct users, zero non-2xx / transport / degraded /
+//! fallback / panic / fault-drop counts). This binary only *produces*
+//! the report; the gate stays in one place.
+
+use std::sync::Arc;
+
+use rapid_bench::Cli;
+use rapid_obs::Span;
+use rapid_serve::{
+    run_load, start, train_artifact, AppState, LoadConfig, ServeConfig, ServeModel, ServerConfig,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ServeReport {
+    scale: String,
+    seed: u64,
+    /// Distinct simulated users ingested (generator-guaranteed).
+    distinct_users: u64,
+    events_sent: u64,
+    event_posts: u64,
+    rerank_requests: u64,
+    qps_target: f64,
+    achieved_qps: f64,
+    ingest_s: f64,
+    rerank_s: f64,
+    /// Open-loop rerank latency quantiles, ms (queueing included).
+    rerank_p50_ms: f64,
+    rerank_p90_ms: f64,
+    rerank_p99_ms: f64,
+    rerank_max_ms: f64,
+    non_2xx: u64,
+    transport_errors: u64,
+    /// `exec.*` degradation counters — the hot path went through
+    /// `rerank_batch`, so a panic anywhere would show up here.
+    degraded_requests: u64,
+    fallback_requests: u64,
+    panics: u64,
+    requests_dropped: u64,
+    /// Server-side user-store size after ingest (`serve.users` gauge).
+    user_store_size: u64,
+    events_accepted: u64,
+    events_replayed: u64,
+    train_ms: f64,
+    boot_ms: f64,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    rapid_obs::set_out_dir(&cli.out_dir);
+    let out_dir = rapid_obs::ensure_out_dir().expect("create --out-dir");
+
+    let (serve_cfg, load_cfg) = match cli.scale_tag() {
+        "full" => (
+            ServeConfig {
+                seed: cli.seed,
+                num_users: 120,
+                num_items: 600,
+                epochs: 3,
+                ..ServeConfig::default()
+            },
+            LoadConfig {
+                users: 400_000,
+                event_batch: 4_000,
+                reranks: 2_000,
+                qps: 120.0,
+                connections: 4,
+                seed: cli.seed ^ 0x10ad,
+            },
+        ),
+        _ => (
+            ServeConfig {
+                seed: cli.seed,
+                ..ServeConfig::default()
+            },
+            LoadConfig {
+                seed: cli.seed ^ 0x10ad,
+                ..LoadConfig::default()
+            },
+        ),
+    };
+    println!(
+        "bench_serve [{}] seed={} users={} reranks={} qps={}",
+        cli.scale_tag(),
+        cli.seed,
+        load_cfg.users,
+        load_cfg.reranks,
+        load_cfg.qps
+    );
+
+    // Train the checkpoint artifact the server hot-loads from — the
+    // same `Checkpointer` v2 format the training loop writes.
+    let ckpt = out_dir.join("serve.ckpt");
+    let span = Span::enter("bench_serve.train");
+    train_artifact(&serve_cfg, &ckpt).expect("train serve artifact");
+    let train_ms = span.finish().as_secs_f64() * 1e3;
+
+    let span = Span::enter("bench_serve.boot");
+    let model = ServeModel::boot(&serve_cfg, &ckpt).expect("boot from artifact");
+    let boot_ms = span.finish().as_secs_f64() * 1e3;
+
+    let handle = start(Arc::new(AppState::new(model)), &ServerConfig::default())
+        .expect("bind loopback server");
+    println!("serving on {} — starting load", handle.addr());
+
+    let load = run_load(handle.addr(), &load_cfg);
+    let snapshot = rapid_obs::global().snapshot();
+    handle.stop();
+
+    let report = ServeReport {
+        scale: cli.scale_tag().to_string(),
+        seed: cli.seed,
+        distinct_users: load.distinct_users,
+        events_sent: load.events_sent,
+        event_posts: load.event_posts,
+        rerank_requests: load.rerank_requests,
+        qps_target: load_cfg.qps,
+        achieved_qps: load.achieved_qps(),
+        ingest_s: load.ingest_s,
+        rerank_s: load.rerank_s,
+        rerank_p50_ms: load.latency_quantile(0.50),
+        rerank_p90_ms: load.latency_quantile(0.90),
+        rerank_p99_ms: load.latency_quantile(0.99),
+        rerank_max_ms: load.latency_quantile(1.0),
+        non_2xx: load.non_2xx,
+        transport_errors: load.transport_errors,
+        degraded_requests: snapshot.counter("exec.degraded_requests"),
+        fallback_requests: snapshot.counter("exec.fallback_requests"),
+        panics: snapshot.counter("serve.panics"),
+        requests_dropped: snapshot.counter("serve.requests_dropped"),
+        user_store_size: snapshot.gauge("serve.users").unwrap_or(0.0) as u64,
+        events_accepted: snapshot.counter("serve.events_accepted"),
+        events_replayed: snapshot.counter("serve.events_replayed"),
+        train_ms,
+        boot_ms,
+    };
+
+    println!(
+        "ingest: {} events over {} users in {:.2}s ({} posts)",
+        report.events_sent, report.distinct_users, report.ingest_s, report.event_posts
+    );
+    println!(
+        "rerank: {} requests at {:.1}/{:.1} qps (achieved/target), \
+         p50 {:.3} ms p90 {:.3} ms p99 {:.3} ms max {:.3} ms",
+        report.rerank_requests,
+        report.achieved_qps,
+        report.qps_target,
+        report.rerank_p50_ms,
+        report.rerank_p90_ms,
+        report.rerank_p99_ms,
+        report.rerank_max_ms
+    );
+    println!(
+        "errors: non_2xx={} transport={} degraded={} fallback={} panics={} dropped={}",
+        report.non_2xx,
+        report.transport_errors,
+        report.degraded_requests,
+        report.fallback_requests,
+        report.panics,
+        report.requests_dropped
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("serve report serialises");
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    let telemetry = out_dir.join("telemetry_serve.ndjson");
+    std::fs::write(&telemetry, rapid_obs::global().snapshot().to_ndjson())
+        .expect("write telemetry_serve.ndjson");
+    println!("wrote {}", telemetry.display());
+}

@@ -1,21 +1,24 @@
 //! `rapid-bench` — harness utility entry point.
 //!
-//! Currently one mode:
+//! Two modes:
 //!
 //! ```text
 //! rapid-bench --check [--baseline BENCH_exec.json] [--current BENCH_exec.json]
 //!             [--tolerance 0.25]
+//! rapid-bench --check --serve [BENCH_serve.json]
 //! ```
 //!
-//! Compares the current report's per-model `train_cached_ms` against the
-//! baseline and exits non-zero when any model regressed beyond the
-//! tolerance (default 25%). Malformed or mismatched reports also exit
-//! non-zero, with a distinct message, so CI can't green-wash a broken
-//! harness.
+//! The first compares the current report's per-model `train_cached_ms`
+//! against the baseline and exits non-zero when any model regressed
+//! beyond the tolerance (default 25%). The second judges a serving
+//! load-test report against *absolute* budgets (rerank p50/p99 ≤ 50 ms,
+//! ≥ 100k distinct users, zero errors of any shape). Malformed or
+//! mismatched reports also exit non-zero, with a distinct message
+//! (exit 2), so CI can't green-wash a broken harness.
 
 use std::process::ExitCode;
 
-use rapid_bench::{check_regression, DEFAULT_TOLERANCE};
+use rapid_bench::{check_regression, check_serve, DEFAULT_TOLERANCE};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -25,14 +28,50 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rapid-bench --check [--baseline PATH] [--current PATH] [--tolerance FRAC]");
+    eprintln!(
+        "usage: rapid-bench --check [--baseline PATH] [--current PATH] [--tolerance FRAC]\n\
+                rapid-bench --check --serve [PATH]"
+    );
     ExitCode::from(2)
+}
+
+/// Serve-gate mode: read one `BENCH_serve.json` and judge it against
+/// the absolute serving budgets.
+fn serve_gate(args: &[String]) -> ExitCode {
+    let path = flag_value(args, "--serve")
+        .filter(|v| !v.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let report = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rapid-bench: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match check_serve(&report) {
+        Ok(outcome) => {
+            println!("serve gate over {path}");
+            print!("{}", outcome.render());
+            if outcome.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("rapid-bench: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if !args.iter().any(|a| a == "--check") {
         return usage();
+    }
+    if args.iter().any(|a| a == "--serve") {
+        return serve_gate(&args);
     }
     let baseline_path =
         flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_exec.json".to_string());

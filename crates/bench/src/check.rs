@@ -197,6 +197,189 @@ pub fn check_regression(
     })
 }
 
+/// Absolute budget (ms) on the serve bench's recorded rerank p50 —
+/// the acceptance bar for a 1-core bench host.
+pub const MAX_SERVE_P50_MS: f64 = 50.0;
+
+/// Absolute budget (ms) on the serve bench's recorded rerank p99.
+pub const MAX_SERVE_P99_MS: f64 = 50.0;
+
+/// Floor on the distinct simulated users the load phase must have
+/// driven through `/events` before the rerank phase was timed.
+pub const MIN_SERVE_DISTINCT_USERS: u64 = 100_000;
+
+/// Outcome of the serving gate over a `BENCH_serve.json` report.
+///
+/// Unlike [`check_regression`], every budget here is *absolute*: the
+/// latency bar is part of the acceptance criteria (not a ratio against
+/// a baseline host), and the error-shaped counters (`non_2xx`,
+/// transport errors, degraded/fallback reranks, panics, fault drops)
+/// must be exactly zero for the run to count at all.
+#[derive(Debug, Clone)]
+pub struct ServeCheckOutcome {
+    /// Distinct simulated users the generator ingested.
+    pub distinct_users: u64,
+    /// Recorded rerank latency p50, milliseconds (open-loop: queueing
+    /// delay counts against it).
+    pub p50_ms: f64,
+    /// Recorded rerank latency p99, milliseconds.
+    pub p99_ms: f64,
+    /// Responses with a non-2xx status across both phases.
+    pub non_2xx: u64,
+    /// Client-side connect/read/write failures.
+    pub transport_errors: u64,
+    /// `exec.degraded_requests` observed during the run.
+    pub degraded_requests: u64,
+    /// `exec.fallback_requests` (identity-permutation fallbacks).
+    pub fallback_requests: u64,
+    /// Request handlers that panicked (`serve.panics`).
+    pub panics: u64,
+    /// Connections dropped by fault injection (`serve.requests_dropped`)
+    /// — must be zero because the bench runs with faults off.
+    pub requests_dropped: u64,
+    /// One line per blown budget, empty on a clean pass.
+    pub failures: Vec<String>,
+}
+
+impl ServeCheckOutcome {
+    /// `true` when every absolute budget held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Human-readable budget table plus verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>14} {:>14}  verdict\n",
+            "metric", "value", "budget"
+        ));
+        let row = |out: &mut String, name: &str, value: String, budget: String, ok: bool| {
+            out.push_str(&format!(
+                "{name:<18} {value:>14} {budget:>14}  {}\n",
+                if ok { "ok" } else { "OVER BUDGET" }
+            ));
+        };
+        row(
+            &mut out,
+            "distinct_users",
+            format!("{}", self.distinct_users),
+            format!(">= {MIN_SERVE_DISTINCT_USERS}"),
+            self.distinct_users >= MIN_SERVE_DISTINCT_USERS,
+        );
+        row(
+            &mut out,
+            "rerank_p50_ms",
+            format!("{:.3}", self.p50_ms),
+            format!("<= {MAX_SERVE_P50_MS}"),
+            !self.p50_ms.is_nan() && self.p50_ms <= MAX_SERVE_P50_MS,
+        );
+        row(
+            &mut out,
+            "rerank_p99_ms",
+            format!("{:.3}", self.p99_ms),
+            format!("<= {MAX_SERVE_P99_MS}"),
+            !self.p99_ms.is_nan() && self.p99_ms <= MAX_SERVE_P99_MS,
+        );
+        for (name, v) in [
+            ("non_2xx", self.non_2xx),
+            ("transport_errors", self.transport_errors),
+            ("degraded_requests", self.degraded_requests),
+            ("fallback_requests", self.fallback_requests),
+            ("panics", self.panics),
+            ("requests_dropped", self.requests_dropped),
+        ] {
+            row(&mut out, name, format!("{v}"), "== 0".to_string(), v == 0);
+        }
+        if self.passed() {
+            out.push_str("PASS: serve budgets held\n");
+        } else {
+            out.push_str(&format!(
+                "FAIL: {} serve budget(s) blown\n",
+                self.failures.len()
+            ));
+            for f in &self.failures {
+                out.push_str(&format!("  - {f}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Judges a `BENCH_serve.json` report against the absolute serving
+/// budgets: latency p50/p99 within [`MAX_SERVE_P50_MS`] /
+/// [`MAX_SERVE_P99_MS`], at least [`MIN_SERVE_DISTINCT_USERS`] distinct
+/// users ingested, and zero errors of any shape (non-2xx, transport,
+/// degraded/fallback reranks, handler panics, fault drops).
+///
+/// Errors (rather than failing the gate) on malformed JSON or missing
+/// fields — harness breakage, not a budget violation — mirroring
+/// [`check_regression`]'s contract so CI can't green-wash a broken run.
+pub fn check_serve(current_json: &str) -> Result<ServeCheckOutcome, String> {
+    let doc = parse_value(current_json).map_err(|e| format!("serve report: {e}"))?;
+    let u64_field = |name: &str| -> Result<u64, String> {
+        doc.field(name)
+            .and_then(|v| v.as_u64())
+            .map_err(|e| format!("serve report: {name}: {e}"))
+    };
+    let f64_field = |name: &str| -> Result<f64, String> {
+        doc.field(name)
+            .and_then(|v| v.as_f64())
+            .map_err(|e| format!("serve report: {name}: {e}"))
+    };
+
+    let outcome = ServeCheckOutcome {
+        distinct_users: u64_field("distinct_users")?,
+        p50_ms: f64_field("rerank_p50_ms")?,
+        p99_ms: f64_field("rerank_p99_ms")?,
+        non_2xx: u64_field("non_2xx")?,
+        transport_errors: u64_field("transport_errors")?,
+        degraded_requests: u64_field("degraded_requests")?,
+        fallback_requests: u64_field("fallback_requests")?,
+        panics: u64_field("panics")?,
+        requests_dropped: u64_field("requests_dropped")?,
+        failures: Vec::new(),
+    };
+
+    let mut failures = Vec::new();
+    if outcome.distinct_users < MIN_SERVE_DISTINCT_USERS {
+        failures.push(format!(
+            "distinct_users {} below the {MIN_SERVE_DISTINCT_USERS} floor",
+            outcome.distinct_users
+        ));
+    }
+    // NaN (an empty latency sample) must fail, never slip through.
+    if outcome.p50_ms.is_nan() || outcome.p50_ms > MAX_SERVE_P50_MS {
+        failures.push(format!(
+            "rerank p50 {:.3} ms over the {MAX_SERVE_P50_MS} ms budget",
+            outcome.p50_ms
+        ));
+    }
+    if outcome.p99_ms.is_nan() || outcome.p99_ms > MAX_SERVE_P99_MS {
+        failures.push(format!(
+            "rerank p99 {:.3} ms over the {MAX_SERVE_P99_MS} ms budget",
+            outcome.p99_ms
+        ));
+    }
+    for (name, v) in [
+        ("non_2xx responses", outcome.non_2xx),
+        ("transport errors", outcome.transport_errors),
+        ("degraded reranks", outcome.degraded_requests),
+        ("fallback reranks", outcome.fallback_requests),
+        ("handler panics", outcome.panics),
+        ("fault-dropped requests", outcome.requests_dropped),
+    ] {
+        if v != 0 {
+            failures.push(format!("{v} {name} (budget is exactly 0)"));
+        }
+    }
+
+    Ok(ServeCheckOutcome {
+        failures,
+        ..outcome
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,5 +514,87 @@ mod tests {
         // 0 → 0 is a clean pass.
         let out = check_regression(&base, &base, DEFAULT_TOLERANCE).unwrap();
         assert!(out.passed());
+    }
+
+    fn serve_report(overrides: &[(&str, &str)]) -> String {
+        let mut fields: Vec<(&str, String)> = vec![
+            ("distinct_users", "120000".into()),
+            ("rerank_p50_ms", "2.5".into()),
+            ("rerank_p99_ms", "9.0".into()),
+            ("non_2xx", "0".into()),
+            ("transport_errors", "0".into()),
+            ("degraded_requests", "0".into()),
+            ("fallback_requests", "0".into()),
+            ("panics", "0".into()),
+            ("requests_dropped", "0".into()),
+        ];
+        for &(k, v) in overrides {
+            match fields.iter_mut().find(|(n, _)| *n == k) {
+                Some(slot) => slot.1 = v.to_string(),
+                None => fields.push((k, v.to_string())),
+            }
+        }
+        let rows: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+        format!("{{{}}}", rows.join(","))
+    }
+
+    #[test]
+    fn clean_serve_report_passes() {
+        let out = check_serve(&serve_report(&[])).unwrap();
+        assert!(out.passed(), "{:?}", out.failures);
+        assert!(out.render().contains("PASS"));
+    }
+
+    #[test]
+    fn slow_p99_blows_the_serve_budget() {
+        let out = check_serve(&serve_report(&[("rerank_p99_ms", "75.0")])).unwrap();
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("p99"));
+        assert!(out.render().contains("OVER BUDGET"));
+    }
+
+    #[test]
+    fn slow_p50_blows_the_serve_budget() {
+        let out = check_serve(&serve_report(&[("rerank_p50_ms", "51.0")])).unwrap();
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("p50"));
+    }
+
+    #[test]
+    fn any_error_counter_fails_the_serve_gate() {
+        for field in [
+            "non_2xx",
+            "transport_errors",
+            "degraded_requests",
+            "fallback_requests",
+            "panics",
+            "requests_dropped",
+        ] {
+            let out = check_serve(&serve_report(&[(field, "1")])).unwrap();
+            assert!(!out.passed(), "{field} = 1 must fail");
+            assert_eq!(out.failures.len(), 1, "{field}");
+        }
+    }
+
+    #[test]
+    fn too_few_distinct_users_fails() {
+        let out = check_serve(&serve_report(&[("distinct_users", "99999")])).unwrap();
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("floor"));
+    }
+
+    #[test]
+    fn nan_latency_fails_rather_than_passes() {
+        // An empty latency sample serializes as null/NaN-ish; a missing
+        // or non-numeric field is a harness error, and a literal
+        // out-of-range value must fail the budget, never pass it.
+        assert!(check_serve(&serve_report(&[("rerank_p50_ms", "null")])).is_err());
+    }
+
+    #[test]
+    fn missing_serve_field_is_an_error() {
+        let err = check_serve("{\"distinct_users\": 120000}").unwrap_err();
+        assert!(err.contains("rerank_p50_ms"), "{err}");
+        assert!(check_serve("not json").is_err());
     }
 }

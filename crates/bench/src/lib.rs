@@ -25,6 +25,7 @@
 //! | `fig5_case_study` | Fig. 5: per-user genre distributions |
 //! | `regret` | Theorem 5.1: empirical regret curve |
 //! | `tradeoff_sweep` | extension: λ-sweep tradeoff curve (§IV-D) |
+//! | `bench_serve` | serving load test → `BENCH_serve.json` (not a paper table) |
 //!
 //! Every model these binaries train records a computation graph that is
 //! structurally validated in CI (`rapid-check`'s zoo smoke test and the
@@ -36,7 +37,8 @@ use rapid_eval::Scale;
 pub mod check;
 
 pub use check::{
-    check_regression, CheckOutcome, ModelDelta, DEFAULT_TOLERANCE, MAX_CKPT_OVERHEAD_FRAC,
+    check_regression, check_serve, CheckOutcome, ModelDelta, ServeCheckOutcome, DEFAULT_TOLERANCE,
+    MAX_CKPT_OVERHEAD_FRAC, MAX_SERVE_P50_MS, MAX_SERVE_P99_MS, MIN_SERVE_DISTINCT_USERS,
 };
 
 /// Parsed common CLI options.

@@ -35,10 +35,11 @@
 //!   before its first code line (the workspace's `missing_docs`
 //!   equivalent for air-gapped builds).
 //! * `no-expect-in-serve` — no `.unwrap()` / `.expect(` in the
-//!   degradation-critical serving files (`obs::serve`,
-//!   `exec::parallel`): these are exactly the paths that promise to
-//!   survive faults rather than panic, so even "can't happen" unwraps
-//!   are banned there independently of the hot-crate rule.
+//!   degradation-critical serving paths (`obs::serve`,
+//!   `exec::parallel`, and every file of `rapid-serve`'s request
+//!   path): these are exactly the paths that promise to survive
+//!   faults rather than panic, so even "can't happen" unwraps are
+//!   banned there independently of the hot-crate rule.
 //! * `allow-needs-reason` — every `lint:allow(rule)` directive must
 //!   carry a trailing justification (`// lint:allow(float-eq) — exact
 //!   sparsity guard`), so a suppression always tells the reviewer why
@@ -131,11 +132,18 @@ const ENV_ALLOWED_FILES: [&str; 4] = [
     "crates/faults/src/lib.rs",
 ];
 
-/// Files on the graceful-degradation serving path, where a panic means
+/// Paths on the graceful-degradation serving path, where a panic means
 /// a dropped request instead of a failed unit test: `.unwrap()` /
 /// `.expect(` are banned outright (`no-expect-in-serve`), even where
-/// the hot-crate `no-unwrap` rule does not reach.
-const SERVE_NO_EXPECT_FILES: [&str; 2] = ["crates/obs/src/serve.rs", "crates/exec/src/parallel.rs"];
+/// the hot-crate `no-unwrap` rule does not reach. Entries are matched
+/// as *prefixes*, so a directory entry (`crates/serve/src/`) covers
+/// every request-path function of that crate, including files added
+/// after this list was written.
+const SERVE_NO_EXPECT_PATHS: [&str; 3] = [
+    "crates/obs/src/serve.rs",
+    "crates/exec/src/parallel.rs",
+    "crates/serve/src/",
+];
 
 /// The only crate allowed to read the process clocks directly; everyone
 /// else goes through `rapid_obs::clock` so timestamps share one epoch.
@@ -180,7 +188,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
     let env_needle: &str = concat!("std::en", "v::var");
 
     let unwrap_applies = HOT_CRATES.iter().any(|c| path.starts_with(c));
-    let serve_expect_applies = SERVE_NO_EXPECT_FILES.contains(&path);
+    let serve_expect_applies = SERVE_NO_EXPECT_PATHS.iter().any(|p| path.starts_with(p));
     let env_applies = !ENV_ALLOWED_FILES.contains(&path);
     let print_applies = PRINT_FREE_CRATES.iter().any(|c| path.starts_with(c));
     let clock_applies = !path.starts_with(CLOCK_ALLOWED_PREFIX);
@@ -619,6 +627,22 @@ mod tests {
         // `unwrap_or_else` is not `unwrap`.
         let src = "//! Doc.\nfn f() { m.lock().unwrap_or_else(|p| p.into_inner()); }\n";
         assert!(lint_source("crates/obs/src/serve.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serve_crate_request_path_is_covered_by_prefix() {
+        // Every file under crates/serve/src/ — present or future — is
+        // on the request path, so the directory prefix must reach it.
+        let src = "//! Doc.\nfn f() { x.unwrap(); }\n";
+        for file in ["server.rs", "http.rs", "state.rs", "some_new_module.rs"] {
+            assert_eq!(
+                rules(&lint_source(&format!("crates/serve/src/{file}"), src)),
+                vec!["no-expect-in-serve"],
+                "{file} must be covered"
+            );
+        }
+        // Integration tests of the serve crate are not request-path code.
+        assert!(lint_source("crates/serve/tests/serve_api.rs", src).is_empty());
     }
 
     #[test]

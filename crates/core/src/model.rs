@@ -170,6 +170,17 @@ impl Rapid {
         self.store.restore_from(&loaded)
     }
 
+    /// Restores this model's parameters from an in-memory store — the
+    /// hot-load path for serving, where the store comes from a v2
+    /// training checkpoint (`rapid_autograd::Checkpoint::load_path`)
+    /// rather than a `Rapid::save` stream.
+    ///
+    /// # Errors
+    /// Returns `InvalidData` on name or shape mismatches.
+    pub fn restore(&mut self, params: &ParamStore) -> std::io::Result<()> {
+        self.store.restore_from(params)
+    }
+
     /// Records the inference-time score graph `(L, 1)` onto `tape`:
     /// logits (det) or the UCB `φ̂ + Σ̂` (Eq. 10).
     fn score_graph(&self, tape: &mut Tape, ds: &Dataset, prep: &PreparedList) -> Var {

@@ -18,6 +18,7 @@
 //! | `ckpt.write`  | atomic checkpoint write, between tmp-fsync and rename |
 //! | `exec.chunk`  | start of every degraded parallel-map chunk (and retry)|
 //! | `obs.request` | telemetry server, per accepted connection             |
+//! | `serve.request` | `rapid-serve` API server, per parsed request        |
 //!
 //! ## Spec grammar (`RAPID_FAULTS`)
 //!
@@ -52,12 +53,13 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 /// Every site a helper in this workspace consults, for spec validation.
-pub const SITES: [&str; 5] = [
+pub const SITES: [&str; 6] = [
     "train.epoch",
     "train.loss",
     "ckpt.write",
     "exec.chunk",
     "obs.request",
+    "serve.request",
 ];
 
 /// What an armed fault does at its site.
@@ -533,16 +535,21 @@ mod tests {
         let _g = locked();
         let _c = Cleared;
         install(
-            FaultPlan::parse("ckpt.write=io-error;train.loss=nan;obs.request=io-error").unwrap(),
+            FaultPlan::parse(
+                "ckpt.write=io-error;train.loss=nan;obs.request=io-error;serve.request=io-error",
+            )
+            .unwrap(),
         );
         let err = io_check("ckpt.write").unwrap_err();
         assert!(err.to_string().contains("injected I/O error"), "{err}");
         assert!(inject_nan("train.loss").is_some_and(f32::is_nan));
         assert!(should_drop("obs.request"));
+        assert!(should_drop("serve.request"));
         clear();
         assert!(io_check("ckpt.write").is_ok());
         assert!(inject_nan("train.loss").is_none());
         assert!(!should_drop("obs.request"));
+        assert!(!should_drop("serve.request"));
     }
 
     #[test]

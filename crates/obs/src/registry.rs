@@ -243,6 +243,13 @@ impl Snapshot {
         self.gauges.get(name).copied()
     }
 
+    /// All counters, ascending by name — the substrate for structured
+    /// endpoints (e.g. the serve `/aggregates` route) that report
+    /// counter families without scraping Prometheus text.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
     /// A histogram by name, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.hists.get(name)

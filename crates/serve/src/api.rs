@@ -1,0 +1,227 @@
+//! Request/response bodies for the service API.
+//!
+//! Everything is the vendored `serde_json` [`Value`] tree: requests are
+//! parsed into small typed structs with explicit error strings (every
+//! malformed shape maps to a `400` whose body says which field was
+//! wrong), and responses are built as `Value` objects so tests and the
+//! smoke job assert on structure instead of scraping text.
+
+use serde::Value;
+
+use crate::model::Reranked;
+
+/// One ingested behavior event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventReq {
+    /// External user id.
+    pub user: u64,
+    /// Item id within the served world.
+    pub item: u64,
+    /// Whether the event was a click (impressions only extend history).
+    pub click: bool,
+    /// Optional idempotency sequence number (replay detection).
+    pub seq: Option<u64>,
+}
+
+/// One rerank request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RerankReq {
+    /// External user id.
+    pub user: u64,
+    /// Requested list length (`None` → server default).
+    pub k: Option<usize>,
+}
+
+fn u64_field(obj: &Value, name: &'static str) -> Result<u64, String> {
+    obj.field(name)
+        .map_err(|_| format!("missing field {name:?}"))?
+        .as_u64()
+        .map_err(|_| format!("field {name:?} must be a non-negative integer"))
+}
+
+fn event_from_value(v: &Value) -> Result<EventReq, String> {
+    let user = u64_field(v, "user")?;
+    let item = u64_field(v, "item")?;
+    let click = match v.field("click") {
+        Ok(c) => c
+            .as_bool()
+            .map_err(|_| "field \"click\" must be a boolean".to_string())?,
+        Err(_) => true,
+    };
+    let seq = match v.field("seq") {
+        Ok(s) => Some(
+            s.as_u64()
+                .map_err(|_| "field \"seq\" must be a non-negative integer".to_string())?,
+        ),
+        Err(_) => None,
+    };
+    Ok(EventReq {
+        user,
+        item,
+        click,
+        seq,
+    })
+}
+
+/// Parses a `POST /events` body: either one event object or
+/// `{"events": [...]}` for batched ingestion.
+pub fn parse_events(body: &[u8]) -> Result<Vec<EventReq>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value = serde_json::parse_value(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    match value.field("events") {
+        Ok(list) => {
+            let items = list
+                .as_array()
+                .map_err(|_| "field \"events\" must be an array".to_string())?;
+            if items.is_empty() {
+                return Err("field \"events\" must not be empty".to_string());
+            }
+            items.iter().map(event_from_value).collect()
+        }
+        Err(_) => Ok(vec![event_from_value(&value)?]),
+    }
+}
+
+/// Parses a `POST /rerank` body.
+pub fn parse_rerank(body: &[u8]) -> Result<RerankReq, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let value = serde_json::parse_value(text).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    let user = u64_field(&value, "user")?;
+    let k = match value.field("k") {
+        Ok(k) => Some(
+            k.as_u64()
+                .map_err(|_| "field \"k\" must be a non-negative integer".to_string())?
+                as usize,
+        ),
+        Err(_) => None,
+    };
+    Ok(RerankReq { user, k })
+}
+
+/// `{"error": ...}` body for every non-2xx answer.
+pub fn error_body(message: &str) -> String {
+    render(&Value::Object(vec![(
+        "error".to_string(),
+        Value::Str(message.to_string()),
+    )]))
+}
+
+/// `POST /events` success body.
+pub fn events_body(accepted: u64, replayed: u64) -> String {
+    render(&Value::Object(vec![
+        ("accepted".to_string(), Value::U64(accepted)),
+        ("replayed".to_string(), Value::U64(replayed)),
+    ]))
+}
+
+/// `POST /rerank` success body: the ordered items plus per-stage
+/// timings.
+pub fn rerank_body(user: u64, r: &Reranked) -> String {
+    let items = r.items.iter().map(|&v| Value::U64(v as u64)).collect();
+    render(&Value::Object(vec![
+        ("user".to_string(), Value::U64(user)),
+        ("base_user".to_string(), Value::U64(r.base_user as u64)),
+        ("items".to_string(), Value::Array(items)),
+        (
+            "timings_ms".to_string(),
+            Value::Object(vec![
+                ("rank".to_string(), Value::F64(r.rank_ms)),
+                ("prepare".to_string(), Value::F64(r.prepare_ms)),
+                ("rerank".to_string(), Value::F64(r.rerank_ms)),
+            ]),
+        ),
+    ]))
+}
+
+fn render(v: &Value) -> String {
+    // The vendored writer is infallible for value trees; the Result in
+    // its signature mirrors upstream serde_json.
+    serde_json::to_string(v).unwrap_or_else(|_| "{}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_batched_events_parse() {
+        let one = parse_events(br#"{"user": 1, "item": 2}"#).unwrap();
+        assert_eq!(
+            one,
+            vec![EventReq {
+                user: 1,
+                item: 2,
+                click: true,
+                seq: None
+            }]
+        );
+        let batch = parse_events(
+            br#"{"events": [{"user":1,"item":2,"click":false,"seq":9},{"user":3,"item":4}]}"#,
+        )
+        .unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(!batch[0].click);
+        assert_eq!(batch[0].seq, Some(9));
+        assert_eq!(batch[1].user, 3);
+    }
+
+    #[test]
+    fn malformed_events_name_the_offending_field() {
+        let err = parse_events(br#"{"item": 2}"#).unwrap_err();
+        assert!(err.contains("\"user\""), "{err}");
+        let err = parse_events(br#"{"user": -1, "item": 2}"#).unwrap_err();
+        assert!(err.contains("\"user\""), "{err}");
+        let err = parse_events(br#"{"user": 1, "item": 2, "click": "yes"}"#).unwrap_err();
+        assert!(err.contains("\"click\""), "{err}");
+        let err = parse_events(br#"{"events": []}"#).unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+        let err = parse_events(br#"{"events": 3}"#).unwrap_err();
+        assert!(err.contains("array"), "{err}");
+    }
+
+    #[test]
+    fn truncated_json_and_non_utf8_are_errors_not_panics() {
+        assert!(parse_events(br#"{"user": 1, "ite"#).is_err());
+        assert!(parse_events(&[0xff, 0xfe, 0x80]).is_err());
+        assert!(parse_rerank(br#"{"user""#).is_err());
+        assert!(parse_rerank(&[0x80]).is_err());
+    }
+
+    #[test]
+    fn rerank_requests_parse_with_optional_k() {
+        assert_eq!(
+            parse_rerank(br#"{"user": 5}"#).unwrap(),
+            RerankReq { user: 5, k: None }
+        );
+        assert_eq!(
+            parse_rerank(br#"{"user": 5, "k": 12}"#).unwrap(),
+            RerankReq {
+                user: 5,
+                k: Some(12)
+            }
+        );
+        assert!(parse_rerank(br#"{"k": 12}"#).is_err());
+        assert!(parse_rerank(br#"{"user": 5, "k": -2}"#).is_err());
+    }
+
+    #[test]
+    fn bodies_render_as_json() {
+        assert_eq!(events_body(3, 1), r#"{"accepted":3,"replayed":1}"#);
+        assert_eq!(error_body("nope"), r#"{"error":"nope"}"#);
+        let body = rerank_body(
+            9,
+            &Reranked {
+                items: vec![4, 2],
+                base_user: 1,
+                rank_ms: 0.5,
+                prepare_ms: 0.25,
+                rerank_ms: 1.5,
+            },
+        );
+        let v = serde_json::parse_value(&body).unwrap();
+        assert_eq!(v.field("user").unwrap().as_u64().unwrap(), 9);
+        assert_eq!(v.field("items").unwrap().as_array().unwrap().len(), 2);
+        let t = v.field("timings_ms").unwrap();
+        assert!(t.field("rerank").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! A minimal in-process HTTP/1.1 client for the load harness and the
+//! integration tests.
+//!
+//! One [`Client`] owns one keep-alive connection and issues requests
+//! sequentially over it (the load generator runs one client per worker
+//! thread). Transport failures surface as `Err` strings — the caller
+//! counts them — and the client transparently reconnects on the next
+//! request, so a server-side connection drop (chaos plans, timeouts)
+//! costs exactly one failed request.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side I/O timeout; generous next to the server's 500 ms.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One keep-alive connection to the server.
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Bytes read past the end of the previous response.
+    buf: Vec<u8>,
+}
+
+/// A parsed response: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Numeric status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+impl Client {
+    /// A client for `addr`; the connection opens lazily on first use.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            stream: None,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Sends `GET path`.
+    ///
+    /// # Errors
+    /// Returns a description of the transport failure (connect, write,
+    /// read, or framing); the connection is recycled for the next call.
+    pub fn get(&mut self, path: &str) -> Result<Response, String> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends `POST path` with a JSON body.
+    ///
+    /// # Errors
+    /// As [`Client::get`].
+    pub fn post(&mut self, path: &str, body: &str) -> Result<Response, String> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, String> {
+        let result = self.request_inner(method, path, body);
+        if result.is_err() {
+            // Drop the (possibly misframed) connection; the next
+            // request dials fresh.
+            self.stream = None;
+            self.buf.clear();
+        }
+        result
+    }
+
+    fn request_inner(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, String> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr).map_err(|e| format!("connect: {e}"))?;
+            stream
+                .set_read_timeout(Some(IO_TIMEOUT))
+                .map_err(|e| format!("timeout: {e}"))?;
+            stream
+                .set_write_timeout(Some(IO_TIMEOUT))
+                .map_err(|e| format!("timeout: {e}"))?;
+            let _ = stream.set_nodelay(true);
+            self.stream = Some(stream);
+            self.buf.clear();
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return Err("no connection".to_string());
+        };
+
+        let payload = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: rapid-serve\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{payload}",
+            payload.len(),
+        );
+        stream
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("write: {e}"))?;
+
+        // Read head.
+        let header_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err("connection closed before response head".to_string()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..header_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+        let mut content_length = 0usize;
+        let mut server_closes = false;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                server_closes = true;
+            }
+        }
+
+        // Read body.
+        let body_start = header_end + 4;
+        while self.buf.len() < body_start + content_length {
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err("connection closed mid-body".to_string()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        }
+        let body = String::from_utf8_lossy(&self.buf[body_start..body_start + content_length])
+            .into_owned();
+        self.buf.drain(..body_start + content_length);
+        if server_closes {
+            self.stream = None;
+            self.buf.clear();
+        }
+        Ok(Response { status, body })
+    }
+}

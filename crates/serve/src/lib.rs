@@ -1,0 +1,50 @@
+//! The online serving layer: an event/rerank HTTP service over the
+//! checkpoint-loaded RAPID stack, plus the load harness that drives it.
+//!
+//! The ROADMAP's north star is a service handling millions of users;
+//! this crate is the request path that every later scale item plugs
+//! into. It is dependency-free like the rest of the workspace: the
+//! transport is a polled `TcpListener` with a small worker pool
+//! ([`server`]), framing is a hardened hand-rolled HTTP/1.1 subset
+//! ([`http`]), and bodies are the vendored `serde_json` tree ([`api`]).
+//!
+//! Shape of the system:
+//!
+//! ```text
+//!                 POST /events                POST /rerank
+//!                      │                           │
+//!                      ▼                           ▼
+//!               ┌────────────┐  UserState   ┌─────────────┐
+//!               │ UserStore  │ ───────────▶ │  ServeModel │
+//!               │ (sharded   │              │ ranker →    │
+//!               │  RwLock)   │              │ RAPID batch │
+//!               └────────────┘              └─────────────┘
+//!                      ▲                           │
+//!        history / EMA topic pref          checkpoint v2 hot-load
+//! ```
+//!
+//! * [`state`] — sharded per-user store: capped history, EMA topic
+//!   preference from clicked items, replay cursors.
+//! * [`model`] — [`model::ServeModel`] boots from any `Checkpointer`
+//!   artifact ([`model::train_artifact`] makes one) and serves
+//!   initial-ranker → RAPID rankings through the `rapid-exec` degraded
+//!   batch path.
+//! * [`server`] — routes `/events`, `/rerank`, `/aggregates`,
+//!   `/metrics`, `/healthz`, `/snapshot`; every request passes the
+//!   `serve.request` chaos site.
+//! * [`client`] / [`loadgen`] — the in-process HTTP client and the
+//!   seeded open-loop load generator behind `bench_serve`.
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod model;
+pub mod server;
+pub mod state;
+
+pub use client::{Client, Response};
+pub use loadgen::{run as run_load, LoadConfig, LoadReport};
+pub use model::{train_artifact, RerankError, Reranked, ServeConfig, ServeModel};
+pub use server::{start, AppState, ServeHandle, ServerConfig, MAX_BODY_BYTES};
+pub use state::{EventOutcome, UserState, UserStore};

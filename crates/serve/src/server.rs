@@ -1,0 +1,453 @@
+//! The online API server: polled accept loop, a small worker pool, and
+//! the six routes (`/events`, `/rerank`, `/aggregates`, `/metrics`,
+//! `/healthz`, `/snapshot`).
+//!
+//! The transport follows the hardened `rapid_obs::serve` pattern — a
+//! nonblocking listener polled every 10 ms under a stop flag, per-stream
+//! read/write timeouts, bounded headers and bodies — extended with POST
+//! bodies, keep-alive connections, and a worker pool so one slow client
+//! cannot stall ingestion. Every parsed request passes the
+//! `serve.request` fault site (`rapid_faults::should_drop`): an armed
+//! `io-error` drops the connection, `delay` stalls it, and `panic` is
+//! caught by the per-request `catch_unwind` and answered as a 500 with
+//! the server still up — the same chaos contract as the telemetry
+//! server.
+//!
+//! Telemetry: every response increments
+//! `serve.http.<endpoint>.<status>`, `/events` maintains
+//! `serve.events_{accepted,replayed,rejected}` and the `serve.users`
+//! gauge, and `/rerank` records `serve.rerank_ms`. All of it lands in
+//! the global registry, so `/snapshot` (NDJSON) and `/aggregates`
+//! (single JSON object) expose the serve counters without Prometheus
+//! text parsing.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::Value;
+
+use crate::api;
+use crate::http::{response_bytes, status_code, ConnBuf, ReadOutcome, Request};
+use crate::model::{RerankError, ServeModel};
+use crate::state::UserStore;
+
+/// Listener poll cadence while idle (matches `rapid_obs::serve`).
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Per-stream read/write timeout. Also bounds how long a worker waits
+/// for the next keep-alive request before recycling the connection.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Default cap on request bodies (1 MiB): batched event ingestion fits
+/// comfortably; anything larger answers `413`.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Server shape knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Request body cap in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_body: MAX_BODY_BYTES,
+        }
+    }
+}
+
+/// Everything the handlers share: the loaded model and the live user
+/// store.
+pub struct AppState {
+    /// The checkpoint-loaded serving stack.
+    pub model: ServeModel,
+    /// Live per-user state written by `/events`.
+    pub store: UserStore,
+}
+
+impl AppState {
+    /// Wraps a booted model with a fresh user store sized to its world.
+    pub fn new(model: ServeModel) -> Self {
+        let ds = model.dataset();
+        let store = UserStore::new(16, ds.users.len(), ds.num_topics());
+        Self { model, store }
+    }
+}
+
+/// A running server: joinable accept + worker threads and a stop flag.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals every thread to stop and joins them.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds and starts the server over `state`.
+///
+/// # Errors
+/// Propagates bind/configuration failures from the listener socket.
+pub fn start(state: Arc<AppState>, cfg: &ServerConfig) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut threads = Vec::with_capacity(cfg.workers + 1);
+    for _ in 0..cfg.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        let max_body = cfg.max_body;
+        threads.push(std::thread::spawn(move || {
+            worker_loop(&rx, &state, &stop, max_body)
+        }));
+    }
+    {
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(&listener, &tx, &stop);
+        }));
+    }
+    rapid_obs::event!(
+        rapid_obs::Level::Info,
+        "serve",
+        "serving /events /rerank /aggregates /metrics /healthz /snapshot on http://{addr}"
+    );
+    Ok(ServeHandle {
+        addr,
+        stop,
+        threads,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                let _ = stream.set_nodelay(true);
+                if tx.send(stream).is_err() {
+                    return; // all workers gone; shutting down
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    state: &AppState,
+    stop: &AtomicBool,
+    max_body: usize,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let next = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv_timeout(Duration::from_millis(50))
+        };
+        match next {
+            Ok(stream) => handle_connection(stream, state, stop, max_body),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serves one (possibly keep-alive) connection until the peer closes,
+/// framing fails, or the server stops.
+fn handle_connection(mut stream: TcpStream, state: &AppState, stop: &AtomicBool, max_body: usize) {
+    let mut conn = ConnBuf::new();
+    while !stop.load(Ordering::SeqCst) {
+        let outcome = conn.read_request(&mut stream, max_body);
+        let (request, framing_reply) = match outcome {
+            ReadOutcome::Request(r) => (Some(r), None),
+            ReadOutcome::Closed => return,
+            ReadOutcome::HeadersTooLarge => (
+                None,
+                Some(("431 Request Header Fields Too Large", "headers too large")),
+            ),
+            ReadOutcome::BodyTooLarge => (None, Some(("413 Payload Too Large", "body too large"))),
+            ReadOutcome::Malformed(why) => (None, Some(("400 Bad Request", why))),
+        };
+        if let Some((status, why)) = framing_reply {
+            // Framing errors poison the byte stream, so answer and
+            // close rather than trying to resynchronise.
+            count(request_key(None), status);
+            let bytes = response_bytes(status, "application/json", &api::error_body(why), false);
+            let _ = stream.write_all(&bytes);
+            return;
+        }
+        let Some(request) = request else { return };
+
+        // Chaos site: armed `io-error` entries drop the connection
+        // mid-dialogue, `panic` entries are caught below, `delay`
+        // entries stall the worker — all deterministic under the
+        // installed plan's seed.
+        let dropped = catch_unwind(AssertUnwindSafe(|| {
+            rapid_faults::should_drop("serve.request")
+        }));
+        match dropped {
+            Ok(false) => {}
+            Ok(true) => {
+                rapid_obs::global().counter_add("serve.requests_dropped", 1);
+                return;
+            }
+            Err(_) => {
+                respond_panic(&mut stream, &request);
+                return;
+            }
+        }
+
+        let keep_alive = request.keep_alive;
+        let handled = catch_unwind(AssertUnwindSafe(|| route(&request, state)));
+        match handled {
+            Ok((status, content_type, body)) => {
+                count(request_key(Some(&request)), status);
+                let bytes = response_bytes(status, content_type, &body, keep_alive);
+                if stream.write_all(&bytes).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(_) => {
+                respond_panic(&mut stream, &request);
+                return;
+            }
+        }
+    }
+}
+
+/// Answers a caught handler panic with a 500 and closes the connection
+/// (its framing state is no longer trustworthy).
+fn respond_panic(stream: &mut TcpStream, request: &Request) {
+    let status = "500 Internal Server Error";
+    rapid_obs::global().counter_add("serve.panics", 1);
+    count(request_key(Some(request)), status);
+    let bytes = response_bytes(
+        status,
+        "application/json",
+        &api::error_body("handler panicked"),
+        false,
+    );
+    let _ = stream.write_all(&bytes);
+}
+
+/// The counter key segment for a request's endpoint (unknown paths
+/// collapse into `other` so hostile scans cannot mint counters).
+fn request_key(request: Option<&Request>) -> &'static str {
+    match request.map(|r| r.path.as_str()) {
+        Some("/events") => "events",
+        Some("/rerank") => "rerank",
+        Some("/aggregates") => "aggregates",
+        Some("/metrics") => "metrics",
+        Some("/healthz") => "healthz",
+        Some("/snapshot") => "snapshot",
+        _ => "other",
+    }
+}
+
+fn count(endpoint: &str, status: &str) {
+    rapid_obs::global().counter_add(&format!("serve.http.{endpoint}.{}", status_code(status)), 1);
+}
+
+/// Dispatches one parsed request to its handler.
+fn route(request: &Request, state: &AppState) -> (&'static str, &'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            rapid_obs::global().snapshot().to_prometheus(),
+        ),
+        ("GET", "/snapshot") => (
+            "200 OK",
+            "application/x-ndjson",
+            rapid_obs::global().snapshot().to_ndjson(),
+        ),
+        ("GET", "/aggregates") => ("200 OK", "application/json", aggregates_body(state)),
+        ("POST", "/events") => handle_events(request, state),
+        ("POST", "/rerank") => handle_rerank(request, state),
+        ("GET", "/events" | "/rerank")
+        | ("POST", "/healthz" | "/metrics" | "/snapshot" | "/aggregates") => (
+            "405 Method Not Allowed",
+            "application/json",
+            api::error_body("method not allowed"),
+        ),
+        _ => (
+            "404 Not Found",
+            "application/json",
+            api::error_body(
+                "not found; try /events /rerank /aggregates /metrics /healthz /snapshot",
+            ),
+        ),
+    }
+}
+
+fn handle_events(request: &Request, state: &AppState) -> (&'static str, &'static str, String) {
+    let reg = rapid_obs::global();
+    let events = match api::parse_events(&request.body) {
+        Ok(events) => events,
+        Err(why) => {
+            reg.counter_add("serve.events_rejected", 1);
+            return ("400 Bad Request", "application/json", api::error_body(&why));
+        }
+    };
+    let ds = state.model.dataset();
+    let mut accepted = 0u64;
+    let mut replayed = 0u64;
+    for e in &events {
+        let item = (e.item % ds.items.len() as u64) as usize;
+        let coverage = e.click.then(|| ds.items[item].coverage.as_slice());
+        match state.store.apply_event(e.user, item, coverage, e.seq) {
+            crate::state::EventOutcome::Applied => accepted += 1,
+            crate::state::EventOutcome::Replayed => replayed += 1,
+        }
+    }
+    reg.counter_add("serve.events_accepted", accepted);
+    reg.counter_add("serve.events_replayed", replayed);
+    reg.gauge_set("serve.users", state.store.len() as f64);
+    (
+        "200 OK",
+        "application/json",
+        api::events_body(accepted, replayed),
+    )
+}
+
+fn handle_rerank(request: &Request, state: &AppState) -> (&'static str, &'static str, String) {
+    let reg = rapid_obs::global();
+    let req = match api::parse_rerank(&request.body) {
+        Ok(r) => r,
+        Err(why) => {
+            return ("400 Bad Request", "application/json", api::error_body(&why));
+        }
+    };
+    let k = req.k.unwrap_or(state.model.config().list_len);
+    let user_state = state.store.get(req.user);
+    if user_state.is_none() {
+        // Unknown users are a documented cold start, not an error.
+        reg.counter_add("serve.cold_users", 1);
+    }
+    let t0 = rapid_obs::clock::now();
+    match state.model.rerank(req.user, user_state.as_ref(), k) {
+        Ok(r) => {
+            reg.observe("serve.rerank_ms", t0.elapsed().as_secs_f64() * 1e3);
+            ("200 OK", "application/json", api::rerank_body(req.user, &r))
+        }
+        Err(RerankError::EmptyList) => (
+            "400 Bad Request",
+            "application/json",
+            api::error_body("k must be at least 1"),
+        ),
+        Err(RerankError::ListTooLong { max }) => (
+            "400 Bad Request",
+            "application/json",
+            api::error_body(&format!("k exceeds the served maximum of {max}")),
+        ),
+    }
+}
+
+/// One JSON object summarising the serve counters, user store, and
+/// rerank latency quantiles — the smoke job's assertion surface.
+fn aggregates_body(state: &AppState) -> String {
+    let snap = rapid_obs::global().snapshot();
+    let http: Vec<(String, Value)> = snap
+        .counters()
+        .filter_map(|(name, v)| {
+            name.strip_prefix("serve.http.")
+                .map(|key| (key.to_string(), Value::U64(v)))
+        })
+        .collect();
+    let latency = match snap.histogram("serve.rerank_ms") {
+        Some(h) => Value::Object(vec![
+            ("count".to_string(), Value::U64(h.count())),
+            ("p50_ms".to_string(), Value::F64(h.quantile(0.5))),
+            ("p99_ms".to_string(), Value::F64(h.quantile(0.99))),
+            ("max_ms".to_string(), Value::F64(h.max())),
+        ]),
+        None => Value::Null,
+    };
+    let obj = Value::Object(vec![
+        ("users".to_string(), Value::U64(state.store.len() as u64)),
+        (
+            "model_epochs_done".to_string(),
+            Value::U64(state.model.epochs_done),
+        ),
+        (
+            "events".to_string(),
+            Value::Object(vec![
+                (
+                    "accepted".to_string(),
+                    Value::U64(snap.counter("serve.events_accepted")),
+                ),
+                (
+                    "replayed".to_string(),
+                    Value::U64(snap.counter("serve.events_replayed")),
+                ),
+                (
+                    "rejected".to_string(),
+                    Value::U64(snap.counter("serve.events_rejected")),
+                ),
+            ]),
+        ),
+        ("http".to_string(), Value::Object(http)),
+        ("rerank_latency".to_string(), latency),
+        (
+            "degraded".to_string(),
+            Value::Object(vec![
+                (
+                    "degraded_requests".to_string(),
+                    Value::U64(snap.counter("exec.degraded_requests")),
+                ),
+                (
+                    "fallback_requests".to_string(),
+                    Value::U64(snap.counter("exec.fallback_requests")),
+                ),
+                (
+                    "panics".to_string(),
+                    Value::U64(snap.counter("serve.panics")),
+                ),
+                (
+                    "requests_dropped".to_string(),
+                    Value::U64(snap.counter("serve.requests_dropped")),
+                ),
+            ]),
+        ),
+    ]);
+    serde_json::to_string(&obj).unwrap_or_else(|_| "{}".to_string())
+}

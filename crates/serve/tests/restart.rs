@@ -1,0 +1,75 @@
+//! Kill-and-restart: a server booted from the same checkpoint artifact
+//! must resume serving identically — same rankings for the same users
+//! after replaying the same event stream — because the model hot-load
+//! and the world regeneration are both deterministic functions of the
+//! artifact and the config.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use rapid_serve::{start, AppState, Client, ServeConfig, ServeModel, ServerConfig};
+
+fn rankings_after_replay(addr: SocketAddr, users: &[u64]) -> Vec<Vec<u64>> {
+    let mut c = Client::new(addr);
+    // Replay an identical event stream: three clicks per user.
+    for &u in users {
+        for seq in 1..=3u64 {
+            let body = format!(
+                "{{\"user\": {u}, \"item\": {}, \"click\": true, \"seq\": {seq}}}",
+                u % 40 + seq
+            );
+            let r = c.post("/events", &body).unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+        }
+    }
+    users
+        .iter()
+        .map(|&u| {
+            let r = c.post("/rerank", &format!("{{\"user\": {u}}}")).unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+            let v = serde_json::parse_value(&r.body).unwrap();
+            v.field("items")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|x| x.as_u64().unwrap())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn restarted_server_resumes_from_the_last_checkpoint() {
+    let cfg = ServeConfig {
+        num_users: 30,
+        num_items: 120,
+        epochs: 1,
+        ..ServeConfig::default()
+    };
+    let dir = std::env::temp_dir().join(format!("rapid-serve-restart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("serve.ckpt");
+    rapid_serve::train_artifact(&cfg, &ckpt).unwrap();
+    let users: Vec<u64> = (100..110).collect();
+
+    // First server lifetime.
+    let model = ServeModel::boot(&cfg, &ckpt).unwrap();
+    let handle = start(Arc::new(AppState::new(model)), &ServerConfig::default()).unwrap();
+    let before = rankings_after_replay(handle.addr(), &users);
+    handle.stop(); // the "kill": all threads joined, port released
+
+    // Second lifetime from the same artifact: identical service.
+    let model = ServeModel::boot(&cfg, &ckpt).unwrap();
+    let handle = start(Arc::new(AppState::new(model)), &ServerConfig::default()).unwrap();
+    let after = rankings_after_replay(handle.addr(), &users);
+    handle.stop();
+
+    assert_eq!(
+        before, after,
+        "a restarted server must serve the same rankings for the same replayed state"
+    );
+    for ranking in &before {
+        assert_eq!(ranking.len(), cfg.list_len);
+    }
+}

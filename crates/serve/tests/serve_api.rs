@@ -1,0 +1,231 @@
+//! End-to-end API tests against a live server: happy paths, hostile
+//! HTTP input (oversized body, truncated JSON, unknown users, replayed
+//! events), and a raw-bytes fuzz pass in the PR-5 hostile-bytes style.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rapid_serve::{start, AppState, Client, ServeConfig, ServeModel, ServerConfig};
+
+fn tiny_config() -> ServeConfig {
+    ServeConfig {
+        num_users: 30,
+        num_items: 120,
+        epochs: 1,
+        ..ServeConfig::default()
+    }
+}
+
+/// One shared server for the whole test binary (training the artifact
+/// and booting the model dominates the cost).
+fn server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let cfg = tiny_config();
+        let dir = std::env::temp_dir().join(format!("rapid-serve-api-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("serve.ckpt");
+        rapid_serve::train_artifact(&cfg, &ckpt).unwrap();
+        let model = ServeModel::boot(&cfg, &ckpt).unwrap();
+        let handle = start(
+            std::sync::Arc::new(AppState::new(model)),
+            &ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = handle.addr();
+        std::mem::forget(handle); // serve for the life of the test binary
+        addr
+    })
+}
+
+#[test]
+fn healthz_metrics_and_snapshot_respond() {
+    let mut c = Client::new(server_addr());
+    let health = c.get("/healthz").unwrap();
+    assert_eq!((health.status, health.body.as_str()), (200, "ok\n"));
+    let metrics = c.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let snapshot = c.get("/snapshot").unwrap();
+    assert_eq!(snapshot.status, 200);
+    assert!(
+        snapshot.body.contains("\"type\":\"meta\""),
+        "snapshot must be registry NDJSON"
+    );
+}
+
+#[test]
+fn events_then_rerank_round_trip() {
+    let mut c = Client::new(server_addr());
+    let r = c
+        .post(
+            "/events",
+            r#"{"events": [{"user": 9001, "item": 3, "click": true, "seq": 1},
+                           {"user": 9002, "item": 4, "click": false, "seq": 1}]}"#,
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let v = serde_json::parse_value(&r.body).unwrap();
+    assert_eq!(v.field("accepted").unwrap().as_u64().unwrap(), 2);
+    assert_eq!(v.field("replayed").unwrap().as_u64().unwrap(), 0);
+
+    let r = c.post("/rerank", r#"{"user": 9001}"#).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let v = serde_json::parse_value(&r.body).unwrap();
+    let items = v.field("items").unwrap().as_array().unwrap();
+    assert_eq!(items.len(), tiny_config().list_len);
+    let timings = v.field("timings_ms").unwrap();
+    for stage in ["rank", "prepare", "rerank"] {
+        assert!(timings.field(stage).unwrap().as_f64().unwrap() >= 0.0);
+    }
+}
+
+#[test]
+fn replayed_events_are_detected_not_reapplied() {
+    let mut c = Client::new(server_addr());
+    let body = r#"{"user": 7700, "item": 5, "click": true, "seq": 10}"#;
+    let first = c.post("/events", body).unwrap();
+    let v = serde_json::parse_value(&first.body).unwrap();
+    assert_eq!(v.field("accepted").unwrap().as_u64().unwrap(), 1);
+    let second = c.post("/events", body).unwrap();
+    assert_eq!(second.status, 200);
+    let v = serde_json::parse_value(&second.body).unwrap();
+    assert_eq!(v.field("accepted").unwrap().as_u64().unwrap(), 0);
+    assert_eq!(v.field("replayed").unwrap().as_u64().unwrap(), 1);
+}
+
+#[test]
+fn unknown_user_is_a_cold_start_200() {
+    let mut c = Client::new(server_addr());
+    let r = c
+        .post("/rerank", r#"{"user": 18446744073709551615}"#)
+        .unwrap();
+    assert_eq!(r.status, 200, "unknown users cold-start, not error");
+    let v = serde_json::parse_value(&r.body).unwrap();
+    assert!(!v.field("items").unwrap().as_array().unwrap().is_empty());
+}
+
+#[test]
+fn rerank_determinism_over_http() {
+    let mut c = Client::new(server_addr());
+    let a = c.post("/rerank", r#"{"user": 31337}"#).unwrap();
+    let b = c.post("/rerank", r#"{"user": 31337}"#).unwrap();
+    let items = |body: &str| {
+        let v = serde_json::parse_value(body).unwrap();
+        v.field("items")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(items(&a.body), items(&b.body));
+}
+
+#[test]
+fn truncated_json_and_bad_fields_get_400() {
+    let mut c = Client::new(server_addr());
+    for body in [
+        r#"{"user": 1, "ite"#,
+        r#"{"item": 2}"#,
+        r#"{"user": 1, "item": 2, "click": "yes"}"#,
+        r#"{"events": []}"#,
+        "not json at all",
+    ] {
+        let r = c.post("/events", body).unwrap();
+        assert_eq!(r.status, 400, "{body:?} → {}", r.body);
+        assert!(r.body.contains("error"), "{}", r.body);
+    }
+    let r = c.post("/rerank", r#"{"k": 5}"#).unwrap();
+    assert_eq!(r.status, 400);
+    let r = c.post("/rerank", r#"{"user": 1, "k": 0}"#).unwrap();
+    assert_eq!(r.status, 400);
+    let r = c.post("/rerank", r#"{"user": 1, "k": 10000}"#).unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("maximum"), "{}", r.body);
+}
+
+#[test]
+fn unknown_paths_and_wrong_methods_are_refused() {
+    let mut c = Client::new(server_addr());
+    assert_eq!(c.get("/nope").unwrap().status, 404);
+    assert_eq!(c.get("/rerank").unwrap().status, 405);
+    assert_eq!(c.post("/healthz", "{}").unwrap().status, 405);
+}
+
+#[test]
+fn oversized_body_is_rejected_with_413() {
+    // Raw socket: declare a body far over the server cap. The refusal
+    // must arrive *without* the server reading 2 MiB first.
+    let mut s = TcpStream::connect(server_addr()).unwrap();
+    s.write_all(b"POST /events HTTP/1.1\r\nContent-Length: 2097152\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    let _ = s.read_to_string(&mut response);
+    assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+}
+
+#[test]
+fn truncated_body_is_rejected_with_400() {
+    let mut s = TcpStream::connect(server_addr()).unwrap();
+    s.write_all(b"POST /events HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"user\":")
+        .unwrap();
+    // Half-close: the server sees EOF before the declared 50 bytes.
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    let _ = s.read_to_string(&mut response);
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+}
+
+#[test]
+fn aggregates_expose_serve_state_as_json() {
+    let mut c = Client::new(server_addr());
+    // Make sure at least one event and one rerank happened first.
+    c.post("/events", r#"{"user": 555, "item": 1}"#).unwrap();
+    c.post("/rerank", r#"{"user": 555}"#).unwrap();
+    let r = c.get("/aggregates").unwrap();
+    assert_eq!(r.status, 200);
+    let v = serde_json::parse_value(&r.body).unwrap();
+    assert!(v.field("users").unwrap().as_u64().unwrap() >= 1);
+    assert!(
+        v.field("events")
+            .unwrap()
+            .field("accepted")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+    let latency = v.field("rerank_latency").unwrap();
+    assert!(latency.field("count").unwrap().as_u64().unwrap() >= 1);
+    assert!(latency.field("p99_ms").unwrap().as_f64().unwrap() >= 0.0);
+    assert!(v.field("model_epochs_done").unwrap().as_u64().unwrap() >= 1);
+    // Per-endpoint HTTP counters are structured, not Prometheus text.
+    let http = v.field("http").unwrap();
+    assert!(http.field("rerank.200").unwrap().as_u64().unwrap() >= 1);
+}
+
+proptest! {
+    /// Arbitrary bytes thrown at the socket must never take the server
+    /// down: after each volley, a fresh health check still answers.
+    #[test]
+    fn hostile_raw_bytes_never_kill_the_server(
+        raw in proptest::collection::vec(0u32..256, 0..600),
+    ) {
+        let addr = server_addr();
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = s.write_all(&bytes);
+            // Terminate the frame so malformed volleys fail fast
+            // instead of waiting out the server's read timeout.
+            let _ = s.write_all(b"\r\n\r\n");
+            let _ = s.shutdown(std::net::Shutdown::Write);
+            let mut sink = String::new();
+            let _ = s.read_to_string(&mut sink);
+        }
+        let health = Client::new(addr).get("/healthz");
+        prop_assert!(matches!(health, Ok(r) if r.status == 200));
+    }
+}

@@ -167,6 +167,12 @@ pub trait Deserialize: Sized {
     fn deserialize(v: &Value) -> Result<Self, DeError>;
 }
 
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn serialize(&self) -> Value {
         (**self).serialize()
