@@ -21,6 +21,12 @@
 //! tape.nodes, tape.flushes
 //! ```
 //!
+//! When a request trace is active on the tape's thread
+//! ([`rapid_obs::trace`]), each charged interval is additionally
+//! recorded as a nested `op/<tag>` trace stage — a tail exemplar
+//! captured under `obs-profile` shows per-op forward/backward time
+//! inside the request's span tree (capped by the trace's stage limit).
+//!
 //! When the feature is off this module does not exist and `Tape` has no
 //! profiler field — the cost is zero, not merely small.
 
@@ -39,6 +45,7 @@ struct OpAgg {
 #[derive(Debug, Default)]
 pub(crate) struct TapeProfiler {
     last_push: Option<Instant>,
+    last_push_us: u64,
     forward: BTreeMap<&'static str, OpAgg>,
     backward: BTreeMap<&'static str, OpAgg>,
     nodes: u64,
@@ -51,9 +58,17 @@ impl TapeProfiler {
         let agg = self.forward.entry(tag).or_default();
         agg.count += 1;
         if let Some(prev) = self.last_push {
-            agg.ns += saturating_ns(now - prev);
+            let dur = now.saturating_duration_since(prev);
+            agg.ns += saturating_ns(dur);
+            // The same interval joins the active request trace, if any
+            // — the id check keeps the per-op format! off the hot path
+            // when nothing is traced.
+            if rapid_obs::trace::current_id().is_some() {
+                rapid_obs::trace::record_stage_nested(&format!("op/{tag}"), self.last_push_us, dur);
+            }
         }
         self.last_push = Some(now);
+        self.last_push_us = clock::wall_micros();
         self.nodes += 1;
     }
 
@@ -63,6 +78,15 @@ impl TapeProfiler {
         let agg = self.backward.entry(tag).or_default();
         agg.count += 1;
         agg.ns += saturating_ns(dur);
+        if rapid_obs::trace::current_id().is_some() {
+            let end_us = clock::wall_micros();
+            let dur_us = dur.as_micros().min(u64::MAX as u128) as u64;
+            rapid_obs::trace::record_stage_nested(
+                &format!("op/bwd/{tag}"),
+                end_us.saturating_sub(dur_us),
+                dur,
+            );
+        }
         // Backward runs between two forward passes; the gap to the next
         // push must not be charged to its op.
         self.last_push = None;

@@ -208,6 +208,18 @@ pub const MAX_SERVE_P99_MS: f64 = 50.0;
 /// driven through `/events` before the rerank phase was timed.
 pub const MIN_SERVE_DISTINCT_USERS: u64 = 100_000;
 
+/// Ceiling on `trace_overhead_frac`: request tracing (id mint, stage
+/// recording, exemplar bookkeeping) may slow the serving hot path by at
+/// most 5% against the same run's untraced A/B pass.
+pub const MAX_TRACE_OVERHEAD_FRAC: f64 = 0.05;
+
+/// Bounds on `exemplar_span_frac`: a retained tail exemplar's top-level
+/// stage durations must sum to within 10% of the measured request
+/// latency — otherwise the span tree is lying about where time went.
+pub const MIN_EXEMPLAR_SPAN_FRAC: f64 = 0.9;
+/// Upper bound companion to [`MIN_EXEMPLAR_SPAN_FRAC`].
+pub const MAX_EXEMPLAR_SPAN_FRAC: f64 = 1.1;
+
 /// Outcome of the serving gate over a `BENCH_serve.json` report.
 ///
 /// Unlike [`check_regression`], every budget here is *absolute*: the
@@ -237,6 +249,19 @@ pub struct ServeCheckOutcome {
     /// Connections dropped by fault injection (`serve.requests_dropped`)
     /// — must be zero because the bench runs with faults off.
     pub requests_dropped: u64,
+    /// Tracing's measured slowdown on the rerank hot path, from the
+    /// run's own traced-vs-untraced A/B pass. `None` for reports
+    /// predating the tracing bench.
+    pub trace_overhead_frac: Option<f64>,
+    /// Tail exemplars whose span tree crosses serve → model → exec
+    /// stages. `None` for pre-tracing reports.
+    pub tail_exemplars: Option<u64>,
+    /// Top-level stage duration sum over measured latency for the
+    /// slowest crossing exemplar. `None` for pre-tracing reports.
+    pub exemplar_span_frac: Option<f64>,
+    /// Declared SLOs whose error budget was exhausted during the run.
+    /// `None` for pre-SLO reports.
+    pub slo_exhausted: Option<u64>,
     /// One line per blown budget, empty on a clean pass.
     pub failures: Vec<String>,
 }
@@ -291,6 +316,46 @@ impl ServeCheckOutcome {
         ] {
             row(&mut out, name, format!("{v}"), "== 0".to_string(), v == 0);
         }
+        match self.trace_overhead_frac {
+            Some(f) => row(
+                &mut out,
+                "trace_overhead",
+                format!("{:.2}%", f * 100.0),
+                format!("<= {:.0}%", MAX_TRACE_OVERHEAD_FRAC * 100.0),
+                !f.is_nan() && f <= MAX_TRACE_OVERHEAD_FRAC,
+            ),
+            None => out.push_str("trace_overhead     not reported (pre-tracing bench)\n"),
+        }
+        match self.tail_exemplars {
+            Some(n) => row(
+                &mut out,
+                "tail_exemplars",
+                format!("{n}"),
+                ">= 1".to_string(),
+                n >= 1,
+            ),
+            None => out.push_str("tail_exemplars     not reported (pre-tracing bench)\n"),
+        }
+        match self.exemplar_span_frac {
+            Some(f) => row(
+                &mut out,
+                "exemplar_span_frac",
+                format!("{f:.3}"),
+                format!("{MIN_EXEMPLAR_SPAN_FRAC}..{MAX_EXEMPLAR_SPAN_FRAC}"),
+                !f.is_nan() && (MIN_EXEMPLAR_SPAN_FRAC..=MAX_EXEMPLAR_SPAN_FRAC).contains(&f),
+            ),
+            None => out.push_str("exemplar_span_frac not reported (pre-tracing bench)\n"),
+        }
+        match self.slo_exhausted {
+            Some(n) => row(
+                &mut out,
+                "slo_exhausted",
+                format!("{n}"),
+                "== 0".to_string(),
+                n == 0,
+            ),
+            None => out.push_str("slo_exhausted      not reported (pre-SLO bench)\n"),
+        }
         if self.passed() {
             out.push_str("PASS: serve budgets held\n");
         } else {
@@ -312,6 +377,14 @@ impl ServeCheckOutcome {
 /// users ingested, and zero errors of any shape (non-2xx, transport,
 /// degraded/fallback reranks, handler panics, fault drops).
 ///
+/// Reports from the tracing-era bench additionally carry observability
+/// budgets, each judged against the run itself and skipped when the
+/// field is absent: tracing overhead within
+/// [`MAX_TRACE_OVERHEAD_FRAC`], at least one cross-stage tail
+/// exemplar whose top-level stages sum to within
+/// [`MIN_EXEMPLAR_SPAN_FRAC`]..[`MAX_EXEMPLAR_SPAN_FRAC`] of the
+/// measured latency, and zero exhausted SLO error budgets.
+///
 /// Errors (rather than failing the gate) on malformed JSON or missing
 /// fields — harness breakage, not a budget violation — mirroring
 /// [`check_regression`]'s contract so CI can't green-wash a broken run.
@@ -328,6 +401,12 @@ pub fn check_serve(current_json: &str) -> Result<ServeCheckOutcome, String> {
             .map_err(|e| format!("serve report: {name}: {e}"))
     };
 
+    // The trace/SLO fields judge the run against itself and are
+    // tolerated when absent — mirroring `ckpt_overhead_frac` — so
+    // pre-tracing reports keep parsing.
+    let opt_f64 = |name: &str| doc.field(name).ok().and_then(|v| v.as_f64().ok());
+    let opt_u64 = |name: &str| doc.field(name).ok().and_then(|v| v.as_u64().ok());
+
     let outcome = ServeCheckOutcome {
         distinct_users: u64_field("distinct_users")?,
         p50_ms: f64_field("rerank_p50_ms")?,
@@ -338,6 +417,10 @@ pub fn check_serve(current_json: &str) -> Result<ServeCheckOutcome, String> {
         fallback_requests: u64_field("fallback_requests")?,
         panics: u64_field("panics")?,
         requests_dropped: u64_field("requests_dropped")?,
+        trace_overhead_frac: opt_f64("trace_overhead_frac"),
+        tail_exemplars: opt_u64("tail_exemplars"),
+        exemplar_span_frac: opt_f64("exemplar_span_frac"),
+        slo_exhausted: opt_u64("slo_exhausted"),
         failures: Vec::new(),
     };
 
@@ -371,6 +454,38 @@ pub fn check_serve(current_json: &str) -> Result<ServeCheckOutcome, String> {
     ] {
         if v != 0 {
             failures.push(format!("{v} {name} (budget is exactly 0)"));
+        }
+    }
+    if let Some(f) = outcome.trace_overhead_frac {
+        if f.is_nan() || f > MAX_TRACE_OVERHEAD_FRAC {
+            failures.push(format!(
+                "trace overhead {:.2}% over the {:.0}% budget",
+                f * 100.0,
+                MAX_TRACE_OVERHEAD_FRAC * 100.0
+            ));
+        }
+    }
+    if let Some(n) = outcome.tail_exemplars {
+        if n == 0 {
+            failures.push(
+                "no tail exemplar crossed serve → model → exec stages (need at least 1)"
+                    .to_string(),
+            );
+        }
+    }
+    if let Some(f) = outcome.exemplar_span_frac {
+        if f.is_nan() || !(MIN_EXEMPLAR_SPAN_FRAC..=MAX_EXEMPLAR_SPAN_FRAC).contains(&f) {
+            failures.push(format!(
+                "exemplar stage sum is {f:.3} of request latency \
+                 (must be {MIN_EXEMPLAR_SPAN_FRAC}..{MAX_EXEMPLAR_SPAN_FRAC})"
+            ));
+        }
+    }
+    if let Some(n) = outcome.slo_exhausted {
+        if n != 0 {
+            failures.push(format!(
+                "{n} SLO error budget(s) exhausted during the run (budget is exactly 0)"
+            ));
         }
     }
 
@@ -596,5 +711,76 @@ mod tests {
         let err = check_serve("{\"distinct_users\": 120000}").unwrap_err();
         assert!(err.contains("rerank_p50_ms"), "{err}");
         assert!(check_serve("not json").is_err());
+    }
+
+    /// A tracing-era report with every observability field inside
+    /// budget.
+    fn traced_serve_report(overrides: &[(&str, &str)]) -> String {
+        let mut fields: Vec<(&str, &str)> = vec![
+            ("trace_overhead_frac", "0.02"),
+            ("tail_exemplars", "3"),
+            ("exemplar_span_frac", "0.97"),
+            ("slo_exhausted", "0"),
+        ];
+        for &(k, v) in overrides {
+            match fields.iter_mut().find(|(n, _)| *n == k) {
+                Some(slot) => slot.1 = v,
+                None => fields.push((k, v)),
+            }
+        }
+        serve_report(&fields)
+    }
+
+    #[test]
+    fn traced_serve_report_within_budgets_passes() {
+        let out = check_serve(&traced_serve_report(&[])).unwrap();
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.trace_overhead_frac, Some(0.02));
+        assert_eq!(out.tail_exemplars, Some(3));
+        assert_eq!(out.slo_exhausted, Some(0));
+        assert!(!out.render().contains("not reported"));
+    }
+
+    #[test]
+    fn trace_overhead_over_budget_fails() {
+        let out = check_serve(&traced_serve_report(&[("trace_overhead_frac", "0.12")])).unwrap();
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("overhead"), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn zero_tail_exemplars_fails() {
+        let out = check_serve(&traced_serve_report(&[("tail_exemplars", "0")])).unwrap();
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("exemplar"), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn exemplar_span_frac_out_of_band_fails() {
+        for bad in ["0.5", "1.5"] {
+            let out = check_serve(&traced_serve_report(&[("exemplar_span_frac", bad)])).unwrap();
+            assert!(!out.passed(), "span frac {bad} must fail");
+            assert!(out.failures[0].contains("stage sum"), "{:?}", out.failures);
+        }
+    }
+
+    #[test]
+    fn slo_exhaustion_fails() {
+        let out = check_serve(&traced_serve_report(&[("slo_exhausted", "1")])).unwrap();
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("SLO"), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn pre_tracing_reports_skip_the_observability_budgets() {
+        // The committed pre-tracing baseline has none of the four
+        // fields; the gate must keep judging it by the classic budgets.
+        let out = check_serve(&serve_report(&[])).unwrap();
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.trace_overhead_frac, None);
+        assert_eq!(out.tail_exemplars, None);
+        assert_eq!(out.exemplar_span_frac, None);
+        assert_eq!(out.slo_exhausted, None);
+        assert!(out.render().contains("not reported"));
     }
 }

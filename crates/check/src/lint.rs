@@ -40,6 +40,14 @@
 //!   path): these are exactly the paths that promise to survive
 //!   faults rather than panic, so even "can't happen" unwraps are
 //!   banned there independently of the hot-crate rule.
+//! * `trace-context-no-leak` — on the serving path (`rapid-serve`,
+//!   `obs::serve`, `exec::parallel`), a request-trace guard
+//!   (`trace::start_request` / `trace::install`) must be held in a
+//!   named binding that lives for the request. Discarding it — a bare
+//!   statement or a `let _ =` binding — uninstalls the context before
+//!   any stage can record into it, and `mem::forget` pins a stale
+//!   context (or a dead connection) to the worker thread forever;
+//!   both corrupt tracing silently rather than loudly.
 //! * `allow-needs-reason` — every `lint:allow(rule)` directive must
 //!   carry a trailing justification (`// lint:allow(float-eq) — exact
 //!   sparsity guard`), so a suppression always tells the reviewer why
@@ -145,6 +153,19 @@ const SERVE_NO_EXPECT_PATHS: [&str; 3] = [
     "crates/serve/src/",
 ];
 
+/// Paths where a request-trace context is minted or propagated
+/// (`trace-context-no-leak`): the same serving-path prefixes as
+/// `no-expect-in-serve`, because a leaked or dropped-on-arrival guard
+/// breaks exactly the requests those paths promise to keep whole.
+const TRACE_GUARD_PATHS: [&str; 3] = [
+    "crates/obs/src/serve.rs",
+    "crates/exec/src/parallel.rs",
+    "crates/serve/src/",
+];
+
+/// Calls that return a trace guard whose `Drop` does the bookkeeping.
+const TRACE_GUARD_CALLS: [&str; 2] = ["start_request(", "trace::install("];
+
 /// The only crate allowed to read the process clocks directly; everyone
 /// else goes through `rapid_obs::clock` so timestamps share one epoch.
 const CLOCK_ALLOWED_PREFIX: &str = "crates/obs/src/";
@@ -189,6 +210,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
 
     let unwrap_applies = HOT_CRATES.iter().any(|c| path.starts_with(c));
     let serve_expect_applies = SERVE_NO_EXPECT_PATHS.iter().any(|p| path.starts_with(p));
+    let trace_leak_applies = TRACE_GUARD_PATHS.iter().any(|p| path.starts_with(p));
     let env_applies = !ENV_ALLOWED_FILES.contains(&path);
     let print_applies = PRINT_FREE_CRATES.iter().any(|c| path.starts_with(c));
     let clock_applies = !path.starts_with(CLOCK_ALLOWED_PREFIX);
@@ -291,6 +313,42 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                             "`{needle}…` on the graceful-degradation serving path; \
                              handle the error (a panic here drops a request) or \
                              `lint:allow(no-expect-in-serve)`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if trace_leak_applies && !allow("trace-context-no-leak") {
+            if code.contains("mem::forget(") {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: line_no,
+                    rule: "trace-context-no-leak",
+                    message: "`mem::forget` on the serving path can pin a trace context \
+                              (or a connection) to the thread forever; let guards drop \
+                              (or `lint:allow(trace-context-no-leak)`)"
+                        .to_string(),
+                });
+            }
+            for needle in TRACE_GUARD_CALLS {
+                let Some(pos) = code.find(needle) else {
+                    continue;
+                };
+                // A guard is held only by a *named* binding: `let _ =`
+                // drops it on this very line, and a bare statement
+                // drops it at the trailing semicolon.
+                let discarded = code.contains("let _ =") || code.contains("let _:");
+                let unbound = !code[..pos].contains('=');
+                if discarded || unbound {
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: "trace-context-no-leak",
+                        message: format!(
+                            "`{needle}…` guard discarded immediately; bind it to a named \
+                             local that lives for the request (or \
+                             `lint:allow(trace-context-no-leak)`)"
                         ),
                     });
                 }
@@ -643,6 +701,42 @@ mod tests {
         }
         // Integration tests of the serve crate are not request-path code.
         assert!(lint_source("crates/serve/tests/serve_api.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trace_guards_must_stay_bound_on_the_serve_path() {
+        // A bare statement drops the guard at the semicolon.
+        let src = "//! Doc.\nfn f() { rapid_obs::trace::start_request(\"k\"); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/serve/src/server.rs", src)),
+            vec!["trace-context-no-leak"]
+        );
+        // `let _ =` drops it on the same line.
+        let src = "//! Doc.\nfn f() { let _ = rapid_obs::trace::install(ctx.clone()); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/exec/src/parallel.rs", src)),
+            vec!["trace-context-no-leak"]
+        );
+        // `mem::forget` leaks the installed context to the thread.
+        let src = "//! Doc.\nfn f() { std::mem::forget(guard); }\n";
+        assert_eq!(
+            rules(&lint_source("crates/serve/src/server.rs", src)),
+            vec!["trace-context-no-leak"]
+        );
+        // Named bindings — underscore-prefixed included — hold the guard.
+        let src = "//! Doc.\nfn f() { let _trace = rapid_obs::trace::install(ctx.clone()); }\n";
+        assert!(lint_source("crates/exec/src/parallel.rs", src).is_empty());
+        let src = "//! Doc.\nfn f() { let mut trace = rapid_obs::trace::start_request(\"k\"); }\n";
+        assert!(lint_source("crates/serve/src/server.rs", src).is_empty());
+        // Off the serving path the rule does not apply.
+        let src = "//! Doc.\nfn f() { rapid_obs::trace::start_request(\"k\"); }\n";
+        assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+        // Test modules and allow directives are honoured.
+        let src = "//! Doc.\n#[cfg(test)]\nmod tests { fn f() { trace::install(ctx); } }\n";
+        assert!(lint_source("crates/serve/src/server.rs", src).is_empty());
+        let src = "//! Doc.\nfn f() { std::mem::forget(h); } \
+                   // lint:allow(trace-context-no-leak) handle lives for the test binary\n";
+        assert!(lint_source("crates/serve/src/server.rs", src).is_empty());
     }
 
     #[test]

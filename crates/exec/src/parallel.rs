@@ -9,6 +9,12 @@
 //! call/item counters, per-chunk sizes, per-worker busy time and spawn
 //! wait, and a per-call utilization ratio (total busy / workers × wall).
 //!
+//! The submitting thread's [`rapid_obs::trace`] context rides along:
+//! each spawn site captures [`rapid_obs::trace::current`] and installs
+//! it around the worker's chunk, so stages recorded inside a request
+//! (`exec/chunk`, autograd ops under `obs-profile`) land in the same
+//! trace whether the chunk ran on a pool thread or on the caller.
+//!
 //! Two failure philosophies coexist. [`par_map`] and [`par_map_mut`]
 //! re-raise worker panics — training wants fail-fast, a half-trained
 //! model is worthless. [`par_map_degraded`] is for serving-shaped work
@@ -108,6 +114,8 @@ where
     }
     let chunk = items.len().div_ceil(workers);
     let f = &f;
+    let ctx = rapid_obs::trace::current();
+    let ctx = &ctx;
     let mut out = Vec::with_capacity(items.len());
     let mut stats = Vec::with_capacity(workers);
     let call_start = clock::now();
@@ -117,6 +125,7 @@ where
             .map(|c| {
                 let spawned_at = clock::now();
                 s.spawn(move || {
+                    let _trace = rapid_obs::trace::install(ctx.clone());
                     let started = clock::now();
                     let part = c.iter().map(f).collect::<Vec<R>>();
                     let stat = WorkerStat {
@@ -171,6 +180,8 @@ where
     let chunk = items.len().div_ceil(workers);
     let n = items.len();
     let f = &f;
+    let ctx = rapid_obs::trace::current();
+    let ctx = &ctx;
     let mut out = Vec::with_capacity(n);
     let mut stats = Vec::with_capacity(workers);
     let call_start = clock::now();
@@ -180,6 +191,7 @@ where
             .map(|c| {
                 let spawned_at = clock::now();
                 s.spawn(move || {
+                    let _trace = rapid_obs::trace::install(ctx.clone());
                     let started = clock::now();
                     let part = c.iter_mut().map(f).collect::<Vec<R>>();
                     let stat = WorkerStat {
@@ -212,13 +224,20 @@ where
 }
 
 /// Runs one chunk, absorbing panics (the worker's own and injected
-/// `exec.chunk` faults alike). `None` means the chunk failed.
+/// `exec.chunk` faults alike). `None` means the chunk failed. When the
+/// calling thread carries a trace context, the chunk is recorded as a
+/// nested `exec/chunk` stage (panicking chunks included — a tail
+/// exemplar should show the time the failed attempt burned).
 fn run_chunk<T, R>(chunk: &[T], f: &(impl Fn(&T) -> R + Sync)) -> Option<Vec<R>> {
-    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+    let c0 = clock::now();
+    let c0_us = clock::wall_micros();
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         rapid_faults::fire("exec.chunk");
         chunk.iter().map(f).collect::<Vec<R>>()
     }))
-    .ok()
+    .ok();
+    rapid_obs::trace::record_stage_nested("exec/chunk", c0_us, c0.elapsed());
+    out
 }
 
 /// Like [`par_map`], but a worker panic degrades instead of aborting:
@@ -246,6 +265,8 @@ where
     let workers = worker_count().min(items.len());
     let chunk = items.len().div_ceil(workers.max(1));
     let f = &f;
+    let ctx = rapid_obs::trace::current();
+    let ctx = &ctx;
     let call_start = clock::now();
     let mut stats = Vec::with_capacity(workers);
     // One result slot per chunk; `None` marks a chunk whose worker
@@ -260,6 +281,7 @@ where
                 .map(|c| {
                     let spawned_at = clock::now();
                     s.spawn(move || {
+                        let _trace = rapid_obs::trace::install(ctx.clone());
                         let started = clock::now();
                         let part = run_chunk(c, f);
                         let stat = WorkerStat {
@@ -452,6 +474,31 @@ mod tests {
             .snapshot()
             .counter("exec.retry_recovered");
         assert!(after > before, "retry recovery must be counted");
+    }
+
+    #[test]
+    fn degraded_chunks_record_into_the_active_trace() {
+        static REG: std::sync::OnceLock<rapid_obs::Registry> = std::sync::OnceLock::new();
+        let reg = REG.get_or_init(rapid_obs::Registry::new);
+        {
+            let mut g = rapid_obs::trace::start_request_in(reg, "exec-test");
+            g.set_latency_hist("exec.test_ms");
+            g.set_tail_threshold_ms(0.0); // force exemplar retention
+            let items: Vec<usize> = (0..64).collect();
+            let out = par_map_degraded(&items, |&x| x + 1, |_| 0);
+            assert_eq!(out.len(), 64);
+        }
+        let snap = reg.snapshot();
+        let ex = snap
+            .exemplars()
+            .iter()
+            .find(|e| e.hist == "exec.test_ms")
+            .expect("tail exemplar retained");
+        assert!(
+            ex.stages.iter().any(|s| s.name == "exec/chunk" && s.nested),
+            "exec/chunk stage must join the request trace: {:?}",
+            ex.stages
+        );
     }
 
     #[test]

@@ -398,16 +398,25 @@ fn armed(site: &str) -> Option<FaultAction> {
     Some(action)
 }
 
-/// Counts and logs one fired fault.
+/// Counts and logs one fired fault. When the firing thread carries an
+/// active request trace, the event is stamped with its trace id so a
+/// chaos-injected failure is correlatable with the request it hit.
 fn record(site: &str, action: FaultAction) {
     let reg = rapid_obs::global();
     reg.counter_add("faults.fired_total", 1);
     reg.counter_add(&format!("faults.fired.{site}"), 1);
-    rapid_obs::event!(
-        rapid_obs::Level::Warn,
-        "faults",
-        "injected {action} at {site}"
-    );
+    match rapid_obs::trace::current_id() {
+        Some(id) => rapid_obs::event!(
+            rapid_obs::Level::Warn,
+            "faults",
+            "injected {action} at {site} [trace {id:016x}]"
+        ),
+        None => rapid_obs::event!(
+            rapid_obs::Level::Warn,
+            "faults",
+            "injected {action} at {site}"
+        ),
+    }
 }
 
 /// SplitMix64 finalizer: spreads small seeds into a full-entropy,
@@ -518,6 +527,28 @@ mod tests {
         assert_eq!(after, before + 1);
         // A different site stays inert under the same plan.
         fire("train.epoch");
+    }
+
+    #[test]
+    fn fired_faults_are_stamped_with_the_active_trace_id() {
+        let _g = locked();
+        let _c = Cleared;
+        install(FaultPlan::parse("serve.request=io-error").unwrap());
+        static REG: std::sync::OnceLock<rapid_obs::Registry> = std::sync::OnceLock::new();
+        let reg = REG.get_or_init(rapid_obs::Registry::new);
+        let trace_id = {
+            let g = rapid_obs::trace::start_request_in(reg, "faults-test");
+            assert!(should_drop("serve.request"));
+            g.trace_id().expect("explicit-registry guards always trace")
+        };
+        let needle = format!("[trace {trace_id:016x}]");
+        let snap = rapid_obs::global().snapshot();
+        assert!(
+            snap.events()
+                .iter()
+                .any(|e| e.message.contains(&needle) && e.message.contains("serve.request")),
+            "no fault event stamped with {needle}"
+        );
     }
 
     #[test]

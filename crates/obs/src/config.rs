@@ -11,6 +11,16 @@
 //!   Chrome traces, NDJSON dumps) land. Defaults to `results`.
 //! * `RAPID_OBS_ADDR` — a `host:port` to serve live telemetry on
 //!   (`/metrics`, `/healthz`, `/snapshot`); unset means no server.
+//! * `RAPID_TRACE` — request-scoped tracing, **on by default**; `0` /
+//!   `false` / `off` / `no` disables minting trace contexts (the
+//!   `req/<name>` timeline records that feed SLO math are still
+//!   written).
+//! * `RAPID_TRACE_SAMPLE` — head-sampling rate in `[0, 1]` (default
+//!   `0`): the fraction of traces whose full stage tree is emitted as
+//!   timeline records even when they are fast.
+//! * `RAPID_TRACE_TAIL_MS` — tail-exemplar threshold in milliseconds
+//!   (default `50`, the paper's serving budget): any traced request at
+//!   or above it is force-retained as a histogram exemplar.
 //!
 //! Every knob has a programmatic setter that takes precedence over the
 //! environment — binaries wire CLI flags through them (`bench_exec
@@ -27,6 +37,9 @@ const UNSET: u8 = 2;
 static DIAG: AtomicU8 = AtomicU8::new(UNSET);
 static OUT_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 static SERVE_ADDR: Mutex<Option<Option<String>>> = Mutex::new(None);
+static TRACE: AtomicU8 = AtomicU8::new(UNSET);
+static TRACE_SAMPLE: Mutex<Option<f64>> = Mutex::new(None);
+static TRACE_TAIL_MS: Mutex<Option<f64>> = Mutex::new(None);
 
 fn env_truthy(name: &str) -> bool {
     match std::env::var(name) {
@@ -36,6 +49,28 @@ fn env_truthy(name: &str) -> bool {
         ),
         Err(_) => false,
     }
+}
+
+/// `true` only when the variable is set to an explicit "off" spelling —
+/// the resolver for knobs that default on.
+fn env_falsy(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off" | "no"
+        ),
+        Err(_) => false,
+    }
+}
+
+/// Parses an env var as a finite f64, clamped into `[lo, hi]`; `None`
+/// when unset or unparsable.
+fn env_f64(name: &str, lo: f64, hi: f64) -> Option<f64> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|v| v.is_finite())
+        .map(|v| v.clamp(lo, hi))
 }
 
 /// Whether per-parameter training diagnostics are enabled
@@ -120,6 +155,68 @@ pub fn set_serve_addr(addr: Option<String>) {
     *guard = Some(addr);
 }
 
+/// Whether request-scoped tracing mints contexts. On by default;
+/// `RAPID_TRACE=0` (or [`set_trace_enabled`]`(false)`) turns it off.
+pub fn trace_enabled() -> bool {
+    match TRACE.load(Ordering::Relaxed) {
+        UNSET => {
+            let resolved = !env_falsy("RAPID_TRACE");
+            // A racing first read resolves identically; last store wins.
+            TRACE.store(u8::from(resolved), Ordering::Relaxed);
+            resolved
+        }
+        v => v == 1,
+    }
+}
+
+/// Forces request tracing on or off, overriding `RAPID_TRACE`.
+pub fn set_trace_enabled(enabled: bool) {
+    TRACE.store(u8::from(enabled), Ordering::Relaxed);
+}
+
+/// The head-sampling rate in `[0, 1]` (`RAPID_TRACE_SAMPLE`, a prior
+/// [`set_trace_sample`] call, or `0`).
+pub fn trace_sample() -> f64 {
+    let mut guard = match TRACE_SAMPLE.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *guard.get_or_insert_with(|| env_f64("RAPID_TRACE_SAMPLE", 0.0, 1.0).unwrap_or(0.0))
+}
+
+/// Overrides the head-sampling rate (clamped into `[0, 1]`).
+pub fn set_trace_sample(rate: f64) {
+    let mut guard = match TRACE_SAMPLE.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *guard = Some(if rate.is_finite() {
+        rate.clamp(0.0, 1.0)
+    } else {
+        0.0
+    });
+}
+
+/// The tail-exemplar latency threshold in ms (`RAPID_TRACE_TAIL_MS`, a
+/// prior [`set_trace_tail_ms`] call, or `50` — the paper's serving
+/// budget).
+pub fn trace_tail_ms() -> f64 {
+    let mut guard = match TRACE_TAIL_MS.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *guard.get_or_insert_with(|| env_f64("RAPID_TRACE_TAIL_MS", 0.0, f64::MAX).unwrap_or(50.0))
+}
+
+/// Overrides the tail-exemplar threshold in milliseconds.
+pub fn set_trace_tail_ms(ms: f64) {
+    let mut guard = match TRACE_TAIL_MS.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *guard = Some(if ms.is_finite() { ms.max(0.0) } else { 50.0 });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +239,32 @@ mod tests {
         assert_eq!(serve_addr().as_deref(), Some("127.0.0.1:0"));
         set_serve_addr(None);
         assert_eq!(serve_addr(), None);
+
+        // Tracing defaults on (RAPID_TRACE unset in the test env) and a
+        // disabled window mints no contexts.
+        assert!(trace_enabled());
+        set_trace_enabled(false);
+        assert!(!trace_enabled());
+        {
+            let g = crate::trace::start_request("config-test");
+            assert_eq!(g.trace_id(), None, "disabled tracing mints no id");
+        }
+        set_trace_enabled(true);
+        assert!(trace_enabled());
+        {
+            let g = crate::trace::start_request("config-test");
+            assert!(g.trace_id().is_some());
+        }
+
+        set_trace_sample(0.25);
+        assert_eq!(trace_sample(), 0.25);
+        set_trace_sample(7.0);
+        assert_eq!(trace_sample(), 1.0, "rates clamp into [0, 1]");
+        set_trace_sample(0.0);
+
+        set_trace_tail_ms(2.5);
+        assert_eq!(trace_tail_ms(), 2.5);
+        set_trace_tail_ms(50.0);
+        assert_eq!(trace_tail_ms(), 50.0);
     }
 }

@@ -144,6 +144,19 @@ impl Histogram {
         out
     }
 
+    /// The bucket index the sample `v` lands (or would land) in:
+    /// `i32::MIN` for the non-positive/non-finite bucket, matching the
+    /// wire form of [`Histogram::bucket_pairs`]. Public so tail
+    /// exemplars attach to exactly the bucket the recorded latency
+    /// counted into.
+    pub fn bucket_of(v: f64) -> i32 {
+        if v > 0.0 && v.is_finite() {
+            bucket_index(v)
+        } else {
+            i32::MIN
+        }
+    }
+
     /// Rebuilds a histogram from its wire form. Inverse of
     /// [`Histogram::bucket_pairs`] plus the exact scalar fields.
     pub fn from_parts(count: u64, sum: f64, min: f64, max: f64, pairs: &[(i32, u64)]) -> Self {
@@ -292,6 +305,56 @@ mod tests {
         let before = a.clone();
         a.merge(&Histogram::new());
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn bucket_of_matches_recording() {
+        for v in [0.125, 1.0, 1.5, 42.0, 1e6] {
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(
+                h.bucket_pairs(),
+                vec![(Histogram::bucket_of(v), 1)],
+                "v={v}"
+            );
+        }
+        assert_eq!(Histogram::bucket_of(0.0), i32::MIN);
+        assert_eq!(Histogram::bucket_of(-1.0), i32::MIN);
+        assert_eq!(Histogram::bucket_of(f64::NAN), i32::MIN);
+        assert_eq!(Histogram::bucket_of(f64::INFINITY), i32::MIN);
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse_to_it() {
+        let mut h = Histogram::new();
+        h.record(7.5);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 7.5, "q={q}");
+        }
+        assert_eq!(h.min(), 7.5);
+        assert_eq!(h.max(), 7.5);
+    }
+
+    #[test]
+    fn saturated_top_bucket_quantiles_stay_at_max() {
+        // Every sample in one top bucket except a single fast outlier:
+        // the p50..p100 envelope must clamp into [min, max] and the
+        // upper quantiles must report the saturated bucket, not beyond.
+        let mut h = Histogram::new();
+        h.record(0.001);
+        let big = f64::MAX / 2.0;
+        for _ in 0..999 {
+            h.record(big);
+        }
+        assert_eq!(h.quantile(1.0), big);
+        for q in [0.5, 0.9, 0.99] {
+            let est = h.quantile(q);
+            assert!(
+                est <= h.max() && est >= h.min(),
+                "q={q} escaped the envelope: {est}"
+            );
+            assert!(est >= big / 2.0, "q={q} must sit in the saturated bucket");
+        }
     }
 
     #[test]

@@ -35,13 +35,25 @@
 //!   trace-event JSON (Perfetto-loadable) and
 //!   [`Snapshot::to_prometheus`] renders the aggregates as Prometheus
 //!   text exposition.
+//! * [`trace`] — request-scoped tracing: a 64-bit trace id plus stage
+//!   tree per request ([`trace::start_request`]), thread-local
+//!   propagation across worker handoffs ([`trace::install`]),
+//!   head sampling, and tail-latency [`Exemplar`]s force-retained on
+//!   the latency histogram when a request breaches the configured
+//!   threshold.
+//! * [`slo`] — declared objectives ([`SloDef`]) evaluated with
+//!   multi-window burn-rate math over the timeline ring
+//!   ([`evaluate_slos`]), rendered as JSON ([`slo_json`]) and
+//!   Prometheus gauges.
 //! * [`serve`] — a std-only HTTP endpoint (`/metrics`, `/healthz`,
-//!   `/snapshot`, `/trace`) on `std::net::TcpListener`, started by
-//!   binaries via [`install_from_env`] when `RAPID_OBS_ADDR` is set.
+//!   `/snapshot`, `/trace`, `/slo`) on `std::net::TcpListener`, started
+//!   by binaries via [`install_from_env`] when `RAPID_OBS_ADDR` is set.
 //! * Config knobs — [`diag_enabled`] (`RAPID_DIAG`), [`out_dir`]
-//!   (`RAPID_OUT_DIR`, default `results`), and [`serve_addr`]
-//!   (`RAPID_OBS_ADDR`), each with a programmatic override for CLI
-//!   flags and tests.
+//!   (`RAPID_OUT_DIR`, default `results`), [`serve_addr`]
+//!   (`RAPID_OBS_ADDR`), [`trace_enabled`] (`RAPID_TRACE`, default on),
+//!   [`trace_sample`] (`RAPID_TRACE_SAMPLE`), and [`trace_tail_ms`]
+//!   (`RAPID_TRACE_TAIL_MS`), each with a programmatic override for
+//!   CLI flags and tests.
 //!
 //! The crate has **zero dependencies** (not even workspace-internal
 //! ones) so that `rapid-autograd` can link it for training diagnostics
@@ -56,16 +68,22 @@ mod ndjson;
 mod prom;
 mod registry;
 pub mod serve;
+pub mod slo;
 mod span;
 mod timeline;
+pub mod trace;
 
 pub use config::{
     diag_enabled, ensure_out_dir, out_dir, serve_addr, set_diag_enabled, set_out_dir,
-    set_serve_addr,
+    set_serve_addr, set_trace_enabled, set_trace_sample, set_trace_tail_ms, trace_enabled,
+    trace_sample, trace_tail_ms,
 };
 pub use event::{level_from_str, log, log_to, set_level, should_log, stderr_enabled, Level};
 pub use hist::Histogram;
 pub use ndjson::ParseError;
-pub use registry::{global, EventRecord, Registry, Snapshot, SpanStat, TimelineEvent};
+pub use registry::{
+    global, EventRecord, Exemplar, Registry, Snapshot, SpanStat, TimelineEvent, TraceStage,
+};
 pub use serve::{install_from_env, set_request_hook, ServeHandle};
+pub use slo::{evaluate_slos, slo_json, SloDef, SloStatus, SloWindow};
 pub use span::{time, time_in, Span};

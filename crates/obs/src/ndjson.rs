@@ -11,7 +11,12 @@
 //! {"type":"span","path":"bench/train","count":1,"total_ns":1500000,"count_h":1,...}
 //! {"type":"timeline","path":"bench/train","start_us":120,"dur_us":1500,"tid":1}
 //! {"type":"event","seq":0,"level":"warn","component":"exec","message":"..."}
+//! {"type":"exemplar","trace_id":7,"hist":"serve.rerank_ms","bucket":29,"value":12.5,...,"stages":[["serve/parse",10,80,1,0]]}
+//! {"type":"slo","name":"rerank_latency","path":"req/rerank","threshold_ms":50,"objective":0.99,"windows_s":[60,300,3600]}
 //! ```
+//!
+//! Exemplar stages ride as `[name, start_us, dur_us, tid, nested]`
+//! tuples (nested as 0/1) to keep tail lines compact.
 //!
 //! The parser is a ~100-line recursive-descent JSON reader written here
 //! because this crate must stay dependency-free. Integers are kept as
@@ -26,7 +31,8 @@ use std::fmt::Write as _;
 
 use crate::event::level_from_name;
 use crate::hist::Histogram;
-use crate::registry::{EventRecord, Snapshot, SpanStat, TimelineEvent};
+use crate::registry::{EventRecord, Exemplar, Snapshot, SpanStat, TimelineEvent, TraceStage};
+use crate::slo::SloDef;
 
 /// Why an NDJSON document failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,8 +58,8 @@ impl Snapshot {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{{\"type\":\"meta\",\"events_dropped\":{},\"timeline_dropped\":{}}}",
-            self.events_dropped, self.timeline_dropped
+            "{{\"type\":\"meta\",\"events_dropped\":{},\"timeline_dropped\":{},\"exemplars_evicted\":{}}}",
+            self.events_dropped, self.timeline_dropped, self.exemplars_evicted
         );
         for (name, value) in &self.counters {
             let _ = writeln!(
@@ -106,6 +112,54 @@ impl Snapshot {
                 escape(e.level.as_str()),
                 escape(&e.component),
                 escape(&e.message)
+            );
+        }
+        for ex in &self.exemplars {
+            let mut stages = String::from("[");
+            for (i, st) in ex.stages.iter().enumerate() {
+                if i > 0 {
+                    stages.push(',');
+                }
+                let _ = write!(
+                    stages,
+                    "[{},{},{},{},{}]",
+                    escape(&st.name),
+                    st.start_us,
+                    st.dur_us,
+                    st.tid,
+                    u8::from(st.nested)
+                );
+            }
+            stages.push(']');
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"exemplar\",\"trace_id\":{},\"hist\":{},\"bucket\":{},\"value\":{},\"start_us\":{},\"total_us\":{},\"stages\":{}}}",
+                ex.trace_id,
+                escape(&ex.hist),
+                ex.bucket,
+                fnum(ex.value),
+                ex.start_us,
+                ex.total_us,
+                stages
+            );
+        }
+        for def in &self.slos {
+            let mut windows = String::from("[");
+            for (i, w) in def.windows_s.iter().enumerate() {
+                if i > 0 {
+                    windows.push(',');
+                }
+                let _ = write!(windows, "{w}");
+            }
+            windows.push(']');
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"slo\",\"name\":{},\"path\":{},\"threshold_ms\":{},\"objective\":{},\"windows_s\":{}}}",
+                escape(&def.name),
+                escape(&def.path),
+                fnum(def.threshold_ms),
+                fnum(def.objective),
+                windows
             );
         }
         out
@@ -188,6 +242,41 @@ impl Snapshot {
                 self.timeline_dropped
             );
         }
+        if !self.exemplars.is_empty() || self.exemplars_evicted > 0 {
+            let _ = writeln!(
+                out,
+                "\nexemplars: {} retained, {} evicted",
+                self.exemplars.len(),
+                self.exemplars_evicted
+            );
+            for ex in &self.exemplars {
+                let _ = writeln!(
+                    out,
+                    "  {} bucket {}: {:.3} ms, trace {:016x}, {} stages",
+                    ex.hist,
+                    ex.bucket,
+                    ex.value,
+                    ex.trace_id,
+                    ex.stages.len()
+                );
+            }
+        }
+        if !self.slos.is_empty() {
+            let _ = writeln!(out, "\nslos:");
+            for s in crate::slo::evaluate_slos(self) {
+                let _ = writeln!(
+                    out,
+                    "  {}: objective {} over {}, {}/{} bad, budget remaining {:.3}{}",
+                    s.def.name,
+                    s.def.objective,
+                    s.def.path,
+                    s.bad,
+                    s.total,
+                    s.budget_remaining,
+                    if s.exhausted { " (EXHAUSTED)" } else { "" }
+                );
+            }
+        }
         if !self.events.is_empty() || self.events_dropped > 0 {
             let _ = writeln!(
                 out,
@@ -238,7 +327,8 @@ fn hist_fields(h: &Histogram) -> String {
 /// Formats a finite f64 so that parsing the text reproduces the exact
 /// bits (Rust's `Display` is shortest-round-trip). Non-finite values
 /// never arise from recorded metrics; emit `0` rather than invalid JSON.
-fn fnum(v: f64) -> String {
+/// Shared with the SLO JSON renderer in [`crate::slo`].
+pub(crate) fn fnum(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -559,6 +649,11 @@ fn decode_line(line: &str, snap: &mut Snapshot) -> Result<(), String> {
                 Some(v) => v.as_u64()?,
                 None => 0,
             };
+            // Absent in pre-exemplar telemetry files; default 0.
+            snap.exemplars_evicted = match obj.get("exemplars_evicted") {
+                Some(v) => v.as_u64()?,
+                None => 0,
+            };
         }
         "counter" => {
             let name = obj.req("name")?.as_str()?.to_string();
@@ -598,6 +693,48 @@ fn decode_line(line: &str, snap: &mut Snapshot) -> Result<(), String> {
                 level,
                 component: obj.req("component")?.as_str()?.to_string(),
                 message: obj.req("message")?.as_str()?.to_string(),
+            });
+        }
+        "exemplar" => {
+            let mut stages = Vec::new();
+            for item in obj.req("stages")?.as_arr()? {
+                let tuple = item.as_arr()?;
+                if tuple.len() != 5 {
+                    return Err("stage tuple must have 5 elements".to_string());
+                }
+                stages.push(TraceStage {
+                    name: tuple[0].as_str()?.to_string(),
+                    start_us: tuple[1].as_u64()?,
+                    dur_us: tuple[2].as_u64()?,
+                    tid: tuple[3].as_u64()?,
+                    nested: tuple[4].as_u64()? != 0,
+                });
+            }
+            let bucket = obj.req("bucket")?.as_i64()?;
+            if bucket < i32::MIN as i64 || bucket > i32::MAX as i64 {
+                return Err(format!("exemplar bucket out of range: {bucket}"));
+            }
+            snap.exemplars.push(Exemplar {
+                trace_id: obj.req("trace_id")?.as_u64()?,
+                hist: obj.req("hist")?.as_str()?.to_string(),
+                bucket: bucket as i32,
+                value: obj.req("value")?.as_f64()?,
+                start_us: obj.req("start_us")?.as_u64()?,
+                total_us: obj.req("total_us")?.as_u64()?,
+                stages,
+            });
+        }
+        "slo" => {
+            let mut windows_s = Vec::new();
+            for item in obj.req("windows_s")?.as_arr()? {
+                windows_s.push(item.as_u64()?);
+            }
+            snap.slos.push(SloDef {
+                name: obj.req("name")?.as_str()?.to_string(),
+                path: obj.req("path")?.as_str()?.to_string(),
+                threshold_ms: obj.req("threshold_ms")?.as_f64()?,
+                objective: obj.req("objective")?.as_f64()?,
+                windows_s,
             });
         }
         other => return Err(format!("unknown line type `{other}`")),
@@ -693,6 +830,61 @@ mod tests {
         assert_eq!(parsed, snap);
         assert_eq!(parsed.timeline().len(), 1);
         assert_eq!(parsed.timeline()[0].start_us, 77);
+    }
+
+    #[test]
+    fn exemplar_and_slo_lines_round_trip() {
+        let r = crate::Registry::new();
+        r.attach_exemplar(Exemplar {
+            trace_id: (1 << 60) + 7,
+            hist: "serve.rerank_ms".to_string(),
+            bucket: 29,
+            value: 12.5,
+            start_us: 1000,
+            total_us: 12_500,
+            stages: vec![
+                TraceStage {
+                    name: "serve/parse \"q\"".to_string(),
+                    start_us: 1000,
+                    dur_us: 80,
+                    tid: 1,
+                    nested: false,
+                },
+                TraceStage {
+                    name: "exec/chunk".to_string(),
+                    start_us: 1100,
+                    dur_us: 40,
+                    tid: 2,
+                    nested: true,
+                },
+            ],
+        });
+        r.declare_slo(SloDef {
+            name: "rerank_latency".to_string(),
+            path: "req/rerank".to_string(),
+            threshold_ms: 50.0,
+            objective: 0.99,
+            windows_s: vec![60, 300, 3600],
+        });
+        let snap = r.snapshot();
+        let text = snap.to_ndjson();
+        assert!(text.contains("\"type\":\"exemplar\""), "{text}");
+        assert!(text.contains("\"type\":\"slo\""), "{text}");
+        let parsed = Snapshot::from_ndjson(&text).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.exemplars().len(), 1);
+        assert!(parsed.exemplars()[0].stages[1].nested);
+        assert_eq!(parsed.slos().len(), 1);
+    }
+
+    #[test]
+    fn pre_exemplar_meta_lines_still_parse() {
+        let snap = Snapshot::from_ndjson(
+            "{\"type\":\"meta\",\"events_dropped\":0,\"timeline_dropped\":1}\n",
+        )
+        .unwrap();
+        assert_eq!(snap.exemplars_evicted(), 0);
+        assert_eq!(snap.timeline_dropped(), 1);
     }
 
     #[test]

@@ -157,6 +157,74 @@ impl Snapshot {
             }
         }
 
+        let statuses = crate::slo::evaluate_slos(self);
+        if !statuses.is_empty() {
+            family(
+                &mut out,
+                "rapid_slo_error_budget_remaining",
+                "gauge",
+                "Remaining error budget per declared SLO (1 = untouched, <= 0 = exhausted).",
+            );
+            for s in &statuses {
+                let _ = writeln!(
+                    out,
+                    "rapid_slo_error_budget_remaining{{name=\"{}\"}} {}",
+                    escape_label(&s.def.name),
+                    sample(s.budget_remaining)
+                );
+            }
+            family(
+                &mut out,
+                "rapid_slo_burn_rate",
+                "gauge",
+                "Error-budget burn rate per declared SLO and trailing window.",
+            );
+            for s in &statuses {
+                for w in &s.windows {
+                    let _ = writeln!(
+                        out,
+                        "rapid_slo_burn_rate{{name=\"{}\",window_s=\"{}\"}} {}",
+                        escape_label(&s.def.name),
+                        w.window_s,
+                        sample(w.burn_rate)
+                    );
+                }
+            }
+            family(
+                &mut out,
+                "rapid_slo_exhausted",
+                "gauge",
+                "1 when the SLO's error budget is spent with traffic observed.",
+            );
+            for s in &statuses {
+                let _ = writeln!(
+                    out,
+                    "rapid_slo_exhausted{{name=\"{}\"}} {}",
+                    escape_label(&s.def.name),
+                    u8::from(s.exhausted)
+                );
+            }
+        }
+
+        if !self.exemplars.is_empty() {
+            family(
+                &mut out,
+                "rapid_exemplar_value",
+                "gauge",
+                "Tail-latency exemplar values attached to histogram buckets.",
+            );
+            for ex in &self.exemplars {
+                let _ = writeln!(
+                    out,
+                    "rapid_exemplar_value{{hist=\"{}\",bucket=\"{}\",trace_id=\"{:016x}\"}} {}",
+                    escape_label(&ex.hist),
+                    ex.bucket,
+                    ex.trace_id,
+                    sample(ex.value)
+                );
+            }
+        }
+
         family(
             &mut out,
             "rapid_events_dropped_total",
@@ -174,6 +242,17 @@ impl Snapshot {
             out,
             "rapid_timeline_dropped_total {}",
             self.timeline_dropped
+        );
+        family(
+            &mut out,
+            "rapid_exemplars_evicted_total",
+            "counter",
+            "Tail exemplars evicted or rejected after the retention cap filled.",
+        );
+        let _ = writeln!(
+            out,
+            "rapid_exemplars_evicted_total {}",
+            self.exemplars_evicted
         );
         out
     }
@@ -237,5 +316,38 @@ mod tests {
         let text = crate::Snapshot::default().to_prometheus();
         assert!(text.contains("rapid_events_dropped_total 0"));
         assert!(text.contains("rapid_timeline_dropped_total 0"));
+        assert!(text.contains("rapid_exemplars_evicted_total 0"));
+    }
+
+    #[test]
+    fn slo_and_exemplar_families_render() {
+        let r = Registry::new();
+        r.declare_slo(crate::slo::SloDef {
+            name: "rerank_latency".to_string(),
+            path: "req/rerank".to_string(),
+            threshold_ms: 50.0,
+            objective: 0.99,
+            windows_s: vec![60],
+        });
+        r.record_timeline_only("req/rerank", 0, 1_000, 1);
+        r.attach_exemplar(crate::registry::Exemplar {
+            trace_id: 0xabcd,
+            hist: "serve.rerank_ms".to_string(),
+            bucket: 29,
+            value: 12.5,
+            start_us: 0,
+            total_us: 12_500,
+            stages: Vec::new(),
+        });
+        let text = r.snapshot().to_prometheus();
+        for needle in [
+            "# TYPE rapid_slo_error_budget_remaining gauge",
+            "rapid_slo_error_budget_remaining{name=\"rerank_latency\"} 1",
+            "rapid_slo_burn_rate{name=\"rerank_latency\",window_s=\"60\"} 0",
+            "rapid_slo_exhausted{name=\"rerank_latency\"} 0",
+            "rapid_exemplar_value{hist=\"serve.rerank_ms\",bucket=\"29\",trace_id=\"000000000000abcd\"} 12.5",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
     }
 }

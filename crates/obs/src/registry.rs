@@ -5,6 +5,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
 use crate::hist::Histogram;
+use crate::slo::SloDef;
 use crate::Level;
 
 /// Retained events are capped so a chatty component cannot grow the
@@ -15,6 +16,10 @@ const MAX_EVENTS: usize = 4096;
 /// record is evicted (the recent past is what a live trace viewer
 /// wants) and the eviction is counted.
 const MAX_TIMELINE: usize = 8192;
+
+/// Retained tail exemplars are capped; churn prefers keeping the
+/// *slowest* buckets (see [`Registry::attach_exemplar`]).
+pub(crate) const MAX_EXEMPLARS: usize = 64;
 
 /// Aggregated statistics of one span path.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -51,6 +56,45 @@ pub struct TimelineEvent {
     pub tid: u64,
 }
 
+/// One recorded stage of a request trace: a named interval on the
+/// shared [`crate::clock`] time base, flagged `nested` when it runs
+/// inside another stage (exec chunks, autograd ops) so coverage sums
+/// over top-level stages never double-count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStage {
+    /// Stage name (`serve/parse`, `model/rank`, `exec/chunk`, `op/add`).
+    pub name: String,
+    /// Begin time, µs since the process anchor.
+    pub start_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+    /// Thread ordinal the stage ran on.
+    pub tid: u64,
+    /// Whether the stage is contained inside a top-level stage.
+    pub nested: bool,
+}
+
+/// A tail-latency exemplar: one force-retained request trace attached
+/// to the latency-histogram bucket its total duration falls in, so the
+/// p99 tail of a histogram is explainable by a concrete request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// The request's minted trace id.
+    pub trace_id: u64,
+    /// Name of the latency histogram this exemplar annotates.
+    pub hist: String,
+    /// The histogram bucket index ([`Histogram::bucket_of`]) of `value`.
+    pub bucket: i32,
+    /// The observed value (total request latency, ms).
+    pub value: f64,
+    /// Request begin time, µs since the process anchor.
+    pub start_us: u64,
+    /// Total request duration in µs.
+    pub total_us: u64,
+    /// The request's recorded stage tree, in recording order.
+    pub stages: Vec<TraceStage>,
+}
+
 /// One retained structured event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventRecord {
@@ -76,6 +120,9 @@ struct Inner {
     events_dropped: u64,
     next_seq: u64,
     once: BTreeSet<String>,
+    exemplars: BTreeMap<(String, i32), Exemplar>,
+    exemplars_evicted: u64,
+    slos: Vec<SloDef>,
 }
 
 /// A thread-safe registry of counters, gauges, histograms, span
@@ -159,6 +206,71 @@ impl Registry {
         });
     }
 
+    /// Appends a record to the bounded timeline ring without touching
+    /// the span aggregates — the entry point for request-level records
+    /// (`req/<name>`) and sampled trace stages, which are not spans and
+    /// must not skew span statistics.
+    pub fn record_timeline_only(&self, path: &str, start_us: u64, dur_us: u64, tid: u64) {
+        let mut inner = self.lock();
+        if inner.timeline.len() >= MAX_TIMELINE {
+            inner.timeline.pop_front();
+            inner.timeline_dropped += 1;
+        }
+        inner.timeline.push_back(TimelineEvent {
+            path: path.to_string(),
+            start_us,
+            dur_us,
+            tid,
+        });
+    }
+
+    /// Attaches a tail exemplar, keyed by `(histogram, bucket)`.
+    ///
+    /// Policy, chosen to be deterministic under churn:
+    /// * same bucket again → the newer exemplar replaces the older
+    ///   (fresh tails explain the current behavior);
+    /// * store full and the newcomer's bucket is *slower* than the
+    ///   fastest retained one → evict that fastest entry;
+    /// * store full otherwise → reject the newcomer.
+    ///
+    /// Every eviction or rejection increments the `exemplars_evicted`
+    /// count surfaced in snapshots — the cap is never silent.
+    pub fn attach_exemplar(&self, ex: Exemplar) {
+        let mut inner = self.lock();
+        let key = (ex.hist.clone(), ex.bucket);
+        if let Some(slot) = inner.exemplars.get_mut(&key) {
+            *slot = ex;
+            return;
+        }
+        if inner.exemplars.len() >= MAX_EXEMPLARS {
+            let fastest = inner
+                .exemplars
+                .keys()
+                .min_by_key(|(_, bucket)| *bucket)
+                .cloned();
+            inner.exemplars_evicted += 1;
+            match fastest {
+                Some(k) if k.1 < ex.bucket => {
+                    inner.exemplars.remove(&k);
+                }
+                _ => return,
+            }
+        }
+        inner.exemplars.insert(key, ex);
+    }
+
+    /// Declares (or, by name, redeclares) a service-level objective.
+    /// Definitions survive [`Registry::reset`] like once-keys: what the
+    /// service promises does not change when its counters restart.
+    pub fn declare_slo(&self, def: SloDef) {
+        let mut inner = self.lock();
+        if let Some(existing) = inner.slos.iter_mut().find(|d| d.name == def.name) {
+            *existing = def;
+        } else {
+            inner.slos.push(def);
+        }
+    }
+
     /// Appends an event to the bounded buffer.
     pub fn record_event(&self, level: Level, component: &str, message: &str) {
         let mut inner = self.lock();
@@ -195,17 +307,24 @@ impl Registry {
             timeline_dropped: inner.timeline_dropped,
             events: inner.events.clone(),
             events_dropped: inner.events_dropped,
+            exemplars: inner.exemplars.values().cloned().collect(),
+            exemplars_evicted: inner.exemplars_evicted,
+            slos: inner.slos.clone(),
         }
     }
 
     /// Drops every recorded value (used by tests and long-lived
-    /// processes that emit periodic deltas). Once-keys are retained so
-    /// once-per-process warnings stay once-per-process.
+    /// processes that emit periodic deltas). Once-keys and SLO
+    /// declarations are retained: once-per-process warnings stay
+    /// once-per-process, and the service's promises outlive a counter
+    /// restart.
     pub fn reset(&self) {
         let mut inner = self.lock();
         let once = std::mem::take(&mut inner.once);
+        let slos = std::mem::take(&mut inner.slos);
         *inner = Inner {
             once,
+            slos,
             ..Inner::default()
         };
     }
@@ -230,6 +349,9 @@ pub struct Snapshot {
     pub(crate) timeline_dropped: u64,
     pub(crate) events: Vec<EventRecord>,
     pub(crate) events_dropped: u64,
+    pub(crate) exemplars: Vec<Exemplar>,
+    pub(crate) exemplars_evicted: u64,
+    pub(crate) slos: Vec<SloDef>,
 }
 
 impl Snapshot {
@@ -286,7 +408,23 @@ impl Snapshot {
         self.events_dropped
     }
 
-    /// `true` when nothing was recorded.
+    /// The retained tail exemplars, ascending by `(histogram, bucket)`.
+    pub fn exemplars(&self) -> &[Exemplar] {
+        &self.exemplars
+    }
+
+    /// Exemplars evicted or rejected after the retention cap filled.
+    pub fn exemplars_evicted(&self) -> u64 {
+        self.exemplars_evicted
+    }
+
+    /// The declared service-level objectives, in declaration order.
+    pub fn slos(&self) -> &[SloDef] {
+        &self.slos
+    }
+
+    /// `true` when nothing was recorded (declared SLOs alone don't
+    /// count: they are promises, not measurements).
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
             && self.gauges.is_empty()
@@ -294,6 +432,7 @@ impl Snapshot {
             && self.spans.is_empty()
             && self.timeline.is_empty()
             && self.events.is_empty()
+            && self.exemplars.is_empty()
     }
 }
 
@@ -403,6 +542,97 @@ mod tests {
         // Sequence numbers are dense over the retained prefix.
         assert_eq!(s.events()[0].seq, 0);
         assert_eq!(s.events()[MAX_EVENTS - 1].seq, (MAX_EVENTS - 1) as u64);
+    }
+
+    fn exemplar(hist: &str, bucket: i32) -> Exemplar {
+        Exemplar {
+            trace_id: bucket.unsigned_abs() as u64 + 1,
+            hist: hist.to_string(),
+            bucket,
+            value: bucket as f64,
+            start_us: 0,
+            total_us: 1,
+            stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn counters_iterate_in_sorted_key_order() {
+        let r = Registry::new();
+        for name in ["zeta", "alpha", "mid.dle", "alpha.sub"] {
+            r.counter_add(name, 1);
+        }
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters().map(|(k, _)| k).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "counters() must be deterministic");
+        assert_eq!(names, ["alpha", "alpha.sub", "mid.dle", "zeta"]);
+    }
+
+    #[test]
+    fn timeline_only_records_skip_span_aggregates() {
+        let r = Registry::new();
+        r.record_timeline_only("req/rerank", 10, 2000, 3);
+        let s = r.snapshot();
+        assert!(s.span("req/rerank").is_none(), "not a span");
+        assert_eq!(s.timeline().len(), 1);
+        assert_eq!(s.timeline()[0].dur_us, 2000);
+    }
+
+    #[test]
+    fn exemplars_same_bucket_latest_wins() {
+        let r = Registry::new();
+        let mut first = exemplar("h", 10);
+        first.trace_id = 111;
+        let mut second = exemplar("h", 10);
+        second.trace_id = 222;
+        r.attach_exemplar(first);
+        r.attach_exemplar(second);
+        let s = r.snapshot();
+        assert_eq!(s.exemplars().len(), 1);
+        assert_eq!(s.exemplars()[0].trace_id, 222);
+        assert_eq!(s.exemplars_evicted(), 0, "replacement is not eviction");
+    }
+
+    #[test]
+    fn exemplar_cap_keeps_the_slowest_buckets() {
+        let r = Registry::new();
+        for b in 0..MAX_EXEMPLARS as i32 {
+            r.attach_exemplar(exemplar("h", b));
+        }
+        // Slower than everything retained: evicts bucket 0.
+        r.attach_exemplar(exemplar("h", 1000));
+        // Faster than everything retained: rejected.
+        r.attach_exemplar(exemplar("h", -5));
+        let s = r.snapshot();
+        assert_eq!(s.exemplars().len(), MAX_EXEMPLARS);
+        assert_eq!(s.exemplars_evicted(), 2);
+        let buckets: Vec<i32> = s.exemplars().iter().map(|e| e.bucket).collect();
+        assert!(!buckets.contains(&0), "fastest bucket evicted");
+        assert!(buckets.contains(&1000), "slow newcomer retained");
+        assert!(!buckets.contains(&-5), "fast newcomer rejected at cap");
+    }
+
+    #[test]
+    fn slos_redeclare_by_name_and_survive_reset() {
+        let r = Registry::new();
+        let mut def = crate::slo::SloDef {
+            name: "lat".to_string(),
+            path: "req/r".to_string(),
+            threshold_ms: 50.0,
+            objective: 0.99,
+            windows_s: vec![60],
+        };
+        r.declare_slo(def.clone());
+        def.objective = 0.999;
+        r.declare_slo(def.clone());
+        assert_eq!(r.snapshot().slos(), [def.clone()]);
+        r.counter_add("c", 1);
+        r.reset();
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), 0);
+        assert_eq!(s.slos(), [def], "reset must not drop declared SLOs");
     }
 
     #[test]

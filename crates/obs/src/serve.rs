@@ -1,6 +1,6 @@
 //! A dependency-free HTTP endpoint serving live telemetry.
 //!
-//! [`serve`] binds a `std::net::TcpListener` and answers four `GET`
+//! [`serve`] binds a `std::net::TcpListener` and answers five `GET`
 //! routes from a background thread, each rendered from a fresh
 //! [`Registry::snapshot`] at request time:
 //!
@@ -9,8 +9,10 @@
 //!   ([`crate::Snapshot::to_prometheus`]).
 //! * `/snapshot` — the full NDJSON dump
 //!   ([`crate::Snapshot::to_ndjson`]).
-//! * `/trace` — Chrome trace-event JSON of the span timeline
-//!   ([`crate::Snapshot::to_chrome_trace`]).
+//! * `/trace` — Chrome trace-event JSON of the span timeline and
+//!   exemplar span trees ([`crate::Snapshot::to_chrome_trace`]).
+//! * `/slo` — declared objectives with burn rates and remaining error
+//!   budget ([`crate::slo_json`]).
 //!
 //! The listener is non-blocking and polled, so [`ServeHandle::stop`]
 //! can shut the thread down promptly without a self-connect trick.
@@ -132,9 +134,10 @@ pub fn install_from_env() -> Option<SocketAddr> {
                 crate::event!(
                     crate::Level::Info,
                     "obs",
-                    "serving /metrics /healthz /snapshot /trace on http://{bound}"
+                    "serving /metrics /healthz /snapshot /trace /slo on http://{bound}"
                 );
                 // Serve for the life of the process.
+                // lint:allow(trace-context-no-leak) — deliberate: the sidecar handle must outlive every request
                 std::mem::forget(handle);
                 Some(bound)
             }
@@ -254,10 +257,15 @@ fn route(request_line: &str, registry: &Registry) -> (&'static str, &'static str
             "application/json; charset=utf-8",
             registry.snapshot().to_chrome_trace(),
         ),
+        "/slo" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            crate::slo::slo_json(&registry.snapshot()),
+        ),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "not found; try /healthz /metrics /snapshot /trace\n".to_string(),
+            "not found; try /healthz /metrics /snapshot /trace /slo\n".to_string(),
         ),
     }
 }
@@ -349,9 +357,29 @@ mod tests {
     fn unknown_paths_get_404_listing_the_routes() {
         let (status, _, body) = route("GET /nope HTTP/1.1", test_registry());
         assert!(status.starts_with("404"), "{status}");
-        for known in ["/healthz", "/metrics", "/snapshot", "/trace"] {
+        for known in ["/healthz", "/metrics", "/snapshot", "/trace", "/slo"] {
             assert!(body.contains(known), "404 body must list {known}: {body}");
         }
+    }
+
+    #[test]
+    fn slo_route_reports_declared_objectives() {
+        let reg = test_registry();
+        reg.declare_slo(crate::slo::SloDef {
+            name: "obs_latency".to_string(),
+            path: "req/obs".to_string(),
+            threshold_ms: 50.0,
+            objective: 0.99,
+            windows_s: vec![60],
+        });
+        let (status, content_type, body) = route("GET /slo HTTP/1.1", reg);
+        assert_eq!(status, "200 OK");
+        assert!(
+            content_type.starts_with("application/json"),
+            "{content_type}"
+        );
+        assert!(body.contains("\"name\":\"obs_latency\""), "{body}");
+        assert!(body.contains("\"budget_remaining\""), "{body}");
     }
 
     #[test]

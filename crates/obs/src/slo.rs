@@ -1,0 +1,325 @@
+//! Declared service-level objectives evaluated with multi-window
+//! burn-rate math over the timeline ring.
+//!
+//! An [`SloDef`] names a timeline path family produced by the tracing
+//! layer — every finished [`crate::trace::TraceGuard`] leaves one
+//! `req/<name>` record, or `req/<name>/err` on a marked error — and an
+//! objective over it:
+//!
+//! * **Latency** (`threshold_ms > 0`): a record is *bad* when it is an
+//!   error or its duration exceeds the threshold. `rerank p99 < 50 ms`
+//!   declares as objective 0.99, threshold 50.
+//! * **Availability** (`threshold_ms == 0`): only error records are
+//!   bad. `availability 99.9%` declares as objective 0.999.
+//!
+//! Evaluation ([`evaluate_slos`]) is a pure function of a
+//! [`Snapshot`], so it is deterministic and replayable from persisted
+//! NDJSON: *now* is the latest record end time, not a clock read. For
+//! each declared window the burn rate is the observed error rate
+//! divided by the budget (`1 - objective`) — the standard multi-window
+//! alerting quantity: 1.0 burns the budget exactly at the objective
+//! boundary, 14.4 is the classic page-worthy fast burn. The overall
+//! remaining error budget (`1 - error_rate / budget`) drives the
+//! `rapid-bench --check --serve` gate: exhaustion (≤ 0 with traffic
+//! observed) fails CI.
+//!
+//! Definitions are stored in the [`crate::Registry`]
+//! ([`crate::Registry::declare_slo`]), survive `reset()` like
+//! once-keys, ride along in snapshots/NDJSON, and render at the `/slo`
+//! endpoint ([`slo_json`]) and in Prometheus exposition.
+
+use std::fmt::Write as _;
+
+use crate::ndjson::{escape, fnum};
+use crate::registry::Snapshot;
+
+/// One declared objective over a `req/<name>` timeline path family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloDef {
+    /// Objective name (`rerank_latency`, `rerank_availability`).
+    pub name: String,
+    /// Timeline path of good records; errors live at `<path>/err`.
+    pub path: String,
+    /// Latency threshold in ms; `0.0` declares a pure availability SLO.
+    pub threshold_ms: f64,
+    /// Target good fraction in `(0, 1)`, e.g. `0.99`.
+    pub objective: f64,
+    /// Burn-rate windows, in seconds, evaluated over the timeline ring.
+    pub windows_s: Vec<u64>,
+}
+
+/// Burn rate over one trailing window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloWindow {
+    /// Window length in seconds.
+    pub window_s: u64,
+    /// Records whose end time falls inside the window.
+    pub total: u64,
+    /// Bad records inside the window.
+    pub bad: u64,
+    /// `(bad/total) / (1 - objective)`; `0` with no traffic.
+    pub burn_rate: f64,
+}
+
+/// The evaluated state of one [`SloDef`] over a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The definition this status was computed from.
+    pub def: SloDef,
+    /// All matching records in the ring.
+    pub total: u64,
+    /// Bad records (errors, and latency-threshold breaches).
+    pub bad: u64,
+    /// `bad / total` (`0` with no traffic).
+    pub error_rate: f64,
+    /// `1 - error_rate / (1 - objective)`; negative when overspent.
+    pub budget_remaining: f64,
+    /// `true` when traffic was observed and the budget is spent.
+    pub exhausted: bool,
+    /// Per-window burn rates, in declaration order.
+    pub windows: Vec<SloWindow>,
+}
+
+/// Whether a record at (`path`, `dur_us`) counts as bad under `def`.
+/// `is_err` marks the `<path>/err` family.
+fn is_bad(def: &SloDef, is_err: bool, dur_us: u64) -> bool {
+    is_err || (def.threshold_ms > 0.0 && dur_us as f64 / 1e3 > def.threshold_ms)
+}
+
+/// Evaluates every declared SLO against the snapshot's timeline ring.
+/// Pure and deterministic: the reference *now* is the latest matching
+/// record's end time.
+pub fn evaluate_slos(snap: &Snapshot) -> Vec<SloStatus> {
+    snap.slos()
+        .iter()
+        .map(|def| {
+            let err_path = format!("{}/err", def.path);
+            // (end_us, dur_us, is_err) for every matching record.
+            let matched: Vec<(u64, u64, bool)> = snap
+                .timeline()
+                .iter()
+                .filter_map(|t| {
+                    let is_err = t.path == err_path;
+                    (is_err || t.path == def.path)
+                        .then(|| (t.start_us.saturating_add(t.dur_us), t.dur_us, is_err))
+                })
+                .collect();
+            let now_us = matched.iter().map(|&(end, _, _)| end).max().unwrap_or(0);
+            let total = matched.len() as u64;
+            let bad = matched
+                .iter()
+                .filter(|&&(_, dur, err)| is_bad(def, err, dur))
+                .count() as u64;
+            let budget = (1.0 - def.objective).max(f64::MIN_POSITIVE);
+            let error_rate = if total > 0 {
+                bad as f64 / total as f64
+            } else {
+                0.0
+            };
+            let budget_remaining = 1.0 - error_rate / budget;
+            let windows = def
+                .windows_s
+                .iter()
+                .map(|&window_s| {
+                    let cutoff = now_us.saturating_sub(window_s.saturating_mul(1_000_000));
+                    let (mut w_total, mut w_bad) = (0u64, 0u64);
+                    for &(end, dur, err) in &matched {
+                        if end >= cutoff {
+                            w_total += 1;
+                            if is_bad(def, err, dur) {
+                                w_bad += 1;
+                            }
+                        }
+                    }
+                    let burn_rate = if w_total > 0 {
+                        (w_bad as f64 / w_total as f64) / budget
+                    } else {
+                        0.0
+                    };
+                    SloWindow {
+                        window_s,
+                        total: w_total,
+                        bad: w_bad,
+                        burn_rate,
+                    }
+                })
+                .collect();
+            SloStatus {
+                def: def.clone(),
+                total,
+                bad,
+                error_rate,
+                budget_remaining,
+                exhausted: total > 0 && budget_remaining <= 0.0,
+                windows,
+            }
+        })
+        .collect()
+}
+
+/// Renders the evaluated SLOs as the JSON document served at `/slo`.
+pub fn slo_json(snap: &Snapshot) -> String {
+    let statuses = evaluate_slos(snap);
+    let mut out = String::from("{\"slos\":[");
+    for (i, s) in statuses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"name\":{},\"path\":{},\"objective\":{},\"threshold_ms\":{},\
+             \"total\":{},\"bad\":{},\"error_rate\":{},\"budget_remaining\":{},\
+             \"exhausted\":{},\"windows\":[",
+            escape(&s.def.name),
+            escape(&s.def.path),
+            fnum(s.def.objective),
+            fnum(s.def.threshold_ms),
+            s.total,
+            s.bad,
+            fnum(s.error_rate),
+            fnum(s.budget_remaining),
+            s.exhausted,
+        );
+        for (j, w) in s.windows.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"window_s\":{},\"total\":{},\"bad\":{},\"burn_rate\":{}}}",
+                w.window_s,
+                w.total,
+                w.bad,
+                fnum(w.burn_rate)
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn latency_def() -> SloDef {
+        SloDef {
+            name: "rerank_latency".to_string(),
+            path: "req/rerank".to_string(),
+            threshold_ms: 50.0,
+            objective: 0.99,
+            windows_s: vec![60, 300],
+        }
+    }
+
+    #[test]
+    fn no_traffic_means_full_budget_and_no_exhaustion() {
+        let r = Registry::new();
+        r.declare_slo(latency_def());
+        let statuses = evaluate_slos(&r.snapshot());
+        assert_eq!(statuses.len(), 1);
+        let s = &statuses[0];
+        assert_eq!((s.total, s.bad), (0, 0));
+        assert_eq!(s.budget_remaining, 1.0);
+        assert!(!s.exhausted);
+        assert!(s.windows.iter().all(|w| w.burn_rate == 0.0));
+    }
+
+    #[test]
+    fn latency_breaches_and_errors_both_burn() {
+        let r = Registry::new();
+        r.declare_slo(latency_def());
+        // 97 good, 2 slow (> 50 ms), 1 error: 3 bad of 100.
+        for i in 0..97u64 {
+            r.record_timeline_only("req/rerank", i * 1000, 2_000, 1);
+        }
+        r.record_timeline_only("req/rerank", 97_000, 60_000, 1);
+        r.record_timeline_only("req/rerank", 98_000, 51_001, 1);
+        r.record_timeline_only("req/rerank/err", 99_000, 1_000, 1);
+        let s = &evaluate_slos(&r.snapshot())[0];
+        assert_eq!((s.total, s.bad), (100, 3));
+        assert!((s.error_rate - 0.03).abs() < 1e-12);
+        // budget = 0.01, spend = 0.03 → remaining = -2, exhausted.
+        assert!((s.budget_remaining - -2.0).abs() < 1e-9);
+        assert!(s.exhausted);
+        // All records fall inside both windows (span ≪ 60 s).
+        for w in &s.windows {
+            assert_eq!(w.total, 100);
+            assert!((w.burn_rate - 3.0).abs() < 1e-9, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn availability_slo_ignores_latency() {
+        let r = Registry::new();
+        r.declare_slo(SloDef {
+            name: "avail".to_string(),
+            path: "req/rerank".to_string(),
+            threshold_ms: 0.0,
+            objective: 0.999,
+            windows_s: vec![300],
+        });
+        r.record_timeline_only("req/rerank", 0, 10_000_000, 1); // 10 s, still good
+        r.record_timeline_only("req/rerank/err", 1000, 100, 1);
+        let s = &evaluate_slos(&r.snapshot())[0];
+        assert_eq!((s.total, s.bad), (2, 1));
+        assert!(s.exhausted, "50% error rate vs 0.1% budget");
+    }
+
+    #[test]
+    fn windows_scope_burn_to_the_recent_past() {
+        let r = Registry::new();
+        r.declare_slo(SloDef {
+            name: "lat".to_string(),
+            path: "req/r".to_string(),
+            threshold_ms: 50.0,
+            objective: 0.9,
+            windows_s: vec![1, 3600],
+        });
+        // An old breach at t=0 and fresh good traffic 100 s later: the
+        // 1 s window sees only the good tail, the 1 h window sees all.
+        r.record_timeline_only("req/r", 0, 60_000, 1);
+        for i in 0..9u64 {
+            r.record_timeline_only("req/r", 100_000_000 + i * 1000, 1_000, 1);
+        }
+        let s = &evaluate_slos(&r.snapshot())[0];
+        let short = &s.windows[0];
+        let long = &s.windows[1];
+        assert_eq!((short.total, short.bad), (9, 0));
+        assert_eq!(short.burn_rate, 0.0);
+        assert_eq!((long.total, long.bad), (10, 1));
+        assert!((long.burn_rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paths_do_not_cross_contaminate() {
+        let r = Registry::new();
+        r.declare_slo(latency_def());
+        r.record_timeline_only("req/events", 0, 99_000, 1);
+        r.record_timeline_only("req/rerank2", 0, 99_000, 1);
+        r.record_timeline_only("req/rerank", 0, 1_000, 1);
+        let s = &evaluate_slos(&r.snapshot())[0];
+        assert_eq!((s.total, s.bad), (1, 0));
+    }
+
+    #[test]
+    fn slo_json_reports_the_objective_and_budget() {
+        let r = Registry::new();
+        r.declare_slo(latency_def());
+        r.record_timeline_only("req/rerank", 0, 1_000, 1);
+        let json = slo_json(&r.snapshot());
+        for needle in [
+            "\"name\":\"rerank_latency\"",
+            "\"objective\":0.99",
+            "\"threshold_ms\":50",
+            "\"budget_remaining\":1",
+            "\"exhausted\":false",
+            "\"window_s\":60",
+        ] {
+            assert!(json.contains(needle), "missing `{needle}` in:\n{json}");
+        }
+        assert_eq!(slo_json(&Registry::new().snapshot()), "{\"slos\":[\n]}\n");
+    }
+}

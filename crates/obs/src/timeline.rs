@@ -12,6 +12,12 @@
 //! Complete events are used instead of `B`/`E` pairs because each
 //! timeline record already carries its duration — a single event per
 //! span cannot produce unbalanced begin/end markers by construction.
+//!
+//! Tail exemplars ride along in the same export: each retained
+//! [`Exemplar`](crate::Exemplar) contributes one request-envelope event
+//! plus one event per recorded stage, all under `"cat":"exemplar"` with
+//! the trace id in `args` — so opening the trace of a p99 request shows
+//! what it actually did, per stage, on the shared time base.
 
 use std::fmt::Write as _;
 
@@ -19,15 +25,18 @@ use crate::ndjson::escape;
 use crate::registry::Snapshot;
 
 impl Snapshot {
-    /// Renders the span timeline as Chrome trace-event JSON (one
-    /// complete `"X"` event per record). The output parses as a single
-    /// JSON object and loads in Perfetto / `chrome://tracing`.
+    /// Renders the span timeline (and exemplar span trees) as Chrome
+    /// trace-event JSON (one complete `"X"` event per record). The
+    /// output parses as a single JSON object and loads in Perfetto /
+    /// `chrome://tracing`.
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::from("{\"traceEvents\":[");
-        for (i, t) in self.timeline.iter().enumerate() {
-            if i > 0 {
+        let mut n = 0usize;
+        for t in &self.timeline {
+            if n > 0 {
                 out.push(',');
             }
+            n += 1;
             let _ = write!(
                 out,
                 "\n{{\"name\":{},\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
@@ -37,10 +46,41 @@ impl Snapshot {
                 t.tid
             );
         }
+        for ex in &self.exemplars {
+            if n > 0 {
+                out.push(',');
+            }
+            n += 1;
+            let _ = write!(
+                out,
+                "\n{{\"name\":{},\"cat\":\"exemplar\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"trace_id\":\"{:016x}\",\"value_ms\":{}}}}}",
+                escape(&format!("exemplar/{}", ex.hist)),
+                ex.start_us,
+                ex.total_us,
+                ex.stages.first().map(|s| s.tid).unwrap_or(1),
+                ex.trace_id,
+                crate::ndjson::fnum(ex.value)
+            );
+            for st in &ex.stages {
+                out.push(',');
+                n += 1;
+                let _ = write!(
+                    out,
+                    "\n{{\"name\":{},\"cat\":\"exemplar\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"trace_id\":\"{:016x}\"}}}}",
+                    escape(&st.name),
+                    st.start_us,
+                    st.dur_us,
+                    st.tid,
+                    ex.trace_id
+                );
+            }
+        }
         let _ = write!(
             out,
-            "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"timeline_dropped\":{}}}}}\n",
-            self.timeline_dropped
+            "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"timeline_dropped\":{},\"exemplars\":{},\"exemplars_evicted\":{}}}}}\n",
+            self.timeline_dropped,
+            self.exemplars.len(),
+            self.exemplars_evicted
         );
         out
     }
@@ -69,6 +109,40 @@ mod tests {
         let trace = crate::Snapshot::default().to_chrome_trace();
         assert!(trace.starts_with("{\"traceEvents\":["));
         assert!(trace.contains("\"timeline_dropped\":0"));
+    }
+
+    #[test]
+    fn exemplar_span_trees_render_with_trace_ids() {
+        let r = Registry::new();
+        r.record_span_timed("serve/other", Duration::from_micros(10), 0, 1);
+        r.attach_exemplar(crate::Exemplar {
+            trace_id: 0x1234,
+            hist: "serve.rerank_ms".to_string(),
+            bucket: 29,
+            value: 12.5,
+            start_us: 500,
+            total_us: 12_500,
+            stages: vec![crate::TraceStage {
+                name: "model/rank".to_string(),
+                start_us: 600,
+                dur_us: 9_000,
+                tid: 2,
+                nested: false,
+            }],
+        });
+        let trace = r.snapshot().to_chrome_trace();
+        assert!(
+            trace.contains("\"name\":\"exemplar/serve.rerank_ms\""),
+            "{trace}"
+        );
+        assert!(trace.contains("\"name\":\"model/rank\""), "{trace}");
+        assert!(
+            trace.contains("\"trace_id\":\"0000000000001234\""),
+            "{trace}"
+        );
+        assert!(trace.contains("\"cat\":\"exemplar\""), "{trace}");
+        // Still one well-formed JSON document with an events array.
+        assert_eq!(trace.matches("\"ph\":\"X\"").count(), 3);
     }
 
     #[test]

@@ -1,0 +1,516 @@
+//! Request-scoped tracing: a 64-bit trace id plus a flat stage tree,
+//! propagated through a thread-local so one serving request can be
+//! followed across the HTTP worker, the `rapid-exec` chunk workers, and
+//! (under `obs-profile`) individual autograd ops.
+//!
+//! The unit of tracing is one [`TraceGuard`], minted at the edge of the
+//! serving path ([`start_request`]) and finished by `Drop` — RAII is
+//! what makes the `trace-context-no-leak` lint enforceable: every error
+//! path that unwinds or early-returns still finishes its trace. While a
+//! guard is live, [`record_stage`] / [`record_stage_nested`] append
+//! named, timestamped stages to the active trace from any thread that
+//! [`install`]ed its context (the `rapid-exec` worker handoff does this
+//! around every chunk).
+//!
+//! Retention is two-tier, controlled by `rapid-obs` config knobs:
+//!
+//! * **Head sampling** (`RAPID_TRACE_SAMPLE`, default 0) — a
+//!   deterministic hash of the trace id keeps that fraction of traces,
+//!   emitting their stages as `trace/<name>/<stage>` timeline records.
+//! * **Tail exemplars** (`RAPID_TRACE_TAIL_MS`, default 50) — a request
+//!   whose total latency breaches the threshold is force-retained as an
+//!   [`Exemplar`] attached to the latency-histogram bucket its duration
+//!   falls in (see [`crate::Registry::attach_exemplar`]), so the p99
+//!   tail is explainable even at a 0 sampling rate.
+//!
+//! Independent of sampling, every finished guard leaves one
+//! `req/<name>` (or `req/<name>/err`) record on the timeline ring —
+//! the substrate the SLO burn-rate layer ([`crate::slo`]) evaluates.
+//!
+//! Tracing can be disabled entirely (`RAPID_TRACE=0` or
+//! [`crate::set_trace_enabled`]); the guard then only records the
+//! `req/<name>` timeline record and all stage calls are no-ops.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::clock;
+use crate::config;
+use crate::hist::Histogram;
+use crate::registry::{global, Exemplar, Registry, TraceStage};
+
+/// Stages retained per trace. A runaway instrumentation site (an op
+/// loop under `obs-profile`) must not grow a request without bound;
+/// overflow is counted under `trace.stages_dropped`.
+const MAX_STAGES: usize = 256;
+
+struct TraceInner {
+    trace_id: u64,
+    sampled: bool,
+    stages: Mutex<Vec<TraceStage>>,
+    stages_dropped: AtomicU64,
+}
+
+/// A shareable handle to the active request trace. Cloning is cheap
+/// (`Arc`); `rapid-exec` clones the current context into its workers so
+/// stages recorded on a pool thread land in the same trace.
+#[derive(Clone)]
+pub struct TraceContext {
+    inner: Arc<TraceInner>,
+}
+
+impl std::fmt::Debug for TraceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceContext")
+            .field("trace_id", &self.inner.trace_id)
+            .field("sampled", &self.inner.sampled)
+            .finish()
+    }
+}
+
+impl TraceContext {
+    /// The 64-bit id minted for this request (never 0).
+    pub fn trace_id(&self) -> u64 {
+        self.inner.trace_id
+    }
+
+    /// Whether head sampling selected this trace for stage emission.
+    pub fn sampled(&self) -> bool {
+        self.inner.sampled
+    }
+
+    fn push_stage(&self, name: &str, start_us: u64, dur: Duration, nested: bool) {
+        let mut stages = match self.inner.stages.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if stages.len() >= MAX_STAGES {
+            self.inner.stages_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        stages.push(TraceStage {
+            name: name.to_string(),
+            start_us,
+            dur_us: dur.as_micros().min(u64::MAX as u128) as u64,
+            tid: clock::thread_ordinal(),
+            nested,
+        });
+    }
+
+    fn take_stages(&self) -> (Vec<TraceStage>, u64) {
+        let mut stages = match self.inner.stages.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        (
+            std::mem::take(&mut *stages),
+            self.inner.stages_dropped.swap(0, Ordering::Relaxed),
+        )
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TraceContext>> = const { RefCell::new(None) };
+}
+
+/// SplitMix64: a full-period mixing function, enough to decorrelate
+/// sequential mint counters into well-spread ids and to derive the
+/// sampling coin from the id itself.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mints a process-unique, non-zero trace id.
+fn mint_id() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let seed = *SEED.get_or_init(|| clock::wall_micros() | 1);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    splitmix64(seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15)).max(1)
+}
+
+/// The deterministic head-sampling coin: keep the trace iff the hash of
+/// its id falls below `rate` of the u64 range. Pure so the decision is
+/// testable without touching process-global config.
+pub(crate) fn id_sampled(trace_id: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    // Top 53 bits → an exact f64 in [0, 1).
+    let coin = (splitmix64(trace_id ^ 0xA5A5_A5A5_5A5A_5A5A) >> 11) as f64 / (1u64 << 53) as f64;
+    coin < rate
+}
+
+/// The trace context installed on the calling thread, if any.
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// The active trace id on the calling thread, if any — what fault
+/// events and response headers stamp.
+pub fn current_id() -> Option<u64> {
+    CURRENT.with(|c| c.borrow().as_ref().map(TraceContext::trace_id))
+}
+
+/// Restores the previously installed context when dropped. Returned by
+/// [`install`]; worker threads hold it for the duration of borrowed
+/// work.
+#[derive(Debug)]
+pub struct InstallGuard {
+    prev: Option<TraceContext>,
+    restored: bool,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        if !self.restored {
+            self.restored = true;
+            let prev = self.prev.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+}
+
+/// Installs `ctx` (possibly `None`) as the calling thread's active
+/// trace context, returning a guard that restores the previous value on
+/// drop. This is the propagation primitive for thread handoff:
+/// `par_map` captures [`current`] on the submitting thread and installs
+/// it around each chunk on the worker.
+pub fn install(ctx: Option<TraceContext>) -> InstallGuard {
+    let prev = CURRENT.with(|c| c.replace(ctx));
+    InstallGuard {
+        prev,
+        restored: false,
+    }
+}
+
+/// Appends a top-level stage to the calling thread's active trace (a
+/// no-op without one). Top-level stages partition the request — their
+/// durations are what the exemplar span-coverage check sums.
+pub fn record_stage(name: &str, start_us: u64, dur: Duration) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            ctx.push_stage(name, start_us, dur, false);
+        }
+    });
+}
+
+/// Appends a nested stage (contained inside a top-level one): exec
+/// chunks, autograd ops. Nested stages add detail without
+/// double-counting in coverage sums.
+pub fn record_stage_nested(name: &str, start_us: u64, dur: Duration) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            ctx.push_stage(name, start_us, dur, true);
+        }
+    });
+}
+
+/// The RAII handle for one traced request. Finishing happens in `Drop`,
+/// so every serve error path (panic unwinding included) still records
+/// its `req/<name>` timeline record and, when warranted, its exemplar.
+#[derive(Debug)]
+pub struct TraceGuard {
+    registry: &'static Registry,
+    name: String,
+    ctx: Option<TraceContext>,
+    prev: Option<TraceContext>,
+    start: Instant,
+    start_us: u64,
+    error: bool,
+    latency_hist: Option<String>,
+    tail_ms: f64,
+}
+
+impl TraceGuard {
+    /// The minted trace id, when tracing is enabled.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.ctx.as_ref().map(TraceContext::trace_id)
+    }
+
+    /// Marks this request as failed: its timeline record moves to
+    /// `req/<name>/err`, which the availability SLO counts as bad.
+    pub fn mark_error(&mut self) {
+        self.error = true;
+    }
+
+    /// Names the latency histogram exemplars attach to, arming tail
+    /// capture for this request at the configured
+    /// ([`crate::trace_tail_ms`]) threshold.
+    pub fn set_latency_hist(&mut self, hist: &str) {
+        self.latency_hist = Some(hist.to_string());
+        self.tail_ms = config::trace_tail_ms();
+    }
+
+    /// Overrides the tail threshold for this guard only (tests and
+    /// benches; production paths use the config knob).
+    pub fn set_tail_threshold_ms(&mut self, ms: f64) {
+        self.tail_ms = ms;
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if self.ctx.is_some() {
+            let prev = self.prev.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+        let dur = self.start.elapsed();
+        let dur_us = dur.as_micros().min(u64::MAX as u128) as u64;
+        let total_ms = dur.as_secs_f64() * 1e3;
+        let path = if self.error {
+            format!("req/{}/err", self.name)
+        } else {
+            format!("req/{}", self.name)
+        };
+        self.registry
+            .record_timeline_only(&path, self.start_us, dur_us, clock::thread_ordinal());
+        let Some(ctx) = self.ctx.take() else {
+            return;
+        };
+        let (stages, dropped) = ctx.take_stages();
+        if dropped > 0 {
+            self.registry.counter_add("trace.stages_dropped", dropped);
+        }
+        if ctx.sampled() {
+            self.registry.counter_add("trace.sampled", 1);
+            for st in &stages {
+                self.registry.record_timeline_only(
+                    &format!("trace/{}/{}", self.name, st.name),
+                    st.start_us,
+                    st.dur_us,
+                    st.tid,
+                );
+            }
+        }
+        if let Some(hist) = self.latency_hist.take() {
+            if total_ms >= self.tail_ms {
+                self.registry.counter_add("trace.tail_exemplars", 1);
+                self.registry.attach_exemplar(Exemplar {
+                    trace_id: ctx.trace_id(),
+                    hist,
+                    bucket: Histogram::bucket_of(total_ms),
+                    value: total_ms,
+                    start_us: self.start_us,
+                    total_us: dur_us,
+                    stages,
+                });
+            }
+        }
+    }
+}
+
+/// Mints a trace for one request named `name` (the endpoint key, e.g.
+/// `rerank`) against the global registry and installs it as the calling
+/// thread's current context. Honors the [`crate::trace_enabled`] knob:
+/// when tracing is off the guard still records the `req/<name>`
+/// timeline record (the SLO substrate) but mints no context.
+pub fn start_request(name: &str) -> TraceGuard {
+    guard(global(), name, config::trace_enabled())
+}
+
+/// [`start_request`] against an explicit registry, always traced —
+/// tests and benches pin behavior independent of the process-global
+/// knob.
+pub fn start_request_in(registry: &'static Registry, name: &str) -> TraceGuard {
+    guard(registry, name, true)
+}
+
+fn guard(registry: &'static Registry, name: &str, enabled: bool) -> TraceGuard {
+    let start = clock::now();
+    let start_us = clock::wall_micros();
+    let (ctx, prev) = if enabled {
+        let trace_id = mint_id();
+        let ctx = TraceContext {
+            inner: Arc::new(TraceInner {
+                trace_id,
+                sampled: id_sampled(trace_id, config::trace_sample()),
+                stages: Mutex::new(Vec::new()),
+                stages_dropped: AtomicU64::new(0),
+            }),
+        };
+        let prev = CURRENT.with(|c| c.replace(Some(ctx.clone())));
+        (Some(ctx), prev)
+    } else {
+        (None, None)
+    };
+    TraceGuard {
+        registry,
+        name: name.to_string(),
+        ctx,
+        prev,
+        start,
+        start_us,
+        error: false,
+        latency_hist: None,
+        tail_ms: f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A static registry distinct from the global one so these tests
+    /// never observe unrelated instrumentation.
+    fn test_registry() -> &'static Registry {
+        static REG: OnceLock<Registry> = OnceLock::new();
+        REG.get_or_init(Registry::new)
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let id = mint_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate trace id {id}");
+        }
+    }
+
+    #[test]
+    fn sampling_coin_is_deterministic_and_tracks_rate() {
+        assert!(!id_sampled(42, 0.0));
+        assert!(id_sampled(42, 1.0));
+        let n = 20_000u64;
+        let kept = (0..n).filter(|&i| id_sampled(splitmix64(i), 0.25)).count();
+        let frac = kept as f64 / n as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.02,
+            "sampling rate off: kept {frac} of {n}"
+        );
+        // Same id, same decision.
+        assert_eq!(id_sampled(777, 0.5), id_sampled(777, 0.5));
+    }
+
+    #[test]
+    fn guard_records_req_timeline_record_and_restores_context() {
+        let reg = test_registry();
+        assert!(current().is_none());
+        {
+            let g = start_request_in(reg, "unit");
+            assert!(g.trace_id().is_some());
+            assert_eq!(current_id(), g.trace_id());
+        }
+        assert!(current().is_none(), "drop must uninstall the context");
+        let snap = reg.snapshot();
+        assert!(
+            snap.timeline().iter().any(|t| t.path == "req/unit"),
+            "missing req record: {:?}",
+            snap.timeline()
+        );
+    }
+
+    #[test]
+    fn mark_error_moves_the_record_to_the_err_path() {
+        let reg = test_registry();
+        {
+            let mut g = start_request_in(reg, "failing");
+            g.mark_error();
+        }
+        let snap = reg.snapshot();
+        assert!(snap.timeline().iter().any(|t| t.path == "req/failing/err"));
+        assert!(!snap.timeline().iter().any(|t| t.path == "req/failing"));
+    }
+
+    #[test]
+    fn tail_breach_attaches_an_exemplar_with_stages() {
+        let reg = test_registry();
+        {
+            let mut g = start_request_in(reg, "slow");
+            g.set_latency_hist("unit.latency_ms");
+            g.set_tail_threshold_ms(0.0); // everything is a tail
+            record_stage("parse", clock::wall_micros(), Duration::from_micros(5));
+            record_stage_nested("op/add", clock::wall_micros(), Duration::from_micros(2));
+        }
+        let snap = reg.snapshot();
+        let ex = snap
+            .exemplars()
+            .iter()
+            .find(|e| e.hist == "unit.latency_ms")
+            .expect("tail exemplar attached");
+        assert_ne!(ex.trace_id, 0);
+        assert!(ex.value >= 0.0);
+        let names: Vec<&str> = ex.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["parse", "op/add"]);
+        assert!(!ex.stages[0].nested);
+        assert!(ex.stages[1].nested);
+    }
+
+    #[test]
+    fn install_propagates_context_across_threads() {
+        let reg = test_registry();
+        {
+            let mut g = start_request_in(reg, "xthread");
+            g.set_latency_hist("unit.xthread_ms");
+            g.set_tail_threshold_ms(0.0);
+            let ctx = current();
+            assert!(ctx.is_some());
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    assert!(current().is_none(), "fresh thread starts without context");
+                    let _trace = install(ctx.clone());
+                    assert_eq!(current_id(), ctx.as_ref().map(|c| c.trace_id()));
+                    record_stage_nested(
+                        "exec/chunk",
+                        clock::wall_micros(),
+                        Duration::from_micros(3),
+                    );
+                    drop(_trace);
+                    assert!(current().is_none(), "install guard restores the previous");
+                })
+                .join()
+                .expect("worker panicked");
+            });
+        }
+        let snap = reg.snapshot();
+        let ex = snap
+            .exemplars()
+            .iter()
+            .find(|e| e.hist == "unit.xthread_ms")
+            .expect("exemplar attached");
+        assert!(
+            ex.stages.iter().any(|s| s.name == "exec/chunk"),
+            "worker stage must join the trace: {:?}",
+            ex.stages
+        );
+    }
+
+    #[test]
+    fn stage_cap_is_enforced_and_counted() {
+        let reg = test_registry();
+        {
+            let mut g = start_request_in(reg, "chatty");
+            g.set_latency_hist("unit.chatty_ms");
+            g.set_tail_threshold_ms(0.0);
+            for i in 0..(MAX_STAGES + 10) {
+                record_stage_nested(&format!("op/{i}"), 0, Duration::from_nanos(1));
+            }
+        }
+        let snap = reg.snapshot();
+        let ex = snap
+            .exemplars()
+            .iter()
+            .find(|e| e.hist == "unit.chatty_ms")
+            .expect("exemplar attached");
+        assert_eq!(ex.stages.len(), MAX_STAGES);
+        assert!(snap.counter("trace.stages_dropped") >= 10);
+    }
+
+    #[test]
+    fn stage_calls_without_a_context_are_noops() {
+        assert!(current().is_none());
+        record_stage("orphan", 0, Duration::from_micros(1));
+        record_stage_nested("orphan/nested", 0, Duration::from_micros(1));
+        // Nothing to assert beyond "did not panic / did not install".
+        assert!(current().is_none());
+    }
+}

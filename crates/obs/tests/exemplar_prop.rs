@@ -1,0 +1,154 @@
+//! Property tests for tail-exemplar retention under bucket churn.
+//!
+//! `Registry::attach_exemplar` promises: one exemplar per
+//! `(histogram, bucket)` key with latest-wins replacement, a hard cap
+//! on retained exemplars, slowest-buckets-win eviction at the cap, and
+//! an eviction counter that never loses an attach silently. These
+//! tests drive the real registry and a trivially-correct model of that
+//! policy with the same arbitrary latency streams and require the two
+//! to agree exactly — retained keys, retained values, and the evicted
+//! count.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use rapid_obs::{Exemplar, Histogram, Registry};
+
+/// The documented retention cap (`MAX_EXEMPLARS` is crate-private; the
+/// cap itself is contract, so the test pins the number).
+const CAP: usize = 64;
+
+fn exemplar(hist: &str, value: f64, seq: u64) -> Exemplar {
+    Exemplar {
+        trace_id: seq,
+        hist: hist.to_string(),
+        bucket: Histogram::bucket_of(value),
+        value,
+        start_us: seq * 1_000,
+        total_us: (value * 1e3) as u64,
+        stages: Vec::new(),
+    }
+}
+
+/// The attach policy, restated over a plain map: same-key replacement
+/// is free; a full store evicts its fastest bucket only for a slower
+/// newcomer, and every at-cap arrival bumps the evicted count whether
+/// it landed or was rejected.
+fn model_attach(
+    model: &mut BTreeMap<(String, i32), f64>,
+    evicted: &mut u64,
+    hist: &str,
+    value: f64,
+) {
+    let bucket = Histogram::bucket_of(value);
+    let key = (hist.to_string(), bucket);
+    if let Some(slot) = model.get_mut(&key) {
+        *slot = value;
+        return;
+    }
+    if model.len() >= CAP {
+        *evicted += 1;
+        let fastest = model.keys().min_by_key(|(_, b)| *b).cloned();
+        match fastest {
+            Some(k) if k.1 < bucket => {
+                model.remove(&k);
+            }
+            _ => return,
+        }
+    }
+    model.insert(key, value);
+}
+
+/// Latency streams spanning enough decades that the log-scale buckets
+/// far outnumber the cap, plus duplicate-heavy short values so same-key
+/// replacement gets exercised too.
+fn latencies() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, 0..400).prop_map(|units| {
+        units
+            .into_iter()
+            .enumerate()
+            .map(|(i, u)| match i % 2 {
+                // Wide range: microseconds to hours, in ms.
+                0 => 0.001 + u * 3.6e6,
+                // Narrow band around a few ms: frequent bucket collisions.
+                _ => 0.5 + u * 7.5,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// The registry's retained exemplars and eviction count match the
+    /// model exactly for any stream of single-histogram attaches.
+    #[test]
+    fn retention_matches_the_model(values in latencies()) {
+        let r = Registry::new();
+        let mut model = BTreeMap::new();
+        let mut evicted = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            r.attach_exemplar(exemplar("serve.rerank_ms", v, i as u64));
+            model_attach(&mut model, &mut evicted, "serve.rerank_ms", v);
+        }
+        let snap = r.snapshot();
+        let got: BTreeMap<(String, i32), f64> = snap
+            .exemplars()
+            .iter()
+            .map(|e| ((e.hist.clone(), e.bucket), e.value))
+            .collect();
+        prop_assert_eq!(&got, &model);
+        prop_assert_eq!(snap.exemplars_evicted(), evicted);
+        prop_assert!(snap.exemplars().len() <= CAP);
+    }
+
+    /// With two histograms sharing the store, keys stay per-histogram
+    /// and the policy still matches the model.
+    #[test]
+    fn two_histograms_share_the_cap(values in latencies()) {
+        let r = Registry::new();
+        let mut model = BTreeMap::new();
+        let mut evicted = 0u64;
+        for (i, &v) in values.iter().enumerate() {
+            let hist = if i % 2 == 0 { "serve.rerank_ms" } else { "serve.events_ms" };
+            r.attach_exemplar(exemplar(hist, v, i as u64));
+            model_attach(&mut model, &mut evicted, hist, v);
+        }
+        let snap = r.snapshot();
+        let got: BTreeMap<(String, i32), f64> = snap
+            .exemplars()
+            .iter()
+            .map(|e| ((e.hist.clone(), e.bucket), e.value))
+            .collect();
+        prop_assert_eq!(&got, &model);
+        prop_assert_eq!(snap.exemplars_evicted(), evicted);
+    }
+
+    /// Churn never retains a bucket faster than one it evicted: after
+    /// any stream, every rejected-or-evicted arrival's bucket is ≤ the
+    /// slowest retained bucket... equivalently, the retained set is
+    /// exactly the slowest distinct buckets seen, once at the cap.
+    #[test]
+    fn slowest_buckets_survive_saturation(values in proptest::collection::vec(0.001f64..3.6e6, 100..300)) {
+        let r = Registry::new();
+        for (i, &v) in values.iter().enumerate() {
+            r.attach_exemplar(exemplar("serve.rerank_ms", v, i as u64));
+        }
+        let snap = r.snapshot();
+        let mut distinct: Vec<i32> = values
+            .iter()
+            .map(|&v| Histogram::bucket_of(v))
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() >= CAP {
+            let mut kept: Vec<i32> = snap.exemplars().iter().map(|e| e.bucket).collect();
+            kept.sort_unstable();
+            prop_assert_eq!(kept.len(), CAP);
+            // Arrival order affects *which* of the fast buckets were
+            // briefly held, but the slowest retained prefix is ordered:
+            // nothing retained is faster than an evicted slower bucket
+            // would allow — the top bucket always survives.
+            prop_assert_eq!(*kept.last().unwrap(), *distinct.last().unwrap());
+            prop_assert!(snap.exemplars_evicted() > 0);
+        }
+    }
+}

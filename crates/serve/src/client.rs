@@ -23,13 +23,16 @@ pub struct Client {
     buf: Vec<u8>,
 }
 
-/// A parsed response: status code and body text.
+/// A parsed response: status code, body text, and the request's trace
+/// id when the server stamped one.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Numeric status code.
     pub status: u16,
     /// Response body.
     pub body: String,
+    /// The `X-Rapid-Trace-Id` response header, when present.
+    pub trace_id: Option<String>,
 }
 
 impl Client {
@@ -128,6 +131,7 @@ impl Client {
             .ok_or_else(|| format!("bad status line {status_line:?}"))?;
         let mut content_length = 0usize;
         let mut server_closes = false;
+        let mut trace_id = None;
         for line in lines {
             let Some((name, value)) = line.split_once(':') else {
                 continue;
@@ -141,6 +145,8 @@ impl Client {
                 && value.trim().eq_ignore_ascii_case("close")
             {
                 server_closes = true;
+            } else if name.eq_ignore_ascii_case("x-rapid-trace-id") {
+                trace_id = Some(value.trim().to_string());
             }
         }
 
@@ -161,6 +167,10 @@ impl Client {
             self.stream = None;
             self.buf.clear();
         }
-        Ok(Response { status, body })
+        Ok(Response {
+            status,
+            body,
+            trace_id,
+        })
     }
 }

@@ -165,12 +165,34 @@ fn fill(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Option<usize> {
 /// Renders a full HTTP/1.1 response. `keep_alive` controls the
 /// `Connection` header; the server closes after writing otherwise.
 pub fn response_bytes(status: &str, content_type: &str, body: &str, keep_alive: bool) -> Vec<u8> {
-    format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+    response_bytes_with_headers(status, content_type, body, keep_alive, &[])
+}
+
+/// [`response_bytes`] with extra response headers appended after the
+/// standard framing headers. Header names and values must already be
+/// token/field-safe; the serving path only passes fixed names and hex
+/// trace ids.
+pub fn response_bytes_with_headers(
+    status: &str,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
-    )
-    .into_bytes()
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    head.push_str(body);
+    head.into_bytes()
 }
 
 /// The numeric status code of a `"200 OK"`-style status line (0 when
@@ -311,5 +333,25 @@ mod tests {
         assert!(text.ends_with("\r\n\r\n{}"));
         assert_eq!(status_code("404 Not Found"), 404);
         assert_eq!(status_code(""), 0);
+    }
+
+    #[test]
+    fn extra_headers_land_between_framing_and_body() {
+        let bytes = response_bytes_with_headers(
+            "200 OK",
+            "application/json",
+            "{}",
+            false,
+            &[("X-Rapid-Trace-Id", "00000000deadbeef")],
+        );
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(
+            text.contains("\r\nX-Rapid-Trace-Id: 00000000deadbeef\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("\r\n\r\n{}"));
+        // The header block still terminates with exactly one blank line.
+        assert_eq!(text.matches("\r\n\r\n").count(), 1);
     }
 }

@@ -252,6 +252,7 @@ impl ServeModel {
         };
 
         let t0 = rapid_obs::clock::now();
+        let t0_us = rapid_obs::clock::wall_micros();
         let mut scored: Vec<(usize, f32)> = self
             .candidates(user, k)
             .into_iter()
@@ -268,9 +269,12 @@ impl ServeModel {
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let items: Vec<usize> = scored.iter().map(|&(v, _)| v).collect();
         let init_scores: Vec<f32> = scored.iter().map(|&(_, s)| s).collect();
-        let rank_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let rank_dur = t0.elapsed();
+        rapid_obs::trace::record_stage_nested("model/rank", t0_us, rank_dur);
+        let rank_ms = rank_dur.as_secs_f64() * 1e3;
 
         let t1 = rapid_obs::clock::now();
+        let t1_us = rapid_obs::clock::wall_micros();
         let prep = PreparedList::from_input(
             &self.ds,
             RerankInput {
@@ -279,16 +283,21 @@ impl ServeModel {
                 init_scores,
             },
         );
-        let prepare_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let prepare_dur = t1.elapsed();
+        rapid_obs::trace::record_stage_nested("model/prepare", t1_us, prepare_dur);
+        let prepare_ms = prepare_dur.as_secs_f64() * 1e3;
 
         let t2 = rapid_obs::clock::now();
+        let t2_us = rapid_obs::clock::wall_micros();
         let perm = self
             .rapid
             .rerank_batch(&self.ds, std::slice::from_ref(&prep))
             .into_iter()
             .next()
             .unwrap_or_else(|| (0..prep.len()).collect());
-        let rerank_ms = t2.elapsed().as_secs_f64() * 1e3;
+        let rerank_dur = t2.elapsed();
+        rapid_obs::trace::record_stage_nested("model/rerank", t2_us, rerank_dur);
+        let rerank_ms = rerank_dur.as_secs_f64() * 1e3;
 
         let reg = rapid_obs::global();
         reg.observe("serve.stage.rank_ms", rank_ms);

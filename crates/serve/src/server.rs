@@ -1,6 +1,6 @@
 //! The online API server: polled accept loop, a small worker pool, and
-//! the six routes (`/events`, `/rerank`, `/aggregates`, `/metrics`,
-//! `/healthz`, `/snapshot`).
+//! the seven routes (`/events`, `/rerank`, `/aggregates`, `/metrics`,
+//! `/healthz`, `/snapshot`, `/slo`).
 //!
 //! The transport follows the hardened `rapid_obs::serve` pattern — a
 //! nonblocking listener polled every 10 ms under a stop flag, per-stream
@@ -13,13 +13,23 @@
 //! the server still up — the same chaos contract as the telemetry
 //! server.
 //!
+//! Every parsed request is also one [`rapid_obs::trace`] unit: a
+//! [`TraceGuard`](rapid_obs::trace::TraceGuard) minted *before* the
+//! fault site (so injected faults carry the trace id), finished by RAII
+//! on every exit path, answered with an `X-Rapid-Trace-Id` header, and
+//! marked as an error on drops and panics so the availability SLO sees
+//! them. `/rerank` additionally arms tail-exemplar capture against
+//! `serve.rerank_ms` — a request breaching the configured threshold
+//! retains its full stage tree (serve → model → exec → ops).
+//!
 //! Telemetry: every response increments
 //! `serve.http.<endpoint>.<status>`, `/events` maintains
 //! `serve.events_{accepted,replayed,rejected}` and the `serve.users`
 //! gauge, and `/rerank` records `serve.rerank_ms`. All of it lands in
 //! the global registry, so `/snapshot` (NDJSON) and `/aggregates`
 //! (single JSON object) expose the serve counters without Prometheus
-//! text parsing.
+//! text parsing, and `/slo` evaluates the objectives [`start`] declares
+//! (rerank latency and availability) with burn-rate windows.
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -33,7 +43,9 @@ use std::time::Duration;
 use serde::Value;
 
 use crate::api;
-use crate::http::{response_bytes, status_code, ConnBuf, ReadOutcome, Request};
+use crate::http::{
+    response_bytes, response_bytes_with_headers, status_code, ConnBuf, ReadOutcome, Request,
+};
 use crate::model::{RerankError, ServeModel};
 use crate::state::UserStore;
 
@@ -109,11 +121,34 @@ impl ServeHandle {
     }
 }
 
+/// The serving SLOs, declared at boot so `/slo`, `/metrics`, and the
+/// bench gate all evaluate the same objectives: rerank p99 under 50 ms
+/// at 99% compliance, and 99.9% availability (no 5xx/drops), both over
+/// 1 m / 5 m / 1 h burn-rate windows.
+fn declare_slos() {
+    let reg = rapid_obs::global();
+    reg.declare_slo(rapid_obs::SloDef {
+        name: "rerank_latency".to_string(),
+        path: "req/rerank".to_string(),
+        threshold_ms: 50.0,
+        objective: 0.99,
+        windows_s: vec![60, 300, 3600],
+    });
+    reg.declare_slo(rapid_obs::SloDef {
+        name: "rerank_availability".to_string(),
+        path: "req/rerank".to_string(),
+        threshold_ms: 0.0,
+        objective: 0.999,
+        windows_s: vec![60, 300, 3600],
+    });
+}
+
 /// Binds and starts the server over `state`.
 ///
 /// # Errors
 /// Propagates bind/configuration failures from the listener socket.
 pub fn start(state: Arc<AppState>, cfg: &ServerConfig) -> std::io::Result<ServeHandle> {
+    declare_slos();
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -140,7 +175,7 @@ pub fn start(state: Arc<AppState>, cfg: &ServerConfig) -> std::io::Result<ServeH
     rapid_obs::event!(
         rapid_obs::Level::Info,
         "serve",
-        "serving /events /rerank /aggregates /metrics /healthz /snapshot on http://{addr}"
+        "serving /events /rerank /aggregates /metrics /healthz /snapshot /slo on http://{addr}"
     );
     Ok(ServeHandle {
         addr,
@@ -216,6 +251,12 @@ fn handle_connection(mut stream: TcpStream, state: &AppState, stop: &AtomicBool,
         }
         let Some(request) = request else { return };
 
+        // One trace per request, minted *before* the fault site so
+        // injected faults are stamped with this request's trace id.
+        // The guard finishes by RAII on every exit below — drop, panic,
+        // write failure — leaving the `req/<endpoint>` SLO record.
+        let mut trace = rapid_obs::trace::start_request(request_key(Some(&request)));
+
         // Chaos site: armed `io-error` entries drop the connection
         // mid-dialogue, `panic` entries are caught below, `delay`
         // entries stall the worker — all deterministic under the
@@ -226,27 +267,49 @@ fn handle_connection(mut stream: TcpStream, state: &AppState, stop: &AtomicBool,
         match dropped {
             Ok(false) => {}
             Ok(true) => {
+                trace.mark_error();
                 rapid_obs::global().counter_add("serve.requests_dropped", 1);
                 return;
             }
             Err(_) => {
-                respond_panic(&mut stream, &request);
+                trace.mark_error();
+                respond_panic(&mut stream, &request, trace.trace_id());
                 return;
             }
         }
 
         let keep_alive = request.keep_alive;
-        let handled = catch_unwind(AssertUnwindSafe(|| route(&request, state)));
+        let r0 = rapid_obs::clock::now();
+        let r0_us = rapid_obs::clock::wall_micros();
+        let handled = catch_unwind(AssertUnwindSafe(|| route(&request, state, &mut trace)));
+        rapid_obs::trace::record_stage("serve/route", r0_us, r0.elapsed());
         match handled {
             Ok((status, content_type, body)) => {
+                if status_code(status) >= 500 {
+                    trace.mark_error();
+                }
                 count(request_key(Some(&request)), status);
-                let bytes = response_bytes(status, content_type, &body, keep_alive);
-                if stream.write_all(&bytes).is_err() || !keep_alive {
+                let w0 = rapid_obs::clock::now();
+                let w0_us = rapid_obs::clock::wall_micros();
+                let bytes = match trace.trace_id() {
+                    Some(id) => response_bytes_with_headers(
+                        status,
+                        content_type,
+                        &body,
+                        keep_alive,
+                        &[("X-Rapid-Trace-Id", &format!("{id:016x}"))],
+                    ),
+                    None => response_bytes(status, content_type, &body, keep_alive),
+                };
+                let wrote = stream.write_all(&bytes).is_ok();
+                rapid_obs::trace::record_stage("serve/respond", w0_us, w0.elapsed());
+                if !wrote || !keep_alive {
                     return;
                 }
             }
             Err(_) => {
-                respond_panic(&mut stream, &request);
+                trace.mark_error();
+                respond_panic(&mut stream, &request, trace.trace_id());
                 return;
             }
         }
@@ -254,17 +317,23 @@ fn handle_connection(mut stream: TcpStream, state: &AppState, stop: &AtomicBool,
 }
 
 /// Answers a caught handler panic with a 500 and closes the connection
-/// (its framing state is no longer trustworthy).
-fn respond_panic(stream: &mut TcpStream, request: &Request) {
+/// (its framing state is no longer trustworthy). The trace id still
+/// rides the response so the failed request stays correlatable.
+fn respond_panic(stream: &mut TcpStream, request: &Request, trace_id: Option<u64>) {
     let status = "500 Internal Server Error";
     rapid_obs::global().counter_add("serve.panics", 1);
     count(request_key(Some(request)), status);
-    let bytes = response_bytes(
-        status,
-        "application/json",
-        &api::error_body("handler panicked"),
-        false,
-    );
+    let body = api::error_body("handler panicked");
+    let bytes = match trace_id {
+        Some(id) => response_bytes_with_headers(
+            status,
+            "application/json",
+            &body,
+            false,
+            &[("X-Rapid-Trace-Id", &format!("{id:016x}"))],
+        ),
+        None => response_bytes(status, "application/json", &body, false),
+    };
     let _ = stream.write_all(&bytes);
 }
 
@@ -278,6 +347,7 @@ fn request_key(request: Option<&Request>) -> &'static str {
         Some("/metrics") => "metrics",
         Some("/healthz") => "healthz",
         Some("/snapshot") => "snapshot",
+        Some("/slo") => "slo",
         _ => "other",
     }
 }
@@ -286,8 +356,14 @@ fn count(endpoint: &str, status: &str) {
     rapid_obs::global().counter_add(&format!("serve.http.{endpoint}.{}", status_code(status)), 1);
 }
 
-/// Dispatches one parsed request to its handler.
-fn route(request: &Request, state: &AppState) -> (&'static str, &'static str, String) {
+/// Dispatches one parsed request to its handler. `trace` is this
+/// request's live guard; handlers that want tail-exemplar capture arm
+/// it here.
+fn route(
+    request: &Request,
+    state: &AppState,
+    trace: &mut rapid_obs::trace::TraceGuard,
+) -> (&'static str, &'static str, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
         ("GET", "/metrics") => (
@@ -301,10 +377,15 @@ fn route(request: &Request, state: &AppState) -> (&'static str, &'static str, St
             rapid_obs::global().snapshot().to_ndjson(),
         ),
         ("GET", "/aggregates") => ("200 OK", "application/json", aggregates_body(state)),
+        ("GET", "/slo") => (
+            "200 OK",
+            "application/json",
+            rapid_obs::slo_json(&rapid_obs::global().snapshot()),
+        ),
         ("POST", "/events") => handle_events(request, state),
-        ("POST", "/rerank") => handle_rerank(request, state),
+        ("POST", "/rerank") => handle_rerank(request, state, trace),
         ("GET", "/events" | "/rerank")
-        | ("POST", "/healthz" | "/metrics" | "/snapshot" | "/aggregates") => (
+        | ("POST", "/healthz" | "/metrics" | "/snapshot" | "/aggregates" | "/slo") => (
             "405 Method Not Allowed",
             "application/json",
             api::error_body("method not allowed"),
@@ -313,7 +394,7 @@ fn route(request: &Request, state: &AppState) -> (&'static str, &'static str, St
             "404 Not Found",
             "application/json",
             api::error_body(
-                "not found; try /events /rerank /aggregates /metrics /healthz /snapshot",
+                "not found; try /events /rerank /aggregates /metrics /healthz /snapshot /slo",
             ),
         ),
     }
@@ -349,9 +430,21 @@ fn handle_events(request: &Request, state: &AppState) -> (&'static str, &'static
     )
 }
 
-fn handle_rerank(request: &Request, state: &AppState) -> (&'static str, &'static str, String) {
+fn handle_rerank(
+    request: &Request,
+    state: &AppState,
+    trace: &mut rapid_obs::trace::TraceGuard,
+) -> (&'static str, &'static str, String) {
     let reg = rapid_obs::global();
-    let req = match api::parse_rerank(&request.body) {
+    // Arm tail capture: if this request's total latency breaches the
+    // configured threshold, its stage tree is retained as an exemplar
+    // on the serve.rerank_ms histogram.
+    trace.set_latency_hist("serve.rerank_ms");
+    let p0 = rapid_obs::clock::now();
+    let p0_us = rapid_obs::clock::wall_micros();
+    let parsed = api::parse_rerank(&request.body);
+    rapid_obs::trace::record_stage_nested("serve/parse", p0_us, p0.elapsed());
+    let req = match parsed {
         Ok(r) => r,
         Err(why) => {
             return ("400 Bad Request", "application/json", api::error_body(&why));

@@ -153,6 +153,75 @@ fn unknown_paths_and_wrong_methods_are_refused() {
     assert_eq!(c.get("/nope").unwrap().status, 404);
     assert_eq!(c.get("/rerank").unwrap().status, 405);
     assert_eq!(c.post("/healthz", "{}").unwrap().status, 405);
+    assert_eq!(c.post("/slo", "{}").unwrap().status, 405);
+}
+
+#[test]
+fn responses_carry_a_fresh_trace_id_per_request() {
+    let mut c = Client::new(server_addr());
+    let a = c.post("/rerank", r#"{"user": 4242}"#).unwrap();
+    let b = c.post("/rerank", r#"{"user": 4242}"#).unwrap();
+    let a_id = a.trace_id.expect("rerank response must carry a trace id");
+    let b_id = b.trace_id.expect("rerank response must carry a trace id");
+    assert_eq!(a_id.len(), 16, "trace id is 16 hex chars: {a_id:?}");
+    assert!(a_id.chars().all(|c| c.is_ascii_hexdigit()), "{a_id:?}");
+    assert_ne!(a_id, b_id, "each request mints its own trace");
+    // Error responses are traced too.
+    let bad = c.post("/rerank", "not json").unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.trace_id.is_some(), "4xx responses still stamp the id");
+}
+
+#[test]
+fn slo_route_reports_the_rerank_objectives() {
+    let mut c = Client::new(server_addr());
+    // Put at least one request on the SLO substrate first.
+    c.post("/rerank", r#"{"user": 606}"#).unwrap();
+    let r = c.get("/slo").unwrap();
+    assert_eq!(r.status, 200);
+    let v = serde_json::parse_value(&r.body).unwrap();
+    let slos = v.field("slos").unwrap().as_array().unwrap();
+    let names: Vec<String> = slos
+        .iter()
+        .map(|s| {
+            s.field("name")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .trim_matches('"')
+                .to_string()
+        })
+        .collect();
+    assert!(
+        names.iter().any(|n| n == "rerank_latency"),
+        "missing rerank_latency in {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "rerank_availability"),
+        "missing rerank_availability in {names:?}"
+    );
+    let latency = slos
+        .iter()
+        .find(|s| {
+            s.field("name")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("rerank_latency")
+        })
+        .unwrap();
+    assert!(latency.field("total").unwrap().as_u64().unwrap() >= 1);
+    let remaining = latency.field("budget_remaining").unwrap().as_f64().unwrap();
+    assert!(remaining.is_finite());
+    assert!(
+        !latency
+            .field("windows")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty(),
+        "burn-rate windows must be reported"
+    );
 }
 
 #[test]
